@@ -1,0 +1,51 @@
+"""Benchmark-harness plumbing.
+
+Each figure/table module registers its formatted text table with
+:func:`report`; the tables are (a) written to ``results/<name>.txt`` and
+(b) echoed into the pytest terminal summary, so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+every reproduced table and series alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+_REPORTS: list[tuple[str, str]] = []
+
+
+def once(benchmark, fn=None, *args):
+    """Route a computation through pytest-benchmark exactly once.
+
+    Every harness test calls this so it participates in
+    ``--benchmark-only`` runs (pytest-benchmark skips fixture-less tests
+    there); expensive sweeps are still memoized at module scope.
+    """
+    return benchmark.pedantic(fn if fn is not None else (lambda: None),
+                              args=args, rounds=1, iterations=1)
+
+
+def report(name: str, text: str) -> None:
+    """Register a reproduced table/series for the terminal summary."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    _REPORTS.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "reproduced tables and figures")
+    for name, text in _REPORTS:
+        tr.write_line("")
+        for line in text.splitlines():
+            tr.write_line(line)
+    tr.write_line("")
+    tr.write_line(f"(also written to {os.path.abspath(_RESULTS_DIR)}/)")

@@ -1,0 +1,55 @@
+"""Figure 5-3: execution speedup for maximal linear replacement, maximal
+frequency replacement, and automatic selection.
+
+Speedup is the paper's metric: % decrease in execution time per output
+((t_orig / t_opt - 1) * 100).  Our substrate substitution (interpreted
+IR vs vectorized numpy kernels) inflates absolute numbers — see
+EXPERIMENTS.md — but the shape holds: every benchmark speeds up under
+autosel, and Radar only benefits under autosel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import BENCH_NAMES, measured, run_config_in_benchmark
+from conftest import once, report
+from repro.bench import format_table, speedup_percent
+
+
+def compute_rows():
+    rows = []
+    for name in BENCH_NAMES:
+        base = measured(name, "original").seconds_per_output
+        row = [name]
+        for config in ("linear", "freq", "autosel"):
+            after = measured(name, config).seconds_per_output
+            row.append(speedup_percent(base, after))
+        rows.append(row)
+    avg = ["average"] + [
+        sum(r[i] for r in rows) / len(rows) for i in (1, 2, 3)]
+    return rows + [avg]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compute_rows()
+
+
+@pytest.mark.parametrize("name", ["RateConvert", "Radar"])
+def test_speedup_benchmark(benchmark, name):
+    run_config_in_benchmark(benchmark, name, "autosel")
+
+
+def test_fig_5_3(benchmark, rows):
+    once(benchmark)
+    table = format_table(
+        "Figure 5-3: execution speedup (% decrease in time/output)",
+        ["Benchmark", "linear", "freq", "autosel"], rows)
+    report("fig_5_3_speedup", table)
+    by_name = {r[0]: r for r in rows}
+    # the paper's headline: large average speedup under autosel
+    assert by_name["average"][3] > 100.0
+    # every benchmark gets faster (or at worst stays even) under autosel
+    for name in BENCH_NAMES:
+        assert by_name[name][3] > -10.0, (name, by_name[name])

@@ -1,0 +1,95 @@
+"""Figures 5-8 and 5-9: FIR scaling under frequency replacement.
+
+Figure 5-8 sweeps the FIR length and reports multiplication removal and
+speedup; removal should agree with the lg(N)/N-style theoretical curve
+(approaching 100% for large N, negative for tiny N).  Figure 5-9 plots
+original vs optimized time per output for the same sweep, together with
+the selector's cost-model prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once, report
+from repro.apps import fir
+from repro.bench import build_config, format_table, measure, removal_percent
+from repro.bench import speedup_percent
+from repro.linear import LinearNode
+from repro.selection import direct_cost, frequency_cost
+
+SIZES = [2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+# enough outputs that even the 128-tap frequency block (which pushes
+# m+e-1 = 384 items per firing) completes several steady firings
+N_OUT = 2048
+
+
+def compute_rows():
+    rows = []
+    for n in SIZES:
+        program = fir.build(taps=n)
+        base = measure(program, "original", N_OUT)
+        freq = measure(program, "freq", N_OUT)
+        rows.append([
+            n,
+            removal_percent(base.mults_per_output, freq.mults_per_output),
+            speedup_percent(base.seconds_per_output,
+                            freq.seconds_per_output),
+            base.seconds_per_output * 1e6,
+            freq.seconds_per_output * 1e6,
+        ])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compute_rows()
+
+
+def test_fir_scaling_benchmark(benchmark):
+    program = fir.build(taps=64)
+    stream = build_config(program, "freq")
+    from repro.profiling import NullProfiler
+    from repro.runtime import run_graph
+
+    benchmark.pedantic(lambda: run_graph(stream, 128, NullProfiler()),
+                       rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_fig_5_8(benchmark, rows):
+    once(benchmark)
+    table = format_table(
+        "Figure 5-8: FIR scaling under frequency replacement",
+        ["taps", "mult removed %", "speedup %", "t_orig us/out",
+         "t_freq us/out"],
+        rows, width=16)
+    report("fig_5_8_fir_scaling", table)
+    by_n = {r[0]: r for r in rows}
+    # monotone trend: bigger filters benefit more (compare ends)
+    assert by_n[128][1] > by_n[8][1]
+    assert by_n[128][1] > 80.0  # large-N removal approaches 100%
+
+
+def test_fig_5_9(benchmark, rows):
+    once(benchmark)
+    """Scatter of t_orig vs t_freq plus the cost-model prediction."""
+    scatter = []
+    for r in rows:
+        n = r[0]
+        node_cost_ratio = None
+        node = LinearNode.from_coefficients([[1.0] * n], [0.0], pop=1)
+        node_cost_ratio = frequency_cost(node) / direct_cost(node)
+        scatter.append([n, r[3], r[4], node_cost_ratio])
+    table = format_table(
+        "Figure 5-9: original vs optimized time per output (us), with "
+        "the cost-model ratio",
+        ["taps", "t_orig", "t_freq", "model t_freq/t_orig"],
+        scatter, width=16)
+    report("fig_5_9_fir_cost_model", table)
+    # the cost model must rank sizes the same way the measurement does:
+    # the predicted ratio falls as N grows, as does the measured ratio
+    ratios_model = [row[3] for row in scatter]
+    assert ratios_model[0] > ratios_model[-1]
+    measured_ratio_big = scatter[-1][2] / scatter[-1][1]
+    measured_ratio_small = scatter[1][2] / scatter[1][1]
+    assert measured_ratio_big < measured_ratio_small * 2.0

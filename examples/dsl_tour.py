@@ -1,0 +1,63 @@
+"""Tour of the textual mini-StreamIt front end.
+
+Writes the paper's Figure 1-3 two-FIR pipeline in surface syntax,
+compiles it, proves the compiler sees it as linear, and runs the
+original and the automatically optimized versions.
+
+Run:  python examples/dsl_tour.py
+"""
+
+import numpy as np
+
+from repro.dsl import compile_source
+from repro.linear import analyze
+from repro.runtime import run_stream
+from repro.selection import select_optimizations
+
+SOURCE = """
+float->float filter FIRFilter(int N, float scale) {
+    float[N] weights;
+    init {
+        for (int i = 0; i < N; i++) {
+            weights[i] = scale * sin(0.3 * i + 1.0);
+        }
+    }
+    work push 1 pop 1 peek N {
+        float sum = 0;
+        for (int i = 0; i < N; i++) {
+            sum += weights[i] * peek(i);
+        }
+        push(sum);
+        pop();
+    }
+}
+
+float->float pipeline TwoFilters(int N) {
+    add FIRFilter(N, 1.0);
+    add FIRFilter(N, 0.5);
+}
+"""
+
+
+def main():
+    pipe = compile_source(SOURCE, "TwoFilters", 48)
+    print("compiled stream graph:")
+    print(pipe.pretty())
+
+    lmap = analyze(pipe)
+    node = lmap.node_for(pipe)
+    print(f"\nlinear extraction: the pipeline is one affine map "
+          f"(peek {node.peek}, pop {node.pop}, push {node.push})")
+
+    rng = np.random.default_rng(3)
+    inputs = rng.normal(size=4000).tolist()
+    baseline = run_stream(pipe, inputs, 256)
+    optimized = select_optimizations(pipe).stream
+    got = run_stream(optimized, inputs, 256)
+    assert np.allclose(baseline, got, atol=1e-8)
+    print(f"autosel chose: {optimized.pretty()}")
+    print("outputs identical — optimization is semantics-preserving")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Linear Analysis and Optimization of Stream Programs".
+
+The package implements the complete system from the PLDI 2003 paper /
+MEng thesis by Andrew A. Lamb (with William Thies and Saman Amarasinghe):
+a StreamIt-like stream language and runtime, linear dataflow extraction,
+structural combination of linear filters, frequency-domain replacement,
+cross-firing redundancy elimination, and dynamic-programming optimization
+selection.
+
+Quickstart::
+
+    from repro import graph, linear, runtime
+    from repro.apps import fir
+
+    program = fir.build()                       # FIR pipeline
+    optimized = linear.maximal_linear_replacement(program)
+    outputs = runtime.run_graph(optimized, 100)
+"""
+
+from . import errors, graph, ir, linear, runtime
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "graph", "ir", "linear", "runtime", "__version__"]

@@ -1,0 +1,25 @@
+"""The nine benchmark applications of the thesis' evaluation (§5.1)."""
+
+from . import (dtoa, filterbank, fir, fmradio, oversampler, radar, ratec,
+               targetdetect, vocoder)
+
+#: Registry used by the benchmark harness: name -> build() function.
+BENCHMARKS = {
+    fir.NAME: fir.build,
+    ratec.NAME: ratec.build,
+    targetdetect.NAME: targetdetect.build,
+    fmradio.NAME: fmradio.build,
+    radar.NAME: radar.build,
+    filterbank.NAME: filterbank.build,
+    vocoder.NAME: vocoder.build,
+    oversampler.NAME: oversampler.build,
+    dtoa.NAME: dtoa.build,
+}
+
+#: Paper ordering for tables/figures.
+BENCHMARK_ORDER = ["FIR", "RateConvert", "TargetDetect", "FMRadio", "Radar",
+                   "FilterBank", "Vocoder", "Oversampler", "DToA"]
+
+__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "fir", "ratec", "targetdetect",
+           "fmradio", "radar", "filterbank", "vocoder", "oversampler",
+           "dtoa"]

@@ -1,0 +1,203 @@
+"""Shared DSP components used across the benchmark suite.
+
+These are the standard StreamIt library filters the benchmarks are built
+from: windowed-sinc low/high-pass FIR filters, band-pass/band-stop
+compositions, rate changers (compressor/expander), adders, and sources/
+sinks.  Coefficient computation happens at elaboration time in Python
+(the moral equivalent of StreamIt's ``init`` functions); the work
+functions are IR so the linear extraction analysis sees exactly what the
+paper's compiler saw.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import Filter, Pipeline, RoundRobin, SplitJoin
+from ..graph.streams import Duplicate
+from ..ir import FilterBuilder
+from ..runtime.builtins import Collector
+
+
+def lowpass_coeffs(gain: float, cutoff: float, taps: int) -> list[float]:
+    """Windowed-sinc low-pass coefficients (rectangular window).
+
+    ``h[i] = g * sin(wc * (i - N/2)) / (pi * (i - N/2))`` with the
+    singularity at the center resolved to ``g * wc / pi``.
+    """
+    offset = taps // 2
+    coeffs = []
+    for i in range(taps):
+        idx = i + 1
+        if idx == offset:
+            coeffs.append(gain * cutoff / math.pi)
+        else:
+            coeffs.append(gain * math.sin(cutoff * (idx - offset))
+                          / (math.pi * (idx - offset)))
+    return coeffs
+
+
+def highpass_coeffs(gain: float, ws: float, taps: int) -> list[float]:
+    """High-pass via spectral inversion of the low-pass prototype."""
+    low = lowpass_coeffs(1.0, ws, taps)
+    coeffs = [-gain * c for c in low]
+    center = taps // 2 - 1
+    coeffs[center] += gain
+    return coeffs
+
+
+def fir_filter(name: str, coeffs, decimation: int = 0) -> Filter:
+    """An FIR convolution filter: peek N, pop 1+decimation, push 1."""
+    n = len(coeffs)
+    pop = 1 + decimation
+    f = FilterBuilder(name, peek=max(n, pop), pop=pop, push=1)
+    h = f.const_array("h", coeffs)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + h[i] * f.peek(i))
+        f.push(s)
+        with f.loop("i", 0, pop):
+            f.pop()
+    return f.build()
+
+
+def low_pass_filter(gain: float, cutoff: float, taps: int,
+                    decimation: int = 0,
+                    name: str = "LowPassFilter") -> Filter:
+    return fir_filter(name, lowpass_coeffs(gain, cutoff, taps), decimation)
+
+
+def high_pass_filter(gain: float, ws: float, taps: int,
+                     name: str = "HighPassFilter") -> Filter:
+    return fir_filter(name, highpass_coeffs(gain, ws, taps))
+
+
+def band_pass_filter(gain: float, ws: float, wp: float,
+                     taps: int, name: str = "BandPassFilter") -> Pipeline:
+    """Low-pass cascaded with high-pass (thesis Figure A-11)."""
+    return Pipeline([
+        low_pass_filter(1.0, wp, taps),
+        high_pass_filter(gain, ws, taps),
+    ], name=name)
+
+
+def band_stop_filter(gain: float, wp: float, ws: float,
+                     taps: int, name: str = "BandStopFilter") -> Pipeline:
+    """Parallel low-pass + high-pass, summed (thesis Figure A-12)."""
+    return Pipeline([
+        SplitJoin(Duplicate(),
+                  [low_pass_filter(gain, wp, taps),
+                   high_pass_filter(gain, ws, taps)],
+                  RoundRobin((1, 1)), name=f"{name}.split"),
+        adder(2),
+    ], name=name)
+
+
+def compressor(m: int, name: str | None = None) -> Filter:
+    """Pass 1 of every M items (thesis Figure A-4)."""
+    f = FilterBuilder(name or f"Compressor({m})", peek=m, pop=m, push=1)
+    with f.work():
+        f.push(f.pop_expr())
+        with f.loop("i", 0, m - 1):
+            f.pop()
+    return f.build()
+
+
+def expander(l: int, name: str | None = None) -> Filter:
+    """Push the input followed by L-1 zeros (thesis Figure A-5)."""
+    f = FilterBuilder(name or f"Expander({l})", peek=1, pop=1, push=l)
+    with f.work():
+        f.push(f.pop_expr())
+        with f.loop("i", 0, l - 1):
+            f.push(0.0)
+    return f.build()
+
+
+def adder(n: int, name: str | None = None) -> Filter:
+    """Sum N consecutive items into one (linear)."""
+    f = FilterBuilder(name or f"Adder({n})", peek=n, pop=n, push=1)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + f.peek(i))
+        f.push(s)
+        with f.loop("i", 0, n):
+            f.pop()
+    return f.build()
+
+
+def float_diff(name: str = "FloatDiff") -> Filter:
+    """peek(0) - peek(1), pop 2 (FMRadio's equalizer building block)."""
+    f = FilterBuilder(name, peek=2, pop=2, push=1)
+    with f.work():
+        f.push(f.peek(0) - f.peek(1))
+        f.pop()
+        f.pop()
+    return f.build()
+
+
+def float_dup(name: str = "FloatDup") -> Filter:
+    """Duplicate each item (pop 1, push 2)."""
+    f = FilterBuilder(name, peek=1, pop=1, push=2)
+    with f.work():
+        v = f.local("val", f.pop_expr())
+        f.push(v)
+        f.push(v)
+    return f.build()
+
+
+def delay(name: str = "Delay") -> Filter:
+    """One-item unit delay implemented with prework (initial zero)."""
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    with f.prework(peek=0, pop=0, push=1):
+        f.push(0.0)
+    with f.work():
+        f.push(f.pop_expr())
+    return f.build()
+
+
+def ramp_source(period: int = 16, name: str = "FloatSource") -> Filter:
+    """The FIR benchmark's source: a repeating 0..period-1 ramp."""
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    idx = f.state("idx", 0)
+    data = f.const_array("inputs", [float(i) for i in range(period)])
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % period)
+    return f.build()
+
+
+def cosine_source(w: float, name: str = "SampledSource") -> Filter:
+    """push(cos(w*n)) — RateConvert's source (Figure A-6)."""
+    from ..ir import call
+
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    n = f.state("n", 0)
+    wc = f.const("w", w)
+    with f.work():
+        f.push(call("cos", wc * n))
+        f.assign(n, n + 1)
+    return f.build()
+
+
+def multi_sine_source(name: str = "DataSource", size: int = 100) -> Filter:
+    """Sum of three incommensurate sinusoids (Oversampler/DToA source)."""
+    values = []
+    for i in range(size):
+        t = float(i)
+        values.append(math.sin(2 * math.pi * t / size)
+                      + math.sin(2 * math.pi * 1.7 * t / size + math.pi / 3)
+                      + math.sin(2 * math.pi * 2.1 * t / size + math.pi / 5))
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    data = f.const_array("data", values)
+    idx = f.state("index", 0)
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % size)
+    return f.build()
+
+
+def printer(name: str = "FloatPrinter") -> Collector:
+    """The benchmark sink; collects outputs for measurement."""
+    return Collector(name)

@@ -1,0 +1,65 @@
+"""DToA benchmark: one-bit D/A front-end (thesis Figure A-16).
+
+A 16x oversampler feeds a first-order noise shaper — a feedbackloop of an
+adder and a quantize-and-error filter with a unit delay on the feedback
+path — followed by a 256-tap reconstruction low-pass.  The feedbackloop
+is the one construct linear analysis does not collapse (it needs linear
+state, §7.1), so this benchmark exercises optimization around a
+nonlinear/feedback core.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import FeedbackLoop, Filter, Pipeline, RoundRobin
+from ..ir import FilterBuilder
+from .common import delay, low_pass_filter, multi_sine_source, printer
+from .oversampler import oversampler
+
+NAME = "DToA"
+
+
+def adder_filter() -> Filter:
+    f = FilterBuilder("AdderFilter", peek=2, pop=2, push=1)
+    with f.work():
+        f.push(f.pop_expr() + f.pop_expr())
+    return f.build()
+
+
+def quantizer_and_error() -> Filter:
+    """Quantize to ±1; also emit the quantization error (nonlinear)."""
+    f = FilterBuilder("QuantizerAndError", peek=1, pop=1, push=2)
+    with f.work():
+        v = f.local("inputValue", f.pop_expr())
+        out = f.local("outputValue", 0.0)
+        neg = f.if_(v < 0.0)
+        with neg:
+            f.assign(out, -1.0)
+        with neg.otherwise():
+            f.assign(out, 1.0)
+        f.push(out)
+        f.push(out - v)
+    return f.build()
+
+
+def noise_shaper() -> FeedbackLoop:
+    body = Pipeline([adder_filter(), quantizer_and_error()],
+                    name="shaper_body")
+    return FeedbackLoop(
+        body=body,
+        loop=delay(),
+        joiner=RoundRobin((1, 1)),
+        splitter=RoundRobin((1, 1)),
+        enqueued=[0.0],
+        name="NoiseShaper")
+
+
+def build(stages: int = 4, taps: int = 64, out_taps: int = 256) -> Pipeline:
+    return Pipeline([
+        multi_sine_source(),
+        oversampler(stages, taps),
+        noise_shaper(),
+        low_pass_filter(1.0, math.pi / 100, out_taps),
+        printer(name="DataSink"),
+    ], name="OneBitDToA")

@@ -1,0 +1,20 @@
+"""FIR benchmark: a single 256-tap low-pass filter (thesis Figure A-3)."""
+
+from __future__ import annotations
+
+from ..graph.streams import Pipeline
+from .common import low_pass_filter, printer, ramp_source
+
+NAME = "FIR"
+DEFAULT_TAPS = 256
+
+
+def build(taps: int = DEFAULT_TAPS) -> Pipeline:
+    """FloatSource -> LowPassFilter(1, pi/3, taps) -> FloatPrinter."""
+    import math
+
+    return Pipeline([
+        ramp_source(),
+        low_pass_filter(1.0, math.pi / 3, taps),
+        printer(),
+    ], name="FIRProgram")

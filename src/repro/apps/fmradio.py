@@ -1,0 +1,113 @@
+"""FMRadio benchmark: software FM demodulation with a multi-band equalizer
+(thesis Figures A-9/A-10, Figure B-3).
+
+Structure: decimating front-end low-pass -> nonlinear FM demodulator ->
+10-band equalizer.  The equalizer is a duplicate splitjoin of band-edge
+low-pass filters whose outputs are differenced pairwise and summed — all
+linear, and the showcase for splitjoin combination (§3.3.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
+from ..ir import FilterBuilder, call
+from .common import adder, fir_filter, float_diff, float_dup, printer
+
+NAME = "FMRadio"
+
+SAMPLING_RATE = 200_000.0
+CUTOFF_FREQUENCY = 108_000_000.0
+MAX_AMPLITUDE = 27_000.0
+BANDWIDTH = 10_000.0
+
+
+def _fm_lowpass_coeffs(rate: float, cutoff: float, taps: int) -> list[float]:
+    """Hamming-windowed sinc (the benchmark's own LowPassFilter)."""
+    pi = math.pi
+    m = taps - 1
+    if cutoff == 0.0:
+        raw = [0.54 - 0.46 * math.cos(2 * pi * i / m) for i in range(taps)]
+        total = sum(raw)
+        return [c / total for c in raw]
+    w = 2 * pi * cutoff / rate
+    coeffs = []
+    for i in range(taps):
+        if i - m / 2 == 0:
+            coeffs.append(w / pi)
+        else:
+            coeffs.append(
+                math.sin(w * (i - m / 2)) / pi / (i - m / 2)
+                * (0.54 - 0.46 * math.cos(2 * pi * i / m)))
+    return coeffs
+
+
+def fm_lowpass(rate: float, cutoff: float, taps: int, decimation: int,
+               name: str) -> Filter:
+    return fir_filter(name, _fm_lowpass_coeffs(rate, cutoff, taps),
+                      decimation=decimation)
+
+
+def fm_demodulator(rate: float, max_amp: float, bandwidth: float) -> Filter:
+    """push(gain * atan(peek(0) * peek(1))) — inherently nonlinear."""
+    gain = max_amp * rate / (bandwidth * math.pi)
+    f = FilterBuilder("FMDemodulator", peek=2, pop=1, push=1)
+    g = f.const("mGain", gain)
+    with f.work():
+        f.push(g * call("atan", f.peek(0) * f.peek(1)))
+        f.pop()
+    return f.build()
+
+
+def counter_source() -> Filter:
+    f = FilterBuilder("FloatOneSource", peek=0, pop=0, push=1)
+    x = f.state("x", 0.0)
+    with f.work():
+        f.push(x)
+        f.assign(x, x + 1.0)
+    return f.build()
+
+
+def equalizer(rate: float, bands: int = 10, low: float = 55.0,
+              high: float = 1760.0, taps: int = 64) -> Pipeline:
+    """The 10-band equalizer: band-edge filters, differences, and a sum."""
+    cutoffs = [
+        math.exp(i * (math.log(high) - math.log(low)) / bands
+                 + math.log(low))
+        for i in range(1, bands)
+    ]
+    inner = SplitJoin(
+        Duplicate(),
+        [Pipeline([
+            fm_lowpass(rate, c, taps, 0, f"LowPass@{c:.0f}Hz"),
+            float_dup(),
+         ], name=f"EqualizerInnerPipeline{i}")
+         for i, c in enumerate(cutoffs)],
+        RoundRobin(tuple([2] * len(cutoffs))),
+        name="EqualizerInnerSplitJoin")
+    outer = SplitJoin(
+        Duplicate(),
+        [fm_lowpass(rate, high, taps, 0, "LowPassHigh"),
+         inner,
+         fm_lowpass(rate, low, taps, 0, "LowPassLow")],
+        RoundRobin((1, (bands - 1) * 2, 1)),
+        name="EqualizerSplitJoin")
+    return Pipeline([
+        outer,
+        float_diff(),
+        adder(bands, name=f"FloatNAdder({bands})"),
+    ], name="Equalizer")
+
+
+def build(bands: int = 10, taps: int = 64) -> Pipeline:
+    return Pipeline([
+        counter_source(),
+        Pipeline([
+            fm_lowpass(SAMPLING_RATE, CUTOFF_FREQUENCY, taps, 4,
+                       "FrontLowPass"),
+            fm_demodulator(SAMPLING_RATE, MAX_AMPLITUDE, BANDWIDTH),
+            equalizer(SAMPLING_RATE, bands=bands, taps=taps),
+        ], name="FMRadio"),
+        printer(),
+    ], name="LinkedFMTest")

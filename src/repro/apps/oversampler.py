@@ -1,0 +1,29 @@
+"""Oversampler benchmark: 16x oversampling in four 2x stages
+(thesis Figure A-15) — each stage an expander plus interpolating
+low-pass, all linear."""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import Pipeline
+from .common import expander, low_pass_filter, multi_sine_source, printer
+
+NAME = "Oversampler"
+
+
+def oversampler(stages: int = 4, taps: int = 64) -> Pipeline:
+    parts = []
+    for i in range(stages):
+        parts.append(expander(2, name=f"Expander2_{i}"))
+        parts.append(low_pass_filter(2.0, math.pi / 2, taps,
+                                     name=f"LowPass_{i}"))
+    return Pipeline(parts, name="OverSampler")
+
+
+def build(stages: int = 4, taps: int = 64) -> Pipeline:
+    return Pipeline([
+        multi_sine_source(),
+        oversampler(stages, taps),
+        printer(name="DataSink"),
+    ], name="Oversampler")

@@ -1,0 +1,113 @@
+"""Vocoder benchmark: channel voice coder (thesis Figure A-14).
+
+A pitch-detection branch (center clipper + autocorrelation peak picker,
+both nonlinear) runs in parallel with a four-channel filter bank of
+band-pass filters and decimators (all linear).  The joiner interleaves
+one pitch value with four subband values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
+from ..ir import FilterBuilder
+from .common import band_pass_filter, compressor, low_pass_filter, printer
+
+NAME = "Vocoder"
+
+_SOURCE_VALUES = [
+    -0.70867825, 0.9750938, -0.009129746, 0.28532153, -0.42127264,
+    -0.95795095, 0.68976873, 0.99901736, -0.8581795, 0.9863592, 0.909825,
+]
+
+
+def data_source() -> Filter:
+    f = FilterBuilder("DataSource", peek=0, pop=0, push=1)
+    data = f.const_array("x", _SOURCE_VALUES)
+    idx = f.state("index", 0)
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % len(_SOURCE_VALUES))
+    return f.build()
+
+
+def center_clip(lo: float = -0.75, hi: float = 0.75) -> Filter:
+    f = FilterBuilder("CenterClip", peek=1, pop=1, push=1)
+    with f.work():
+        t = f.local("t", f.pop_expr())
+        below = f.if_(t < lo)
+        with below:
+            f.push(lo)
+        with below.otherwise():
+            above = f.if_(t > hi)
+            with above:
+                f.push(hi)
+            with above.otherwise():
+                f.push(t)
+    return f.build()
+
+
+def corr_peak(winsize: int, decimation: int,
+              threshold: float = 0.07) -> Filter:
+    """Autocorrelation peak picker — quadratic in the input, nonlinear."""
+    f = FilterBuilder("CorrPeak", peek=winsize, pop=decimation, push=1)
+    thresh = f.const("THRESHOLD", threshold)
+    w = f.const("winsize", winsize)
+    with f.work():
+        maxpeak = f.local("maxpeak", 0.0)
+        with f.loop("i", 0, winsize) as i:
+            s = f.local("sum", 0.0)
+            with f.loop("j", i, winsize) as j:
+                f.assign(s, s + f.peek(i) * f.peek(j))
+            acorr = f.local("ac", s / w)
+            bigger = f.if_(acorr > maxpeak)
+            with bigger:
+                f.assign(maxpeak, acorr)
+        over = f.if_(maxpeak > thresh)
+        with over:
+            f.push(maxpeak)
+        with over.otherwise():
+            f.push(0.0)
+        with f.loop("i", 0, decimation):
+            f.pop()
+    return f.build()
+
+
+def pitch_detector(window: int, decimation: int) -> Pipeline:
+    return Pipeline([center_clip(), corr_peak(window, decimation)],
+                    name="PitchDetector")
+
+
+def filter_decimate(i: int, decimation: int, taps: int,
+                    rate: float = 8000.0) -> Pipeline:
+    ws = 2 * math.pi * 400.0 * i / rate
+    wp = 2 * math.pi * 400.0 * (i + 1) / rate
+    return Pipeline([
+        band_pass_filter(2.0, max(ws, 1e-3), wp, taps),
+        compressor(decimation),
+    ], name=f"FilterDecimate{i}")
+
+
+def vocoder_filter_bank(n: int, decimation: int, taps: int) -> SplitJoin:
+    return SplitJoin(
+        Duplicate(),
+        [filter_decimate(i, decimation, taps) for i in range(n)],
+        RoundRobin(tuple([1] * n)),
+        name="VocoderFilterBank")
+
+
+def build(window: int = 100, decimation: int = 50, n_filters: int = 4,
+          taps: int = 64) -> Pipeline:
+    main = SplitJoin(
+        Duplicate(),
+        [pitch_detector(window, decimation),
+         vocoder_filter_bank(n_filters, decimation, taps)],
+        RoundRobin((1, n_filters)),
+        name="MainSplitjoin")
+    return Pipeline([
+        data_source(),
+        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
+        main,
+        printer(),
+    ], name="ChannelVocoder")

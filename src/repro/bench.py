@@ -1,0 +1,161 @@
+"""Shared measurement machinery for the benchmark harness (thesis §5.1).
+
+The paper measures each benchmark under several *configurations*:
+
+* ``original``  — the program as written,
+* ``linear``    — maximal linear replacement (matrix multiply),
+* ``linear_nc`` — linear replacement with combination disabled (each
+  linear filter replaced individually; Figure 5-4's "(nc)"),
+* ``freq``      — maximal frequency replacement,
+* ``freq_nc``   — frequency replacement without combination,
+* ``autosel``   — automatic optimization selection,
+* ``linear_blas`` — linear replacement with the BLAS (ATLAS stand-in)
+  matrix multiply backend (Figure 5-6),
+* ``redund``    — redundancy-elimination replacement (Figure 5-10).
+
+Each measurement runs the configured program for a fixed number of
+outputs, recording floating-point operations (the DynamoRIO-substitute
+profiler) and wall-clock execution time, both normalized per output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .frequency import maximal_frequency_replacement
+from .graph.streams import Filter, PrimitiveFilter, Stream, walk
+from .linear import LinearNode, analyze, maximal_linear_replacement
+from .linear.combine import LinearityMap, replace_with
+from .profiling import NullProfiler, Profiler
+from .redundancy import RedundancyEliminationFilter
+from .runtime import run_graph
+from .selection import select_optimizations
+
+#: Program outputs measured per configuration — sized so that the
+#: coarsest-grained replaced filter (the frequency block, which pushes
+#: u*(m+e-1) items per firing) completes several steady firings; a run
+#: that only covers the first firing overstates per-output cost.  Radar
+#: is the exception: its frequency blocks would need ~80k outputs, so it
+#: runs fewer (the sign of its frequency result is unambiguous either
+#: way; noted in EXPERIMENTS.md).
+DEFAULT_OUTPUTS = {
+    "FIR": 3200,
+    "RateConvert": 2500,
+    "TargetDetect": 9000,
+    "FMRadio": 768,
+    "Radar": 512,
+    "FilterBank": 5200,
+    "Vocoder": 600,
+    "Oversampler": 15000,
+    "DToA": 2600,
+}
+
+CONFIGS = ("original", "linear", "linear_nc", "freq", "freq_nc", "autosel",
+           "linear_blas", "redund")
+
+
+def leaf_only_lmap(stream: Stream) -> LinearityMap:
+    """A linearity map with container entries dropped: disables combination."""
+    full = analyze(stream)
+    leaves = {id(s) for s in walk(stream)
+              if isinstance(s, (Filter, PrimitiveFilter))}
+    pruned = LinearityMap()
+    pruned.nodes = {k: v for k, v in full.nodes.items() if k in leaves}
+    pruned.reasons = dict(full.reasons)
+    return pruned
+
+
+def build_config(program: Stream, config: str) -> Stream:
+    """Apply one named optimization configuration to a fresh program."""
+    if config == "original":
+        return program
+    if config == "linear":
+        return maximal_linear_replacement(program)
+    if config == "linear_blas":
+        return maximal_linear_replacement(program, backend="blas")
+    if config == "linear_nc":
+        return maximal_linear_replacement(program, combine=False)
+    if config == "freq":
+        return maximal_frequency_replacement(program)
+    if config == "freq_nc":
+        return maximal_frequency_replacement(program, combine=False)
+    if config == "autosel":
+        return select_optimizations(program).stream
+    if config == "redund":
+        def make_leaf(node: LinearNode, s: Stream, in_feedback: bool):
+            return RedundancyEliminationFilter(node,
+                                               name=f"NoRedund[{s.name}]")
+        return replace_with(program, make_leaf)
+    raise ValueError(f"unknown configuration {config!r}")
+
+
+@dataclass
+class Measurement:
+    """Per-output metrics of one configuration run."""
+
+    config: str
+    outputs: int
+    flops: int
+    mults: int
+    seconds: float
+
+    @property
+    def flops_per_output(self) -> float:
+        return self.flops / self.outputs
+
+    @property
+    def mults_per_output(self) -> float:
+        return self.mults / self.outputs
+
+    @property
+    def seconds_per_output(self) -> float:
+        return self.seconds / self.outputs
+
+
+def measure(program: Stream, config: str, n_outputs: int,
+            backend: str = "compiled") -> Measurement:
+    """Build one configuration and measure FLOPs and wall time."""
+    stream = build_config(program, config)
+    profiler = Profiler()
+    run_graph(stream, n_outputs, profiler, backend)
+    # separate timing run (profiling overhead excluded); generated code is
+    # already warm from the counting run in the same FlatGraph? No — a new
+    # FlatGraph compiles again, so do a short warmup first.
+    t0 = time.perf_counter()
+    run_graph(stream, n_outputs, NullProfiler(), backend)
+    seconds = time.perf_counter() - t0
+    return Measurement(config, n_outputs, profiler.counts.flops,
+                       profiler.counts.mults, seconds)
+
+
+def removal_percent(before: float, after: float) -> float:
+    """Percent of operations removed (negative => operations added)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def speedup_percent(t_before: float, t_after: float) -> float:
+    """The paper's speedup metric: % decrease in execution time,
+    e.g. 450% means the original takes 5.5x as long."""
+    if t_after == 0:
+        return float("inf")
+    return 100.0 * (t_before / t_after - 1.0)
+
+
+def format_table(title: str, headers: list[str], rows: list[list],
+                 width: int = 14) -> str:
+    """Fixed-width text table used by every figure/table generator."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:,.1f}"
+        return str(cell)
+
+    lines = [title, "=" * len(title)]
+    head = "".join(h.ljust(width) for h in headers)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        lines.append("".join(fmt(c).ljust(width) for c in row))
+    return "\n".join(lines)

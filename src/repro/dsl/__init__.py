@@ -1,0 +1,7 @@
+"""Textual mini-StreamIt front end: lexer, parser, elaborator."""
+
+from .elaborator import Elaborator, compile_source
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = ["tokenize", "Token", "parse", "Elaborator", "compile_source"]

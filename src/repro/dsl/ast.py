@@ -1,0 +1,198 @@
+"""AST node definitions for the mini-StreamIt DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float | int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    fn: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class IndexExpr(Expr):
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class PeekExpr(Expr):
+    index: Expr
+
+
+@dataclass(frozen=True)
+class PopExpr(Expr):
+    pass
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    ty: str  # 'float' | 'int'
+    size: Expr | None
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class AssignStmt(Stmt):
+    target: Name | IndexExpr
+    op: str  # '=', '+=', '-=', '*=', '/='
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PushStmt(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PopStmt(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    cond: Expr
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ForStmt(Stmt):
+    var: str
+    start: Expr
+    stop: Expr  # loop runs while var < stop
+    step: Expr
+    body: tuple[Stmt, ...]
+
+
+# -- stream-level constructs -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    ty: str
+    size: Expr | None
+    name: str
+
+
+@dataclass(frozen=True)
+class WorkDecl:
+    kind: str  # 'work' | 'prework'
+    peek: Expr | None
+    pop: Expr | None
+    push: Expr | None
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    ty: str
+    size: Expr | None
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class FilterDecl:
+    name: str
+    params: tuple[Param, ...]
+    fields: tuple[FieldDecl, ...]
+    init: tuple[Stmt, ...]
+    works: tuple[WorkDecl, ...]
+
+
+@dataclass(frozen=True)
+class AddStmt(Stmt):
+    """``add Stream(args);`` inside a pipeline or splitjoin body."""
+
+    stream: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class SplitDecl(Stmt):
+    kind: str  # 'duplicate' | 'roundrobin'
+    weights: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class JoinDecl(Stmt):
+    weights: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EnqueueStmt(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class BodyDecl(Stmt):
+    stream: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class LoopDecl(Stmt):
+    stream: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class CompositeDecl:
+    kind: str  # 'pipeline' | 'splitjoin' | 'feedbackloop'
+    name: str
+    params: tuple[Param, ...]
+    body: tuple[Stmt, ...]  # Add/Split/Join/For/If/var-decl statements
+
+
+@dataclass
+class Program:
+    decls: dict[str, FilterDecl | CompositeDecl] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)

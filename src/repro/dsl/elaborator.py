@@ -1,0 +1,349 @@
+"""Elaboration: DSL AST -> stream graphs with IR work functions.
+
+Filters instantiate with concrete parameter values: field initializers and
+``init`` blocks run in the concrete interpreter (exactly how StreamIt
+resolves coefficients at compile time), work-function bodies lower to the
+IR, and I/O rates are constant-folded.  Composite bodies (pipelines,
+splitjoins, feedbackloops) are structural programs over constants: ``add``
+statements, ``for`` loops, and ``if`` over parameters execute at
+elaboration time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DSLError
+from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                             RoundRobin, SplitJoin, Stream)
+from ..ir import nodes as N
+from ..ir.interp import Interpreter
+from ..runtime.channels import Channel
+from ..profiling import NullProfiler
+from . import ast
+from .parser import parse
+
+_INTRINSICS = {"sin", "cos", "tan", "atan", "atan2", "exp", "log", "sqrt",
+               "abs", "floor", "ceil", "pow", "min", "max", "round"}
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+def _const_eval(expr: ast.Expr, env: dict) -> float | int:
+    """Evaluate a structural/rate expression over constants."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.ident in env:
+            v = env[expr.ident]
+            if isinstance(v, (int, float)):
+                return v
+        raise DSLError(f"{expr.ident!r} is not a constant here")
+    if isinstance(expr, ast.BinOp):
+        a = _const_eval(expr.left, env)
+        b = _const_eval(expr.right, env)
+        if expr.op == "/" and isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+        table = {
+            "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+            "/": lambda: a / b, "%": lambda: a % b,
+            "==": lambda: int(a == b), "!=": lambda: int(a != b),
+            "<": lambda: int(a < b), "<=": lambda: int(a <= b),
+            ">": lambda: int(a > b), ">=": lambda: int(a >= b),
+            "&&": lambda: int(bool(a) and bool(b)),
+            "||": lambda: int(bool(a) or bool(b)),
+            "&": lambda: int(a) & int(b), "|": lambda: int(a) | int(b),
+            "^": lambda: int(a) ^ int(b), "<<": lambda: int(a) << int(b),
+            ">>": lambda: int(a) >> int(b),
+        }
+        return table[expr.op]()
+    if isinstance(expr, ast.UnOp):
+        v = _const_eval(expr.operand, env)
+        return -v if expr.op == "-" else int(not v)
+    if isinstance(expr, ast.CallExpr):
+        if expr.fn not in _INTRINSICS:
+            raise DSLError(f"unknown function {expr.fn!r}")
+        args = [_const_eval(a, env) for a in expr.args]
+        return getattr(math, expr.fn, {"abs": abs, "pow": pow, "min": min,
+                                       "max": max, "round": round
+                                       }.get(expr.fn))(*args)
+    if isinstance(expr, ast.IndexExpr):
+        arr = env.get(expr.base)
+        if arr is None:
+            raise DSLError(f"unknown array {expr.base!r}")
+        return arr[int(_const_eval(expr.index, env))]
+    raise DSLError(f"expression is not constant: {expr!r}")
+
+
+def _lower_expr(expr: ast.Expr, consts: dict) -> N.Expr:
+    """Lower a work-body expression to IR, folding parameter names."""
+    if isinstance(expr, ast.Num):
+        return N.Const(expr.value)
+    if isinstance(expr, ast.Name):
+        if expr.ident in consts:
+            return N.Const(consts[expr.ident])
+        return N.Var(expr.ident)
+    if isinstance(expr, ast.BinOp):
+        return N.Bin(expr.op, _lower_expr(expr.left, consts),
+                     _lower_expr(expr.right, consts))
+    if isinstance(expr, ast.UnOp):
+        if expr.op == "-":
+            return N.Un("-", _lower_expr(expr.operand, consts))
+        return N.Un("!", _lower_expr(expr.operand, consts))
+    if isinstance(expr, ast.CallExpr):
+        if expr.fn not in _INTRINSICS:
+            raise DSLError(f"unknown function {expr.fn!r} in work body")
+        return N.Call(expr.fn,
+                      tuple(_lower_expr(a, consts) for a in expr.args))
+    if isinstance(expr, ast.IndexExpr):
+        return N.Index(expr.base, _lower_expr(expr.index, consts))
+    if isinstance(expr, ast.PeekExpr):
+        return N.Peek(_lower_expr(expr.index, consts))
+    if isinstance(expr, ast.PopExpr):
+        return N.Pop()
+    raise DSLError(f"cannot lower expression {expr!r}")
+
+
+def _lower_stmt(stmt: ast.Stmt, consts: dict) -> N.Stmt:
+    if isinstance(stmt, ast.VarDecl):
+        size = None
+        if stmt.size is not None:
+            size = int(_const_eval(stmt.size, consts))
+        init = _lower_expr(stmt.init, consts) if stmt.init is not None \
+            else None
+        return N.Decl(stmt.name, stmt.ty, size, init)
+    if isinstance(stmt, ast.AssignStmt):
+        target = _lower_expr(stmt.target, consts)
+        if not isinstance(target, (N.Var, N.Index)):
+            raise DSLError("assignment to a constant parameter")
+        value = _lower_expr(stmt.value, consts)
+        if stmt.op != "=":
+            value = N.Bin(_COMPOUND_OPS[stmt.op], target, value)
+        return N.Assign(target, value)
+    if isinstance(stmt, ast.PushStmt):
+        return N.PushS(_lower_expr(stmt.value, consts))
+    if isinstance(stmt, ast.PopStmt):
+        return N.PopS()
+    if isinstance(stmt, ast.ExprStmt):
+        expr = _lower_expr(stmt.expr, consts)
+        if isinstance(expr, N.Pop):
+            return N.PopS()
+        raise DSLError("expression statements other than pop() are "
+                       "side-effect free")
+    if isinstance(stmt, ast.IfStmt):
+        return N.If(_lower_expr(stmt.cond, consts),
+                    tuple(_lower_stmt(s, consts) for s in stmt.then),
+                    tuple(_lower_stmt(s, consts) for s in stmt.orelse))
+    if isinstance(stmt, ast.ForStmt):
+        return N.For(stmt.var,
+                     _lower_expr(stmt.start, consts),
+                     _lower_expr(stmt.stop, consts),
+                     tuple(_lower_stmt(s, consts) for s in stmt.body),
+                     _lower_expr(stmt.step, consts))
+    raise DSLError(f"statement {type(stmt).__name__} not allowed in a "
+                   f"work body")
+
+
+class _VoidChannel(Channel):
+    def push(self, v):
+        raise DSLError("init blocks cannot push")
+
+    def pop(self):
+        raise DSLError("init blocks cannot pop")
+
+    def peek(self, i):
+        raise DSLError("init blocks cannot peek")
+
+
+class Elaborator:
+    """Instantiates streams from a parsed Program."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self._gensym = 0
+
+    def instantiate(self, name: str, *args) -> Stream:
+        decl = self.program.decls.get(name)
+        if decl is None:
+            raise DSLError(f"unknown stream {name!r}")
+        params = decl.params
+        if len(args) != len(params):
+            raise DSLError(
+                f"{name} expects {len(params)} arguments, got {len(args)}")
+        env = {}
+        for param, arg in zip(params, args):
+            if param.size is not None or isinstance(arg, (list, np.ndarray)):
+                env[param.name] = np.asarray(arg, dtype=float)
+            elif param.ty == "int":
+                env[param.name] = int(arg)
+            else:
+                env[param.name] = float(arg)
+        if isinstance(decl, ast.FilterDecl):
+            return self._elaborate_filter(decl, env)
+        return self._elaborate_composite(decl, env)
+
+    # -- filters ------------------------------------------------------
+    def _elaborate_filter(self, decl: ast.FilterDecl, env: dict) -> Filter:
+        # 1. build the field store and run init in the interpreter
+        fields: dict = {}
+        scalar_consts = {k: v for k, v in env.items()
+                         if isinstance(v, (int, float))}
+        for fd in decl.fields:
+            if fd.size is not None:
+                size = int(_const_eval(fd.size, scalar_consts))
+                fields[fd.name] = (np.zeros(size) if fd.ty == "float"
+                                   else np.zeros(size, dtype=int))
+            elif fd.init is not None:
+                v = _const_eval(fd.init, {**scalar_consts, **fields})
+                fields[fd.name] = float(v) if fd.ty == "float" else int(v)
+            else:
+                fields[fd.name] = 0.0 if fd.ty == "float" else 0
+        # array parameters become coefficient fields
+        for k, v in env.items():
+            if isinstance(v, np.ndarray):
+                fields[k] = v.copy()
+        if decl.init:
+            init_ir = tuple(_lower_stmt(s, scalar_consts)
+                            for s in decl.init)
+            interp = Interpreter(fields, NullProfiler())
+            wf = N.WorkFunction(0, 0, 0, init_ir)
+            interp.run(wf, _VoidChannel(), _VoidChannel())
+        # 2. lower work functions
+        work = prework = None
+        for wd in decl.works:
+            rates = {}
+            for which, expr in (("peek", wd.peek), ("pop", wd.pop),
+                                ("push", wd.push)):
+                rates[which] = 0 if expr is None else \
+                    int(_const_eval(expr, scalar_consts))
+            if wd.peek is None:
+                rates["peek"] = rates["pop"]
+            body = tuple(_lower_stmt(s, scalar_consts) for s in wd.body)
+            wf = N.WorkFunction(max(rates["peek"], rates["pop"]),
+                                rates["pop"], rates["push"], body)
+            if wd.kind == "work":
+                work = wf
+            else:
+                prework = wf
+        if work is None:
+            raise DSLError(f"filter {decl.name} has no steady work")
+        mutable = N.assigned_names(work.body) & set(fields)
+        if prework is not None:
+            mutable |= N.assigned_names(prework.body) & set(fields)
+        return Filter(decl.name, work, prework, fields,
+                      frozenset(mutable))
+
+    # -- composites -----------------------------------------------------
+    def _elaborate_composite(self, decl: ast.CompositeDecl,
+                             env: dict) -> Stream:
+        children: list[Stream] = []
+        splitter = None
+        join_weights = None
+        body_stream = None
+        loop_stream = None
+        enqueued: list[float] = []
+        scalars = dict(env)
+
+        def run_body(stmts):
+            nonlocal splitter, join_weights, body_stream, loop_stream
+            for stmt in stmts:
+                if isinstance(stmt, ast.AddStmt):
+                    args = [_const_eval(a, scalars) for a in stmt.args]
+                    children.append(self.instantiate(stmt.stream, *args))
+                elif isinstance(stmt, ast.SplitDecl):
+                    if stmt.kind == "duplicate":
+                        splitter = Duplicate()
+                    else:
+                        splitter = RoundRobin(tuple(
+                            int(_const_eval(w, scalars))
+                            for w in stmt.weights) or (1,))
+                elif isinstance(stmt, ast.JoinDecl):
+                    join_weights = tuple(int(_const_eval(w, scalars))
+                                         for w in stmt.weights) or (1,)
+                elif isinstance(stmt, ast.BodyDecl):
+                    args = [_const_eval(a, scalars) for a in stmt.args]
+                    body_stream = self.instantiate(stmt.stream, *args)
+                elif isinstance(stmt, ast.LoopDecl):
+                    args = [_const_eval(a, scalars) for a in stmt.args]
+                    loop_stream = self.instantiate(stmt.stream, *args)
+                elif isinstance(stmt, ast.EnqueueStmt):
+                    enqueued.append(float(_const_eval(stmt.value, scalars)))
+                elif isinstance(stmt, ast.ForStmt):
+                    i = _const_eval(stmt.start, scalars)
+                    step = _const_eval(stmt.step, scalars)
+                    while (i < _const_eval(stmt.stop, scalars)
+                           if step > 0 else
+                           i > _const_eval(stmt.stop, scalars)):
+                        scalars[stmt.var] = i
+                        run_body(stmt.body)
+                        i = scalars[stmt.var] + step
+                    scalars[stmt.var] = i
+                elif isinstance(stmt, ast.IfStmt):
+                    if _const_eval(stmt.cond, scalars):
+                        run_body(stmt.then)
+                    else:
+                        run_body(stmt.orelse)
+                elif isinstance(stmt, ast.VarDecl):
+                    v = _const_eval(stmt.init, scalars) \
+                        if stmt.init is not None else 0
+                    scalars[stmt.name] = int(v) if stmt.ty == "int" \
+                        else float(v)
+                elif isinstance(stmt, ast.AssignStmt):
+                    if not isinstance(stmt.target, ast.Name):
+                        raise DSLError("structural assignment must be to a "
+                                       "scalar")
+                    v = _const_eval(stmt.value, scalars)
+                    if stmt.op != "=":
+                        base = scalars[stmt.target.ident]
+                        v = _const_eval(
+                            ast.BinOp(_COMPOUND_OPS[stmt.op],
+                                      ast.Num(base), ast.Num(v)), {})
+                    scalars[stmt.target.ident] = v
+                else:
+                    raise DSLError(
+                        f"{type(stmt).__name__} not allowed in a "
+                        f"{decl.kind} body")
+
+        run_body(decl.body)
+
+        if decl.kind == "pipeline":
+            if not children:
+                raise DSLError(f"pipeline {decl.name} adds no streams")
+            return Pipeline(children, name=decl.name)
+        if decl.kind == "splitjoin":
+            if splitter is None or join_weights is None:
+                raise DSLError(
+                    f"splitjoin {decl.name} needs split and join")
+            if len(join_weights) == 1 and len(children) > 1:
+                join_weights = tuple([join_weights[0]] * len(children))
+            if isinstance(splitter, RoundRobin) and \
+                    len(splitter.weights) == 1 and len(children) > 1:
+                splitter = RoundRobin(
+                    tuple([splitter.weights[0]] * len(children)))
+            return SplitJoin(splitter, children, RoundRobin(join_weights),
+                             name=decl.name)
+        # feedbackloop
+        if body_stream is None or loop_stream is None or \
+                join_weights is None or splitter is None:
+            raise DSLError(f"feedbackloop {decl.name} needs join, body, "
+                           f"loop and split")
+        if isinstance(splitter, Duplicate):
+            raise DSLError("feedbackloop splitter must be roundrobin")
+        return FeedbackLoop(body_stream, loop_stream,
+                            RoundRobin(join_weights),
+                            RoundRobin(splitter.weights), enqueued,
+                            name=decl.name)
+
+
+def compile_source(source: str, top: str | None = None, *args) -> Stream:
+    """Parse + elaborate DSL source; instantiate ``top`` (or the last
+    declared stream) with ``args``."""
+    program = parse(source)
+    if not program.order:
+        raise DSLError("no stream declarations found")
+    elab = Elaborator(program)
+    return elab.instantiate(top if top is not None else program.order[-1],
+                            *args)

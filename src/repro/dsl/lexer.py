@@ -1,0 +1,124 @@
+"""Lexer for the mini-StreamIt DSL.
+
+Tokenizes a StreamIt-like surface syntax (thesis §2.1, Figure 2-2):
+stream declarations, filter work functions with push/pop/peek, pipelines,
+splitjoins and feedbackloops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DSLError
+
+KEYWORDS = frozenset({
+    "filter", "pipeline", "splitjoin", "feedbackloop",
+    "work", "prework", "init", "add", "split", "join", "body", "loop",
+    "enqueue", "duplicate", "roundrobin",
+    "push", "pop", "peek",
+    "float", "int", "void", "boolean",
+    "for", "if", "else", "while", "return", "true", "false", "pi",
+})
+
+#: multi-character operators, longest first
+OPERATORS = [
+    "->", "++", "--", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=",
+    "&&", "||", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind}:{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg):
+        raise DSLError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            for ch in source[i:end + 2]:
+                if ch == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # numbers
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        error("malformed number")
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            tokens.append(Token("float" if is_float else "int", text,
+                                line, col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        # operators
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

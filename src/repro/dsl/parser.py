@@ -1,0 +1,396 @@
+"""Recursive-descent parser for the mini-StreamIt DSL."""
+
+from __future__ import annotations
+
+from ..errors import DSLError
+from . import ast
+from .lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
+
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str):
+        t = self.cur
+        raise DSLError(f"{msg} (found {t.kind} {t.text!r})", t.line, t.col)
+
+    def advance(self) -> Token:
+        t = self.cur
+        self.pos += 1
+        return t
+
+    def accept(self, text: str) -> bool:
+        if self.cur.text == text and self.cur.kind in ("op", "keyword"):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if self.cur.text != text:
+            self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != "ident":
+            self.error("expected identifier")
+        return self.advance().text
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.cur.kind != "eof":
+            decl = self.parse_stream_decl()
+            if decl.name in program.decls:
+                self.error(f"duplicate stream {decl.name!r}")
+            program.decls[decl.name] = decl
+            program.order.append(decl.name)
+        return program
+
+    def parse_type(self) -> tuple[str, ast.Expr | None]:
+        if self.cur.text not in ("float", "int", "void", "boolean"):
+            self.error("expected a type")
+        ty = self.advance().text
+        size = None
+        if self.accept("["):
+            size = self.parse_expr()
+            self.expect("]")
+        return ty, size
+
+    def parse_stream_decl(self):
+        self.parse_type()  # input type (unchecked beyond syntax)
+        self.expect("->")
+        self.parse_type()  # output type
+        kind = self.cur.text
+        if kind not in ("filter", "pipeline", "splitjoin", "feedbackloop"):
+            self.error("expected filter/pipeline/splitjoin/feedbackloop")
+        self.advance()
+        name = self.expect_ident()
+        params = self.parse_params()
+        if kind == "filter":
+            return self.parse_filter_body(name, params)
+        return self.parse_composite_body(kind, name, params)
+
+    def parse_params(self) -> tuple[ast.Param, ...]:
+        params = []
+        if self.accept("("):
+            while not self.accept(")"):
+                ty, size = self.parse_type()
+                pname = self.expect_ident()
+                params.append(ast.Param(ty, size, pname))
+                if self.cur.text != ")":
+                    self.expect(",")
+        return tuple(params)
+
+    # -- filters ----------------------------------------------------------
+    def parse_filter_body(self, name, params) -> ast.FilterDecl:
+        self.expect("{")
+        fields: list[ast.FieldDecl] = []
+        init: tuple[ast.Stmt, ...] = ()
+        works: list[ast.WorkDecl] = []
+        while not self.accept("}"):
+            if self.cur.text == "init":
+                self.advance()
+                init = self.parse_block()
+            elif self.cur.text in ("work", "prework"):
+                works.append(self.parse_work())
+            elif self.cur.text in ("float", "int", "boolean"):
+                ty, size = self.parse_type()
+                fname = self.expect_ident()
+                finit = self.parse_expr() if self.accept("=") else None
+                self.expect(";")
+                fields.append(ast.FieldDecl(ty, size, fname, finit))
+            else:
+                self.error("expected field, init, work or prework")
+        if not works:
+            self.error(f"filter {name!r} has no work function")
+        return ast.FilterDecl(name, params, tuple(fields), init,
+                              tuple(works))
+
+    def parse_work(self) -> ast.WorkDecl:
+        kind = self.advance().text
+        peek = pop = push = None
+        while self.cur.text in ("push", "pop", "peek"):
+            which = self.advance().text
+            rate = self.parse_unary()
+            if which == "push":
+                push = rate
+            elif which == "pop":
+                pop = rate
+            else:
+                peek = rate
+        body = self.parse_block()
+        return ast.WorkDecl(kind, peek, pop, push, body)
+
+    # -- statements -------------------------------------------------------
+    def parse_block(self) -> tuple[ast.Stmt, ...]:
+        self.expect("{")
+        stmts = []
+        while not self.accept("}"):
+            stmts.append(self.parse_stmt())
+        return tuple(stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        t = self.cur
+        if t.text in ("float", "int", "boolean"):
+            ty, size = self.parse_type()
+            name = self.expect_ident()
+            init = self.parse_expr() if self.accept("=") else None
+            self.expect(";")
+            return ast.VarDecl("int" if ty == "boolean" else ty,
+                               size, name, init)
+        if t.text == "push":
+            self.advance()
+            self.expect("(")
+            value = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.PushStmt(value)
+        if t.text == "pop":
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            self.expect(";")
+            return ast.PopStmt()
+        if t.text == "if":
+            return self.parse_if()
+        if t.text == "for":
+            return self.parse_for()
+        if t.text == "add":
+            self.advance()
+            stream, args = self.parse_stream_ref()
+            self.expect(";")
+            return ast.AddStmt(stream, args)
+        if t.text == "split":
+            self.advance()
+            if self.accept("duplicate"):
+                decl = ast.SplitDecl("duplicate", ())
+            else:
+                self.expect("roundrobin")
+                decl = ast.SplitDecl("roundrobin", self.parse_arg_list())
+            self.expect(";")
+            return decl
+        if t.text == "join":
+            self.advance()
+            self.expect("roundrobin")
+            weights = self.parse_arg_list()
+            self.expect(";")
+            return ast.JoinDecl(weights)
+        if t.text == "body":
+            self.advance()
+            stream, args = self.parse_stream_ref()
+            self.expect(";")
+            return ast.BodyDecl(stream, args)
+        if t.text == "loop":
+            self.advance()
+            stream, args = self.parse_stream_ref()
+            self.expect(";")
+            return ast.LoopDecl(stream, args)
+        if t.text == "enqueue":
+            self.advance()
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.EnqueueStmt(value)
+        # assignment or bare expression
+        expr = self.parse_expr()
+        if self.cur.text in _ASSIGN_OPS:
+            op = self.advance().text
+            if not isinstance(expr, (ast.Name, ast.IndexExpr)):
+                self.error("invalid assignment target")
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.AssignStmt(expr, op, value)
+        if self.cur.text in ("++", "--"):
+            op = self.advance().text
+            if not isinstance(expr, (ast.Name, ast.IndexExpr)):
+                self.error("invalid increment target")
+            self.expect(";")
+            delta = ast.Num(1) if op == "++" else ast.Num(-1)
+            return ast.AssignStmt(expr, "+=", delta)
+        self.expect(";")
+        return ast.ExprStmt(expr)
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block() if self.cur.text == "{" \
+            else (self.parse_stmt(),)
+        orelse: tuple[ast.Stmt, ...] = ()
+        if self.accept("else"):
+            orelse = self.parse_block() if self.cur.text == "{" \
+                else (self.parse_stmt(),)
+        return ast.IfStmt(cond, then, orelse)
+
+    def parse_for(self) -> ast.ForStmt:
+        self.expect("for")
+        self.expect("(")
+        # init: 'int i = e' or 'i = e'
+        if self.cur.text == "int":
+            self.advance()
+        var = self.expect_ident()
+        self.expect("=")
+        start = self.parse_expr()
+        self.expect(";")
+        # cond: i < e | i <= e | i > e | i >= e
+        cvar = self.expect_ident()
+        if cvar != var:
+            self.error("for-loop condition must test the loop variable")
+        rel = self.advance().text
+        bound = self.parse_expr()
+        if rel == "<":
+            stop = bound
+        elif rel == "<=":
+            stop = ast.BinOp("+", bound, ast.Num(1))
+        elif rel == ">":
+            stop = bound
+        elif rel == ">=":
+            stop = ast.BinOp("-", bound, ast.Num(1))
+        else:
+            self.error("unsupported for-loop condition")
+        self.expect(";")
+        # update: i++ | i-- | i += e | i = i + e
+        uvar = self.expect_ident()
+        if uvar != var:
+            self.error("for-loop update must modify the loop variable")
+        if self.accept("++"):
+            step: ast.Expr = ast.Num(1)
+        elif self.accept("--"):
+            step = ast.Num(-1)
+        elif self.accept("+="):
+            step = self.parse_expr()
+        elif self.accept("="):
+            lhs = self.parse_expr()
+            if (isinstance(lhs, ast.BinOp) and lhs.op == "+"
+                    and isinstance(lhs.left, ast.Name)
+                    and lhs.left.ident == var):
+                step = lhs.right
+            else:
+                self.error("unsupported for-loop update")
+        else:
+            self.error("unsupported for-loop update")
+        self.expect(")")
+        body = self.parse_block() if self.cur.text == "{" \
+            else (self.parse_stmt(),)
+        return ast.ForStmt(var, start, stop, step, body)
+
+    def parse_stream_ref(self) -> tuple[str, tuple[ast.Expr, ...]]:
+        name = self.expect_ident()
+        args: tuple[ast.Expr, ...] = ()
+        if self.cur.text == "(":
+            args = self.parse_arg_list()
+        return name, args
+
+    def parse_arg_list(self) -> tuple[ast.Expr, ...]:
+        self.expect("(")
+        args = []
+        while not self.accept(")"):
+            args.append(self.parse_expr())
+            if self.cur.text != ")":
+                self.expect(",")
+        return tuple(args)
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance().text
+            right = self.parse_expr(level + 1)
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept("-"):
+            return ast.UnOp("-", self.parse_unary())
+        if self.accept("!"):
+            return ast.UnOp("!", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.cur.text == "[":
+            if not isinstance(expr, ast.Name):
+                self.error("only plain arrays can be indexed")
+            self.advance()
+            index = self.parse_expr()
+            self.expect("]")
+            expr = ast.IndexExpr(expr.ident, index)
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            return ast.Num(int(t.text))
+        if t.kind == "float":
+            self.advance()
+            return ast.Num(float(t.text))
+        if t.text == "pi":
+            self.advance()
+            import math
+
+            return ast.Num(math.pi)
+        if t.text == "true":
+            self.advance()
+            return ast.Num(1)
+        if t.text == "false":
+            self.advance()
+            return ast.Num(0)
+        if t.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if t.text == "peek":
+            self.advance()
+            self.expect("(")
+            index = self.parse_expr()
+            self.expect(")")
+            return ast.PeekExpr(index)
+        if t.text == "pop":
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            return ast.PopExpr()
+        if t.kind == "ident":
+            name = self.advance().text
+            if self.cur.text == "(":
+                args = self.parse_arg_list()
+                return ast.CallExpr(name, args)
+            return ast.Name(name)
+        self.error("expected an expression")
+
+    # -- composites ---------------------------------------------------------
+    def parse_composite_body(self, kind, name, params) -> ast.CompositeDecl:
+        body = self.parse_block()
+        return ast.CompositeDecl(kind, name, params, body)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL source text into a Program AST."""
+    return Parser(source).parse_program()

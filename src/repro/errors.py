@@ -1,0 +1,47 @@
+"""Shared exception types for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StreamGraphError(ReproError):
+    """A stream graph is malformed (bad rates, unbalanced splitjoin, ...)."""
+
+
+class SchedulingError(ReproError):
+    """No valid steady-state schedule exists for a stream graph."""
+
+
+class IRError(ReproError):
+    """Malformed IR or an IR construct used out of context."""
+
+
+class InterpError(ReproError):
+    """Runtime failure while interpreting work-function IR."""
+
+
+class NonLinearError(ReproError):
+    """Raised internally by linear extraction when a filter is not linear.
+
+    Carries a human-readable ``reason`` used for diagnostics.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CombinationError(ReproError):
+    """A structural linear combination rule could not be applied."""
+
+
+class DSLError(ReproError):
+    """Lexing/parsing/elaboration failure in the textual mini-StreamIt DSL."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        loc = f" at line {line}" if line is not None else ""
+        loc += f", col {col}" if col is not None else ""
+        super().__init__(message + loc)
+        self.line = line
+        self.col = col

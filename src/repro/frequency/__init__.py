@@ -1,0 +1,14 @@
+"""Frequency-domain replacement: FFT library and overlap-save filters."""
+
+from .fftlib import (CountedRadix2FFT, FrequencyKernel, fft_size_for,
+                     fftw_counts, next_power_of_two, simple_fft_counts)
+from .filters import (Decimator, NaiveFreqFilter, OptimizedFreqFilter,
+                      make_frequency_stream)
+from .replacer import maximal_frequency_replacement
+
+__all__ = [
+    "CountedRadix2FFT", "simple_fft_counts", "fftw_counts", "fft_size_for",
+    "next_power_of_two", "FrequencyKernel",
+    "Decimator", "NaiveFreqFilter", "OptimizedFreqFilter",
+    "make_frequency_stream", "maximal_frequency_replacement",
+]

@@ -1,0 +1,93 @@
+"""Graphviz export of stream graphs.
+
+The thesis' Appendix B shows stream graphs rendered by the StreamIt
+compiler, with linear filters and linear containers highlighted.  This
+module emits the same kind of figure as Graphviz ``dot`` text: filters
+as boxes (blue when linear), containers as clusters (pink when the whole
+container is linear), splitters/joiners as small ellipses.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..linear.combine import LinearityMap, analyze
+from .streams import (FeedbackLoop, Filter, Pipeline, PrimitiveFilter,
+                      SplitJoin, Stream)
+
+
+def to_dot(stream: Stream, lmap: LinearityMap | None = None,
+           title: str = "stream") -> str:
+    """Render ``stream`` as Graphviz dot text (Appendix-B style)."""
+    if lmap is None:
+        lmap = analyze(stream)
+    lines = [f'digraph "{title}" {{', "  node [shape=box];"]
+    counter = count()
+
+    def fresh(prefix: str) -> str:
+        return f"{prefix}_{next(counter)}"
+
+    def emit(s: Stream, depth: int) -> tuple[str, str]:
+        """Emit nodes/edges for ``s``; return (entry, exit) node names."""
+        pad = "  " * (depth + 1)
+        if isinstance(s, (Filter, PrimitiveFilter)):
+            name = fresh("f")
+            color = ' style=filled fillcolor="lightblue"' \
+                if lmap.is_linear(s) else ""
+            rates = ""
+            if hasattr(s, "peek"):
+                rates = f"\\npeek {s.peek} pop {s.pop} push {s.push}"
+            lines.append(f'{pad}{name} [label="{s.name}{rates}"{color}];')
+            return name, name
+        cluster = fresh("cluster")
+        fill = ' style=filled color="pink"' if lmap.is_linear(s) \
+            else ' color="gray"'
+        lines.append(f"{pad}subgraph {cluster} {{")
+        lines.append(f'{pad}  label="{s.name}";{fill.replace(" style=filled", "")}')
+        if isinstance(s, Pipeline):
+            first = last = None
+            for child in s.children:
+                entry, exit_ = emit(child, depth + 1)
+                if last is not None:
+                    lines.append(f"{pad}  {last} -> {entry};")
+                if first is None:
+                    first = entry
+                last = exit_
+            lines.append(f"{pad}}}")
+            return first, last
+        if isinstance(s, SplitJoin):
+            split = fresh("split")
+            join = fresh("join")
+            lines.append(
+                f'{pad}  {split} [label="{s.splitter}" shape=ellipse];')
+            lines.append(
+                f'{pad}  {join} [label="join {s.joiner}" shape=ellipse];')
+            for child in s.children:
+                entry, exit_ = emit(child, depth + 1)
+                lines.append(f"{pad}  {split} -> {entry};")
+                lines.append(f"{pad}  {exit_} -> {join};")
+            lines.append(f"{pad}}}")
+            return split, join
+        if isinstance(s, FeedbackLoop):
+            join = fresh("join")
+            split = fresh("split")
+            lines.append(
+                f'{pad}  {join} [label="join {s.joiner}" shape=ellipse];')
+            lines.append(
+                f'{pad}  {split} [label="split {s.splitter}" '
+                f"shape=ellipse];")
+            b_in, b_out = emit(s.body, depth + 1)
+            l_in, l_out = emit(s.loop, depth + 1)
+            lines.append(f"{pad}  {join} -> {b_in};")
+            lines.append(f"{pad}  {b_out} -> {split};")
+            lines.append(f"{pad}  {split} -> {l_in} [style=dashed];")
+            lines.append(
+                f"{pad}  {l_out} -> {join} [style=dashed "
+                f'label="enqueue {len(s.enqueued)}"];')
+            lines.append(f"{pad}}}")
+            return join, split
+        raise TypeError(f"unknown stream {s!r}")
+
+    emit(stream, 0)
+    lines.append("}")
+    return "\n".join(lines)

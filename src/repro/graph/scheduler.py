@@ -1,0 +1,198 @@
+"""Steady-state scheduling of stream graphs.
+
+StreamIt leverages compile-time-constant I/O rates to compute a *steady
+state*: an integer multiplicity for every node such that each execution of
+the schedule leaves every channel's occupancy unchanged (thesis §3.3.1,
+citing Karczmarek).  We solve the balance equations with exact rational
+arithmetic and normalize to the smallest integer solution.
+
+The result is used by the executor (to pace sources), by linear splitjoin
+combination (``joinRep``/``rep_k``), and by the optimization selector
+(``executionsPerSteadyState``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import SchedulingError
+from .streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                      PrimitiveFilter, RoundRobin, SplitJoin, Stream)
+
+
+@dataclass
+class SteadyState:
+    """Steady-state rates of a stream plus per-descendant multiplicities.
+
+    ``pop``/``push`` are the items the stream consumes/produces per steady
+    execution; ``mult`` maps every descendant stream object (by identity)
+    to its firings per steady execution — containers included, where a
+    container's multiplicity counts executions of *its own* steady state.
+    """
+
+    pop: int
+    push: int
+    mult: dict[int, int]
+    streams: dict[int, Stream]
+
+    def multiplicity(self, stream: Stream) -> int:
+        return self.mult[id(stream)]
+
+
+def _leaf_rates(stream) -> tuple[int, int]:
+    if isinstance(stream, Filter):
+        return stream.pop, stream.push
+    if isinstance(stream, PrimitiveFilter):
+        return stream.pop, stream.push
+    raise TypeError(stream)
+
+
+def _lcm(values):
+    out = 1
+    for v in values:
+        out = out * v // math.gcd(out, v)
+    return out
+
+
+def _normalize(fracs: list[Fraction]) -> list[int]:
+    """Scale positive rationals to the smallest integer vector."""
+    denom = _lcm([f.denominator for f in fracs])
+    ints = [int(f * denom) for f in fracs]
+    g = 0
+    for v in ints:
+        g = math.gcd(g, v)
+    if g > 1:
+        ints = [v // g for v in ints]
+    return ints
+
+
+def _solve(stream: Stream) -> tuple[Fraction, Fraction, dict[int, Fraction],
+                                    dict[int, Stream]]:
+    """Return (pop, push, relative multiplicities, stream registry)."""
+    if isinstance(stream, (Filter, PrimitiveFilter)):
+        o, u = _leaf_rates(stream)
+        return (Fraction(o), Fraction(u), {id(stream): Fraction(1)},
+                {id(stream): stream})
+
+    if isinstance(stream, Pipeline):
+        mult: dict[int, Fraction] = {}
+        registry: dict[int, Stream] = {id(stream): stream}
+        child_io = []
+        for child in stream.children:
+            o, u, m, reg = _solve(child)
+            child_io.append((child, o, u, m))
+            registry.update(reg)
+        # chain multiplicities: m_i * u_i == m_{i+1} * o_{i+1}
+        m_cur = Fraction(1)
+        scales = []
+        for i, (child, o, u, m) in enumerate(child_io):
+            if i > 0:
+                prev_u = child_io[i - 1][2] * scales[-1]
+                if o == 0:
+                    raise SchedulingError(
+                        f"{child.name} consumes nothing mid-pipeline")
+                m_cur = prev_u / o
+            scales.append(m_cur)
+        for (child, o, u, m), scale in zip(child_io, scales):
+            for k, v in m.items():
+                mult[k] = v * scale
+            mult[id(child)] = mult.get(id(child), scale)
+        mult[id(stream)] = Fraction(1)
+        pop = child_io[0][1] * scales[0]
+        push = child_io[-1][2] * scales[-1]
+        return pop, push, mult, registry
+
+    if isinstance(stream, SplitJoin):
+        mult: dict[int, Fraction] = {}
+        registry: dict[int, Stream] = {id(stream): stream}
+        solved = []
+        for child in stream.children:
+            o, u, m, reg = _solve(child)
+            solved.append((child, o, u, m))
+            registry.update(reg)
+        w = stream.joiner.weights
+        # joiner constraint: scale_k * u_k == w_k * joinRep ; set joinRep = 1
+        scales = []
+        for (child, o, u, m), wk in zip(solved, w):
+            if u == 0:
+                raise SchedulingError(
+                    f"splitjoin child {child.name} pushes nothing")
+            scales.append(Fraction(wk) / u)
+        # splitter consistency
+        if isinstance(stream.splitter, Duplicate):
+            pops = {scale * o for (child, o, u, m), scale in
+                    zip(solved, scales) if o != 0}
+            if len(pops) > 1:
+                raise SchedulingError(
+                    f"splitjoin {stream.name}: duplicate splitter children "
+                    f"consume at different rates {sorted(pops)}")
+            pop = pops.pop() if pops else Fraction(0)
+        else:
+            v = stream.splitter.weights
+            split_reps = {scale * o / vk
+                          for (child, o, u, m), scale, vk in
+                          zip(solved, scales, v) if vk != 0}
+            if len(split_reps) > 1:
+                raise SchedulingError(
+                    f"splitjoin {stream.name}: roundrobin splitter rates "
+                    f"are inconsistent")
+            split_rep = split_reps.pop() if split_reps else Fraction(0)
+            pop = split_rep * sum(v)
+        push = Fraction(sum(w))  # joinRep == 1
+        for (child, o, u, m), scale in zip(solved, scales):
+            for k, val in m.items():
+                mult[k] = val * scale
+            mult[id(child)] = mult.get(id(child), scale)
+        mult[id(stream)] = Fraction(1)
+        return pop, push, mult, registry
+
+    if isinstance(stream, FeedbackLoop):
+        ob, ub, mb, regb = _solve(stream.body)
+        ol, ul, ml, regl = _solve(stream.loop)
+        w_in, w_fb = stream.joiner.weights
+        w_out, w_fb2 = stream.splitter.weights
+        body_scale = Fraction(1)
+        join_rep = body_scale * ob / (w_in + w_fb)
+        split_rep = body_scale * ub / (w_out + w_fb2)
+        if ol == 0 or ul == 0:
+            raise SchedulingError("feedback loop stream must pass data")
+        loop_scale = split_rep * w_fb2 / ol
+        if loop_scale * ul != join_rep * w_fb:
+            raise SchedulingError(
+                f"feedbackloop {stream.name}: loop path rates inconsistent")
+        mult = {}
+        registry = {id(stream): stream}
+        registry.update(regb)
+        registry.update(regl)
+        for k, v in mb.items():
+            mult[k] = v * body_scale
+        for k, v in ml.items():
+            mult[k] = v * loop_scale
+        mult[id(stream.body)] = mult.get(id(stream.body), body_scale)
+        mult[id(stream.loop)] = mult.get(id(stream.loop), loop_scale)
+        mult[id(stream)] = Fraction(1)
+        return join_rep * w_in, split_rep * w_out, mult, registry
+
+    raise TypeError(f"cannot schedule {stream!r}")
+
+
+def steady_state(stream: Stream) -> SteadyState:
+    """Compute the minimal integer steady-state schedule of ``stream``."""
+    pop, push, mult, registry = _solve(stream)
+    keys = list(mult)
+    values = [mult[k] for k in keys]
+    # include I/O rates in the normalization so they stay integral
+    extra = [v for v in (pop, push) if v != 0]
+    ints = _normalize(values + extra)
+    scale = Fraction(ints[0], 1) / values[0] if values[0] != 0 else Fraction(1)
+    out = {k: int(v * scale) for k, v in mult.items()}
+    return SteadyState(pop=int(pop * scale), push=int(push * scale),
+                       mult=out, streams=registry)
+
+
+def container_io(stream: Stream) -> tuple[int, int]:
+    """(pop, push) of one steady execution of ``stream``."""
+    ss = steady_state(stream)
+    return ss.pop, ss.push

@@ -1,0 +1,280 @@
+"""Stream graph structures: filters, pipelines, splitjoins, feedbackloops.
+
+These mirror StreamIt's hierarchical stream constructs (thesis §2.1,
+Figure 2-1).  A *stream* is a filter, pipeline, splitjoin or feedbackloop;
+every stream has exactly one input and one output tape.
+
+Two kinds of leaf nodes exist:
+
+* :class:`Filter` — a work function written in the C-like IR; this is what
+  the linear extraction analysis consumes.
+* :class:`PrimitiveFilter` — a leaf implemented directly in Python (the
+  matrix-multiply filter, frequency filters, decimators, test sources and
+  sinks).  These are what the optimizing transformations *produce*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from ..errors import StreamGraphError
+from ..ir import nodes as N
+
+
+# ---------------------------------------------------------------------------
+# Splitters / joiners
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Duplicate:
+    """A duplicate splitter: every input item is copied to all children."""
+
+    def __str__(self):
+        return "duplicate"
+
+
+@dataclass(frozen=True)
+class RoundRobin:
+    """A weighted roundrobin splitter or joiner."""
+
+    weights: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.weights or any(w < 0 for w in self.weights):
+            raise StreamGraphError(f"bad roundrobin weights {self.weights}")
+
+    @property
+    def total(self) -> int:
+        return sum(self.weights)
+
+    def __str__(self):
+        return f"roundrobin({', '.join(map(str, self.weights))})"
+
+
+Splitter = Union[Duplicate, RoundRobin]
+
+
+def roundrobin(*weights: int) -> RoundRobin:
+    """Convenience constructor: ``roundrobin(2, 1)``; default weight is 1."""
+    return RoundRobin(tuple(weights) if weights else (1,))
+
+
+# ---------------------------------------------------------------------------
+# Streams
+# ---------------------------------------------------------------------------
+
+
+class Stream:
+    """Base class of all stream constructs."""
+
+    name: str
+
+    # Rates of one steady firing for leaves; containers aggregate via the
+    # scheduler.  Leaves override.
+    def pretty(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+class Filter(Stream):
+    """A leaf filter defined by work-function IR.
+
+    ``fields`` holds coefficient/state values (scalars or numpy arrays);
+    ``mutable_fields`` are those assigned during ``work`` — reads of these
+    are ⊤ for the linear extraction analysis (persistent state), while
+    immutable fields are compile-time constants.
+    """
+
+    def __init__(self, name: str, work: N.WorkFunction,
+                 prework: N.WorkFunction | None = None,
+                 fields: dict | None = None,
+                 mutable_fields: frozenset[str] = frozenset()):
+        self.name = name
+        self.work = work
+        self.prework = prework
+        self.fields = fields or {}
+        self.mutable_fields = mutable_fields
+
+    @property
+    def peek(self) -> int:
+        return self.work.peek
+
+    @property
+    def pop(self) -> int:
+        return self.work.pop
+
+    @property
+    def push(self) -> int:
+        return self.work.push
+
+    def pretty(self, indent: int = 0) -> str:
+        return ("  " * indent +
+                f"filter {self.name} (peek {self.peek} pop {self.pop} "
+                f"push {self.push})")
+
+    def __repr__(self):
+        return f"Filter({self.name})"
+
+
+class PrimitiveFilter(Stream):
+    """A leaf filter implemented directly in Python.
+
+    Subclasses define ``peek``/``pop``/``push`` (steady rates), optionally
+    ``init_peek``/``init_pop``/``init_push`` for a prework firing, and
+    :meth:`make_runner`, which returns an object with a
+    ``fire(ch_in, ch_out)`` method executing one firing.
+    """
+
+    peek: int
+    pop: int
+    push: int
+    init_peek: int | None = None
+    init_pop: int | None = None
+    init_push: int | None = None
+
+    def make_runner(self, profiler):
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        return ("  " * indent +
+                f"primitive {self.name} (peek {self.peek} pop {self.pop} "
+                f"push {self.push})")
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"
+
+
+class Pipeline(Stream):
+    """Serial composition of streams."""
+
+    def __init__(self, children: Sequence[Stream], name: str = "pipeline"):
+        children = tuple(children)
+        if not children:
+            raise StreamGraphError("pipeline must have at least one child")
+        self.children = children
+        self.name = name
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + f"pipeline {self.name} {{"]
+        lines += [c.pretty(indent + 1) for c in self.children]
+        lines.append("  " * indent + "}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Pipeline({self.name}, {len(self.children)} children)"
+
+
+class SplitJoin(Stream):
+    """Explicitly parallel composition: splitter, children, roundrobin joiner."""
+
+    def __init__(self, splitter: Splitter, children: Sequence[Stream],
+                 joiner: RoundRobin, name: str = "splitjoin"):
+        children = tuple(children)
+        if not children:
+            raise StreamGraphError("splitjoin must have at least one child")
+        if len(joiner.weights) != len(children):
+            raise StreamGraphError(
+                f"joiner has {len(joiner.weights)} weights for "
+                f"{len(children)} children")
+        if isinstance(splitter, RoundRobin) and \
+                len(splitter.weights) != len(children):
+            raise StreamGraphError(
+                f"splitter has {len(splitter.weights)} weights for "
+                f"{len(children)} children")
+        self.splitter = splitter
+        self.children = children
+        self.joiner = joiner
+        self.name = name
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + f"splitjoin {self.name} {{ split {self.splitter};"]
+        lines += [c.pretty(indent + 1) for c in self.children]
+        lines.append(pad + f"  join {self.joiner}; }}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"SplitJoin({self.name}, {len(self.children)} children)"
+
+
+class FeedbackLoop(Stream):
+    """A cycle: joiner -> body -> splitter, with ``loop`` on the back edge.
+
+    ``joiner.weights = (w_input, w_feedback)`` and
+    ``splitter.weights = (w_output, w_feedback)``; ``enqueued`` are initial
+    items placed on the feedback path entering the joiner.
+    """
+
+    def __init__(self, body: Stream, loop: Stream, joiner: RoundRobin,
+                 splitter: RoundRobin, enqueued: Sequence[float] = (),
+                 name: str = "feedbackloop"):
+        if len(joiner.weights) != 2 or len(splitter.weights) != 2:
+            raise StreamGraphError(
+                "feedbackloop joiner/splitter must have exactly 2 weights")
+        self.body = body
+        self.loop = loop
+        self.joiner = joiner
+        self.splitter = splitter
+        self.enqueued = tuple(float(v) for v in enqueued)
+        self.name = name
+
+    @property
+    def children(self) -> tuple[Stream, Stream]:
+        return (self.body, self.loop)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + f"feedbackloop {self.name} {{ join {self.joiner};"]
+        lines.append(self.body.pretty(indent + 1))
+        lines.append(pad + "  loop:")
+        lines.append(self.loop.pretty(indent + 1))
+        lines.append(pad + f"  split {self.splitter}; "
+                           f"enqueue {list(self.enqueued)}; }}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"FeedbackLoop({self.name})"
+
+
+# ---------------------------------------------------------------------------
+# Traversals / statistics
+# ---------------------------------------------------------------------------
+
+
+def walk(stream: Stream) -> Iterator[Stream]:
+    """Yield ``stream`` and all descendants, pre-order."""
+    yield stream
+    if isinstance(stream, (Pipeline, SplitJoin)):
+        for c in stream.children:
+            yield from walk(c)
+    elif isinstance(stream, FeedbackLoop):
+        yield from walk(stream.body)
+        yield from walk(stream.loop)
+
+
+def leaf_filters(stream: Stream) -> list[Stream]:
+    """All Filter/PrimitiveFilter leaves in the graph."""
+    return [s for s in walk(stream)
+            if isinstance(s, (Filter, PrimitiveFilter))]
+
+
+def construct_counts(stream: Stream) -> dict[str, int]:
+    """Count stream constructs by kind (for Table 5.2)."""
+    counts = {"filters": 0, "pipelines": 0, "splitjoins": 0,
+              "feedbackloops": 0}
+    for s in walk(stream):
+        if isinstance(s, (Filter, PrimitiveFilter)):
+            counts["filters"] += 1
+        elif isinstance(s, Pipeline):
+            counts["pipelines"] += 1
+        elif isinstance(s, SplitJoin):
+            counts["splitjoins"] += 1
+        elif isinstance(s, FeedbackLoop):
+            counts["feedbackloops"] += 1
+    return counts
+
+
+def pipeline(*children: Stream, name: str = "pipeline") -> Pipeline:
+    """Convenience constructor mirroring StreamIt's ``add`` syntax."""
+    return Pipeline(children, name=name)

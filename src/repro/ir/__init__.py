@@ -1,0 +1,12 @@
+"""The C-like work-function IR: nodes, builder, interpreter, codegen."""
+
+from . import nodes
+from .builder import EB, ArrayRef, FilterBuilder, call
+from .interp import Interpreter
+from .printer import expr_to_str, work_to_str
+from .pycodegen import compile_work
+
+__all__ = [
+    "nodes", "FilterBuilder", "EB", "ArrayRef", "call", "Interpreter",
+    "expr_to_str", "work_to_str", "compile_work",
+]

@@ -1,0 +1,353 @@
+"""Ergonomic construction of work-function IR from Python.
+
+Filters in the benchmark suite are authored through :class:`FilterBuilder`,
+which stages Python operator syntax into IR trees::
+
+    f = FilterBuilder('LowPassFilter', peek=N, pop=1, push=1)
+    h = f.const_array('h', coeffs)
+    with f.work():
+        s = f.local('sum', 0.0)
+        with f.loop('i', 0, N) as i:
+            f.assign(s, s + h[i] * f.peek(i))
+        f.push(s)
+        f.pop()
+    filt = f.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import IRError
+from . import nodes as N
+
+Number = Union[int, float]
+
+
+def _as_expr(v) -> N.Expr:
+    if isinstance(v, EB):
+        return v.node
+    if isinstance(v, N.Expr):
+        return v
+    if isinstance(v, bool):
+        return N.Const(int(v))
+    if isinstance(v, (int, np.integer)):
+        return N.Const(int(v))
+    if isinstance(v, (float, np.floating)):
+        return N.Const(float(v))
+    raise IRError(f"cannot convert {v!r} to an IR expression")
+
+
+class EB:
+    """Expression builder: wraps an IR expression with operator overloads."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: N.Expr):
+        self.node = node
+
+    # arithmetic ----------------------------------------------------------
+    def _bin(self, op, other, swap=False):
+        l, r = _as_expr(self), _as_expr(other)
+        if swap:
+            l, r = r, l
+        return EB(N.Bin(op, l, r))
+
+    def __add__(self, o):
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __rtruediv__(self, o):
+        return self._bin("/", o, swap=True)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __rmod__(self, o):
+        return self._bin("%", o, swap=True)
+
+    def __neg__(self):
+        return EB(N.Un("-", _as_expr(self)))
+
+    # comparisons ---------------------------------------------------------
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    def eq(self, o):
+        """Equality comparison (``==`` is kept as Python identity-free)."""
+        return self._bin("==", o)
+
+    def ne(self, o):
+        return self._bin("!=", o)
+
+    def logical_and(self, o):
+        return self._bin("&&", o)
+
+    def logical_or(self, o):
+        return self._bin("||", o)
+
+    def bit_and(self, o):
+        return self._bin("&", o)
+
+    def bit_or(self, o):
+        return self._bin("|", o)
+
+    def bit_xor(self, o):
+        return self._bin("^", o)
+
+    def shl(self, o):
+        return self._bin("<<", o)
+
+    def shr(self, o):
+        return self._bin(">>", o)
+
+
+class ArrayRef:
+    """Handle to a declared array; indexing yields element expressions."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __getitem__(self, index) -> EB:
+        return EB(N.Index(self.name, _as_expr(index)))
+
+
+def call(fn: str, *args) -> EB:
+    """Build a math-intrinsic call expression, e.g. ``call('sin', x)``."""
+    return EB(N.Call(fn, tuple(_as_expr(a) for a in args)))
+
+
+class _BodyCtx:
+    """Context manager that collects statements for one work function."""
+
+    def __init__(self, builder: "FilterBuilder", kind: str,
+                 rates: tuple[int, int, int]):
+        self._builder = builder
+        self._kind = kind
+        self._rates = rates
+
+    def __enter__(self):
+        self._builder._begin_body()
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            body = self._builder._end_body()
+            peek, pop, push = self._rates
+            wf = N.WorkFunction(peek=peek, pop=pop, push=push, body=body)
+            if self._kind == "work":
+                self._builder._work = wf
+            else:
+                self._builder._prework = wf
+        return False
+
+
+class _LoopCtx:
+    """Context manager for a counted loop body."""
+
+    def __init__(self, builder: "FilterBuilder", var: str, start, stop, step):
+        self._builder = builder
+        self._var = var
+        self._start = _as_expr(start)
+        self._stop = _as_expr(stop)
+        self._step = _as_expr(step)
+
+    def __enter__(self) -> EB:
+        self._builder._push_block()
+        return EB(N.Var(self._var))
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            body = self._builder._pop_block()
+            self._builder._emit(
+                N.For(self._var, self._start, self._stop, body, self._step))
+        return False
+
+
+class _IfCtx:
+    """Context manager pair for if/else bodies."""
+
+    def __init__(self, builder: "FilterBuilder", cond):
+        self._builder = builder
+        self._cond = _as_expr(cond)
+        self._then: tuple[N.Stmt, ...] | None = None
+
+    def __enter__(self):
+        self._builder._push_block()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            block = self._builder._pop_block()
+            if self._then is None:
+                self._then = block
+                self._builder._emit(N.If(self._cond, self._then, ()))
+            else:
+                # replace the If emitted at the end of the then-block
+                stmts = self._builder._current_block()
+                assert isinstance(stmts[-1], N.If)
+                stmts[-1] = N.If(self._cond, self._then, block)
+        return False
+
+    def otherwise(self) -> "_IfCtx":
+        """Open the else-branch: ``with cond_ctx.otherwise(): ...``"""
+        if self._then is None:
+            raise IRError("otherwise() before the if-body closed")
+        return self
+
+
+class FilterBuilder:
+    """Stage a StreamIt-style filter definition into IR.
+
+    Parameters mirror the StreamIt declaration ``work push u pop o peek e``.
+    ``const_array``/``const`` register coefficient fields whose values are
+    computed in Python (the moral equivalent of running ``init`` at
+    elaboration time); ``state``/``state_array`` register mutable fields.
+    """
+
+    def __init__(self, name: str, *, peek: int, pop: int, push: int):
+        self.name = name
+        self._rates = (peek, pop, push)
+        self._fields: dict[str, object] = {}
+        self._mutable: set[str] = set()
+        self._work: N.WorkFunction | None = None
+        self._prework: N.WorkFunction | None = None
+        self._blocks: list[list[N.Stmt]] | None = None
+
+    # field declaration ----------------------------------------------------
+    def const(self, name: str, value: Number) -> EB:
+        """Declare an immutable scalar coefficient field."""
+        self._fields[name] = float(value) if isinstance(value, float) else value
+        return EB(N.Var(name))
+
+    def const_array(self, name: str, values: Iterable[Number]) -> ArrayRef:
+        """Declare an immutable coefficient array field."""
+        self._fields[name] = np.asarray(list(values), dtype=float)
+        return ArrayRef(name)
+
+    def state(self, name: str, value: Number) -> EB:
+        """Declare a mutable scalar state field (marks the filter stateful)."""
+        self._fields[name] = value
+        self._mutable.add(name)
+        return EB(N.Var(name))
+
+    def state_array(self, name: str, values: Iterable[Number]) -> ArrayRef:
+        """Declare a mutable array state field."""
+        self._fields[name] = np.asarray(list(values), dtype=float)
+        self._mutable.add(name)
+        return ArrayRef(name)
+
+    # body construction ------------------------------------------------------
+    def work(self) -> _BodyCtx:
+        return _BodyCtx(self, "work", self._rates)
+
+    def prework(self, *, peek: int, pop: int, push: int) -> _BodyCtx:
+        """Define an ``initWork`` body with its own rates."""
+        return _BodyCtx(self, "prework", (peek, pop, push))
+
+    def _begin_body(self):
+        if self._blocks is not None:
+            raise IRError("nested work() bodies are not allowed")
+        self._blocks = [[]]
+
+    def _end_body(self) -> tuple[N.Stmt, ...]:
+        assert self._blocks is not None and len(self._blocks) == 1
+        body = tuple(self._blocks[0])
+        self._blocks = None
+        return body
+
+    def _push_block(self):
+        self._blocks.append([])
+
+    def _pop_block(self) -> tuple[N.Stmt, ...]:
+        return tuple(self._blocks.pop())
+
+    def _current_block(self) -> list[N.Stmt]:
+        if self._blocks is None:
+            raise IRError("statement emitted outside a work() body")
+        return self._blocks[-1]
+
+    def _emit(self, stmt: N.Stmt):
+        self._current_block().append(stmt)
+
+    # statements -------------------------------------------------------------
+    def local(self, name: str, init=None, ty: str = "float") -> EB:
+        """Declare a scalar local; returns a reference expression."""
+        self._emit(N.Decl(name, ty, None,
+                          None if init is None else _as_expr(init)))
+        return EB(N.Var(name))
+
+    def local_array(self, name: str, size: int, ty: str = "float") -> ArrayRef:
+        self._emit(N.Decl(name, ty, size, None))
+        return ArrayRef(name)
+
+    def assign(self, target, value):
+        t = _as_expr(target)
+        if not isinstance(t, (N.Var, N.Index)):
+            raise IRError(f"cannot assign to {t!r}")
+        self._emit(N.Assign(t, _as_expr(value)))
+
+    def push(self, value):
+        self._emit(N.PushS(_as_expr(value)))
+
+    def pop(self):
+        self._emit(N.PopS())
+
+    def pop_expr(self) -> EB:
+        """``pop()`` used as a value (inside an expression)."""
+        return EB(N.Pop())
+
+    def peek(self, index) -> EB:
+        return EB(N.Peek(_as_expr(index)))
+
+    def loop(self, var: str, start, stop, step=1) -> _LoopCtx:
+        return _LoopCtx(self, var, start, stop, step)
+
+    def if_(self, cond) -> _IfCtx:
+        return _IfCtx(self, cond)
+
+    # build -------------------------------------------------------------------
+    def build(self):
+        from ..graph.streams import Filter  # local import to avoid a cycle
+
+        if self._work is None:
+            raise IRError(f"filter {self.name!r} has no work body")
+        return Filter(
+            name=self.name,
+            work=self._work,
+            prework=self._prework,
+            fields=dict(self._fields),
+            mutable_fields=frozenset(
+                self._mutable | (N.assigned_names(self._work.body)
+                                 & set(self._fields))),
+        )

@@ -1,0 +1,286 @@
+"""IR node definitions for the C-like work-function language.
+
+The thesis analyzes filters whose ``work`` functions are written in an
+imperative, C-like language with three tape primitives (``peek``, ``pop``,
+``push``).  This module defines the expression and statement forms of that
+language as immutable dataclasses.  The same IR is consumed by
+
+* the concrete interpreter (:mod:`repro.ir.interp`) that runs filters,
+* the Python code generator (:mod:`repro.ir.pycodegen`) used for fast
+  execution, and
+* the symbolic executor of the linear extraction analysis
+  (:mod:`repro.linear.extraction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all expressions."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (int or float)."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A reference to a scalar local variable or filter field."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An array element reference ``base[index]``."""
+
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Peek(Expr):
+    """``peek(index)`` — read the input tape without consuming."""
+
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Pop(Expr):
+    """``pop()`` — consume and return the head of the input tape."""
+
+
+#: Binary operators understood by the IR.  Arithmetic, comparison, logical
+#: and bit-level operators follow C semantics.
+BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+     "&&", "||", "&", "|", "^", "<<", ">>"}
+)
+
+#: Operators whose float execution counts as a multiplication instruction
+#: (the thesis counts the fmul/fdiv x87 families as "multiplications").
+MULTIPLICATIVE_OPS = frozenset({"*", "/"})
+
+UNARY_OPS = frozenset({"-", "!"})
+
+#: Intrinsic math functions (map onto libm / x87 transcendental ops).
+INTRINSICS = frozenset(
+    {"sin", "cos", "tan", "atan", "atan2", "exp", "log", "sqrt", "abs",
+     "floor", "ceil", "pow", "min", "max", "round"}
+)
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a math intrinsic, e.g. ``sin(x)``."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.fn not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {self.fn!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for all statements."""
+
+
+@dataclass(frozen=True)
+class Decl(Stmt):
+    """Declare a local variable: ``float x = init`` or ``float[size] x``."""
+
+    name: str
+    ty: str  # 'float' | 'int'
+    size: int | None = None  # None => scalar, else array length
+    init: Expr | None = None
+
+    def __post_init__(self):
+        if self.ty not in ("float", "int"):
+            raise ValueError(f"unknown type {self.ty!r}")
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Assign to a scalar variable, field, or array element."""
+
+    target: Union[Var, Index]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PushS(Stmt):
+    """``push(value)`` as a statement."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class PopS(Stmt):
+    """``pop()`` as a statement (value discarded)."""
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) { then } else { orelse }``."""
+
+    cond: Expr
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop ``for (ty var = start; var < stop; var += step)``.
+
+    ``start``/``stop``/``step`` are evaluated once on entry; the loop runs
+    while ``var < stop`` (or ``var > stop`` for a negative constant step).
+    This covers every loop in the benchmark suite and keeps bounds
+    resolvable for the symbolic executor.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: tuple[Stmt, ...]
+    step: Expr = field(default_factory=lambda: Const(1))
+
+
+@dataclass(frozen=True)
+class WorkFunction:
+    """A work (or prework) function: I/O rates plus a statement body.
+
+    ``peek`` is the maximum index peeked + 1, ``pop``/``push`` the number of
+    items consumed/produced per invocation.  Rates must be compile-time
+    constants, as in StreamIt.
+    """
+
+    peek: int
+    pop: int
+    push: int
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self):
+        if self.peek < self.pop:
+            raise ValueError(
+                f"peek rate ({self.peek}) must be >= pop rate ({self.pop})")
+        if min(self.peek, self.pop, self.push) < 0:
+            raise ValueError("rates must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_exprs(node: Expr):
+    """Yield ``node`` and every sub-expression, pre-order."""
+    yield node
+    if isinstance(node, Bin):
+        yield from walk_exprs(node.left)
+        yield from walk_exprs(node.right)
+    elif isinstance(node, Un):
+        yield from walk_exprs(node.operand)
+    elif isinstance(node, Call):
+        for a in node.args:
+            yield from walk_exprs(a)
+    elif isinstance(node, Index):
+        yield from walk_exprs(node.index)
+    elif isinstance(node, Peek):
+        yield from walk_exprs(node.index)
+
+
+def walk_stmts(stmts: tuple[Stmt, ...]):
+    """Yield every statement in ``stmts``, recursing into bodies, pre-order."""
+    for s in stmts:
+        yield s
+        if isinstance(s, If):
+            yield from walk_stmts(s.then)
+            yield from walk_stmts(s.orelse)
+        elif isinstance(s, For):
+            yield from walk_stmts(s.body)
+
+
+def stmt_exprs(s: Stmt):
+    """Yield the top-level expressions appearing directly in statement ``s``."""
+    if isinstance(s, Decl):
+        if s.init is not None:
+            yield s.init
+    elif isinstance(s, Assign):
+        yield s.target
+        yield s.value
+    elif isinstance(s, PushS):
+        yield s.value
+    elif isinstance(s, If):
+        yield s.cond
+    elif isinstance(s, For):
+        yield s.start
+        yield s.stop
+        yield s.step
+
+
+def assigned_names(stmts: tuple[Stmt, ...]) -> set[str]:
+    """Names of all variables/arrays written anywhere in ``stmts``."""
+    names = set()
+    for s in walk_stmts(stmts):
+        if isinstance(s, Assign):
+            t = s.target
+            names.add(t.name if isinstance(t, Var) else t.base)
+        elif isinstance(s, Decl):
+            names.add(s.name)
+        elif isinstance(s, For):
+            names.add(s.var)
+    return names
+
+
+def declared_names(stmts: tuple[Stmt, ...]) -> set[str]:
+    """Names declared locally (Decl or loop variables) in ``stmts``."""
+    names = set()
+    for s in walk_stmts(stmts):
+        if isinstance(s, Decl):
+            names.add(s.name)
+        elif isinstance(s, For):
+            names.add(s.var)
+    return names

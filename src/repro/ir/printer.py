@@ -1,0 +1,88 @@
+"""Pretty-printer: render work-function IR as StreamIt-like source text.
+
+Used for diagnostics, golden tests, and the README examples.
+"""
+
+from __future__ import annotations
+
+from . import nodes as N
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def expr_to_str(e: N.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(e, N.Const):
+        if isinstance(e.value, float):
+            return repr(e.value)
+        return str(e.value)
+    if isinstance(e, N.Var):
+        return e.name
+    if isinstance(e, N.Index):
+        return f"{e.base}[{expr_to_str(e.index)}]"
+    if isinstance(e, N.Peek):
+        return f"peek({expr_to_str(e.index)})"
+    if isinstance(e, N.Pop):
+        return "pop()"
+    if isinstance(e, N.Un):
+        inner = expr_to_str(e.operand, 11)
+        return f"{'-' if e.op == '-' else '!'}{inner}"
+    if isinstance(e, N.Call):
+        args = ", ".join(expr_to_str(a) for a in e.args)
+        return f"{e.fn}({args})"
+    if isinstance(e, N.Bin):
+        prec = _PRECEDENCE[e.op]
+        s = (f"{expr_to_str(e.left, prec)} {e.op} "
+             f"{expr_to_str(e.right, prec + 1)}")
+        return f"({s})" if prec < parent_prec else s
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _stmt_lines(s: N.Stmt, indent: int) -> list[str]:
+    pad = "    " * indent
+    if isinstance(s, N.Decl):
+        ty = f"{s.ty}[{s.size}]" if s.size is not None else s.ty
+        init = f" = {expr_to_str(s.init)}" if s.init is not None else ""
+        return [f"{pad}{ty} {s.name}{init};"]
+    if isinstance(s, N.Assign):
+        return [f"{pad}{expr_to_str(s.target)} = {expr_to_str(s.value)};"]
+    if isinstance(s, N.PushS):
+        return [f"{pad}push({expr_to_str(s.value)});"]
+    if isinstance(s, N.PopS):
+        return [f"{pad}pop();"]
+    if isinstance(s, N.If):
+        lines = [f"{pad}if ({expr_to_str(s.cond)}) {{"]
+        for t in s.then:
+            lines.extend(_stmt_lines(t, indent + 1))
+        if s.orelse:
+            lines.append(f"{pad}}} else {{")
+            for t in s.orelse:
+                lines.extend(_stmt_lines(t, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(s, N.For):
+        step = expr_to_str(s.step)
+        upd = f"{s.var}++" if step == "1" else f"{s.var} += {step}"
+        lines = [f"{pad}for (int {s.var} = {expr_to_str(s.start)}; "
+                 f"{s.var} < {expr_to_str(s.stop)}; {upd}) {{"]
+        for t in s.body:
+            lines.extend(_stmt_lines(t, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"unknown statement {s!r}")
+
+
+def work_to_str(wf: N.WorkFunction, name: str = "work") -> str:
+    """Render a work function as StreamIt-like source."""
+    header = f"{name} peek {wf.peek} pop {wf.pop} push {wf.push} {{"
+    lines = [header]
+    for s in wf.body:
+        lines.extend(_stmt_lines(s, 1))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Whole-graph linear analysis and maximal combination.
+
+Mirrors the paper's linear-analysis pass (§4.4): walk the hierarchical
+stream graph bottom-up, compute a linear node for every stream where the
+combination rules apply, and optionally *replace* maximal linear regions
+with collapsed :class:`LinearFilter` leaves ("maximal linear replacement").
+
+Within a pipeline whose children are only partially linear, maximal
+*contiguous runs* of linear children are collapsed (the paper wraps such
+runs in their own pipeline before replacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CombinationError
+from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                             PrimitiveFilter, RoundRobin, SplitJoin, Stream)
+from .extraction import extract_filter
+from .filters import LinearFilter
+from .node import LinearNode
+from .pipeline_comb import combine_pipeline_pair
+from .splitjoin_comb import combine_splitjoin
+
+
+@dataclass
+class LinearityMap:
+    """Maps stream objects (by id) to their linear nodes, with reasons."""
+
+    nodes: dict[int, LinearNode] = field(default_factory=dict)
+    reasons: dict[int, str] = field(default_factory=dict)
+
+    def node_for(self, stream: Stream) -> LinearNode | None:
+        return self.nodes.get(id(stream))
+
+    def is_linear(self, stream: Stream) -> bool:
+        return id(stream) in self.nodes
+
+    def reason_for(self, stream: Stream) -> str | None:
+        return self.reasons.get(id(stream))
+
+
+def analyze(stream: Stream, max_matrix_elems: int = 4_000_000) -> LinearityMap:
+    """Compute linear nodes for every stream in the hierarchy.
+
+    ``max_matrix_elems`` bounds the size of combined matrices — beyond it
+    a container is treated as non-linear (prevents pathological blowup,
+    mirroring the paper's practical limits on the Radar benchmark).
+    """
+    lmap = LinearityMap()
+
+    def visit(s: Stream) -> LinearNode | None:
+        if isinstance(s, (Filter, PrimitiveFilter)):
+            result = extract_filter(s)
+            if result.is_linear:
+                lmap.nodes[id(s)] = result.node
+            else:
+                lmap.reasons[id(s)] = result.reason or "not linear"
+            return lmap.nodes.get(id(s))
+        if isinstance(s, Pipeline):
+            child_nodes = [visit(c) for c in s.children]
+            if all(n is not None for n in child_nodes):
+                try:
+                    acc = child_nodes[0]
+                    for n in child_nodes[1:]:
+                        acc = combine_pipeline_pair(acc, n)
+                        if acc.peek * acc.push > max_matrix_elems:
+                            raise CombinationError("combined matrix too large")
+                    lmap.nodes[id(s)] = acc
+                    return acc
+                except CombinationError as exc:
+                    lmap.reasons[id(s)] = str(exc)
+                    return None
+            lmap.reasons[id(s)] = "non-linear child"
+            return None
+        if isinstance(s, SplitJoin):
+            child_nodes = [visit(c) for c in s.children]
+            if all(n is not None for n in child_nodes):
+                try:
+                    node = combine_splitjoin(s.splitter, child_nodes, s.joiner)
+                    if node.peek * node.push > max_matrix_elems:
+                        raise CombinationError("combined matrix too large")
+                    lmap.nodes[id(s)] = node
+                    return node
+                except CombinationError as exc:
+                    lmap.reasons[id(s)] = str(exc)
+                    return None
+            lmap.reasons[id(s)] = "non-linear child"
+            return None
+        if isinstance(s, FeedbackLoop):
+            visit(s.body)
+            visit(s.loop)
+            lmap.reasons[id(s)] = "feedbackloops require linear state"
+            return None
+        raise TypeError(f"unknown stream {s!r}")
+
+    visit(stream)
+    return lmap
+
+
+def _replace(s: Stream, lmap: LinearityMap, backend: str,
+             make_leaf, in_feedback: bool = False,
+             combine: bool = True) -> Stream:
+    node = lmap.node_for(s)
+    is_leaf = isinstance(s, (Filter, PrimitiveFilter))
+    if node is not None and (combine or is_leaf) and not (
+            in_feedback and not is_leaf):
+        # Inside a feedbackloop only leaf (rate-preserving) replacement is
+        # safe: coarsening granularity can deadlock the cycle.  With
+        # combination disabled only leaves are replaced.
+        leaf = make_leaf(node, s, in_feedback)
+        if leaf is not None:
+            return leaf
+    if is_leaf:
+        return s
+    if isinstance(s, Pipeline):
+        new_children = []
+        run: list[Stream] = []
+
+        def flush_run():
+            if not run:
+                return
+            if len(run) == 1 or in_feedback or not combine:
+                new_children.extend(
+                    _replace(c, lmap, backend, make_leaf, in_feedback,
+                             combine)
+                    for c in run)
+            else:
+                # collapse the maximal linear run
+                sub = Pipeline(run, name=f"{s.name}.linear_run")
+                acc = lmap.node_for(run[0])
+                try:
+                    for child in run[1:]:
+                        acc = combine_pipeline_pair(acc, lmap.node_for(child))
+                    leaf = make_leaf(acc, sub, in_feedback)
+                except CombinationError:
+                    leaf = None
+                if leaf is not None:
+                    new_children.append(leaf)
+                else:
+                    new_children.extend(
+                        _replace(c, lmap, backend, make_leaf, in_feedback)
+                        for c in run)
+            run.clear()
+
+        for child in s.children:
+            if lmap.is_linear(child):
+                run.append(child)
+            else:
+                flush_run()
+                new_children.append(
+                    _replace(child, lmap, backend, make_leaf, in_feedback,
+                             combine))
+        flush_run()
+        if len(new_children) == 1:
+            return new_children[0]
+        return Pipeline(new_children, name=s.name)
+    if isinstance(s, SplitJoin):
+        return SplitJoin(s.splitter,
+                         [_replace(c, lmap, backend, make_leaf, in_feedback,
+                                   combine)
+                          for c in s.children],
+                         s.joiner, name=s.name)
+    if isinstance(s, FeedbackLoop):
+        return FeedbackLoop(
+            _replace(s.body, lmap, backend, make_leaf, True, combine),
+            _replace(s.loop, lmap, backend, make_leaf, True, combine),
+            s.joiner, s.splitter, s.enqueued, name=s.name)
+    raise TypeError(f"unknown stream {s!r}")
+
+
+def maximal_linear_replacement(stream: Stream, backend: str = "direct",
+                               lmap: LinearityMap | None = None,
+                               combine: bool = True) -> Stream:
+    """Replace every maximal linear region with a single LinearFilter.
+
+    This is the paper's "linear replacement" configuration (§5.2).
+    """
+    if lmap is None:
+        lmap = analyze(stream)
+
+    def make_leaf(node: LinearNode, s: Stream, in_feedback: bool):
+        return LinearFilter(node, name=f"Linear[{s.name}]", backend=backend)
+
+    return _replace(stream, lmap, backend, make_leaf, combine=combine)
+
+
+def replace_with(stream: Stream, make_leaf,
+                 lmap: LinearityMap | None = None,
+                 combine: bool = True) -> Stream:
+    """Generic maximal replacement with a caller-supplied leaf factory.
+
+    ``make_leaf(node, stream, in_feedback)`` returns the replacement
+    stream or ``None`` to leave the region untouched (used by frequency
+    replacement, which declines regions where the transform does not
+    apply).  ``in_feedback`` is True inside feedbackloops, where only
+    rate-preserving leaf replacements are safe.
+    """
+    if lmap is None:
+        lmap = analyze(stream)
+    return _replace(stream, lmap, "direct", make_leaf, combine=combine)

@@ -1,0 +1,54 @@
+"""Linear expansion (thesis §3.3.1, Transformation 1).
+
+Expansion rescales a linear node to rates ``(e', o', u')`` while preserving
+the input/output relationship: copies of ``A`` are placed along the
+diagonal starting from the bottom-right corner, each copy offset by ``o``
+rows (items popped between firings) and ``u`` columns (items pushed).
+Partial copies are clipped at the matrix edges; rows that no copy reaches
+stay zero (items peeked but unused).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .node import LinearNode
+
+
+def expand(node: LinearNode, peek: int, pop: int, push: int) -> LinearNode:
+    """Expand ``node`` to rates ``(peek, pop, push)``.
+
+    The new node is fully interchangeable with a sequence of firings of the
+    original when ``push = k*u`` and ``pop = k*o``; other rates are used as
+    intermediate forms by the combination rules (which account for the
+    recomputation they introduce).
+    """
+    e, o, u = node.peek, node.pop, node.push
+    A, b = node.A, node.b
+    e2, o2, u2 = peek, pop, push
+    A2 = np.zeros((e2, u2))
+    copies = math.ceil(u2 / u)
+    for m in range(copies):
+        row_off = e2 - e - m * o
+        col_off = u2 - u - m * u
+        # clip the copy of A to the destination bounds
+        r0, r1 = max(row_off, 0), min(row_off + e, e2)
+        c0, c1 = max(col_off, 0), min(col_off + u, u2)
+        if r0 >= r1 or c0 >= c1:
+            continue
+        A2[r0:r1, c0:c1] += A[r0 - row_off:r1 - row_off,
+                              c0 - col_off:c1 - col_off]
+    b2 = np.empty(u2)
+    for j in range(u2):
+        b2[j] = b[u - 1 - ((u2 - 1 - j) % u)]
+    return LinearNode(A2, b2, e2, o2, u2)
+
+
+def expand_firings(node: LinearNode, k: int) -> LinearNode:
+    """Expand to exactly ``k`` consecutive firings (fully interchangeable)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    e, o, u = node.peek, node.pop, node.push
+    return expand(node, e + (k - 1) * o, k * o, k * u)

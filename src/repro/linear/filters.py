@@ -1,0 +1,69 @@
+"""Runtime filters implementing collapsed linear nodes.
+
+``LinearFilter`` replaces a (sub)graph with a single matrix-multiply leaf —
+what the paper calls *linear replacement*.  It carries its ``LinearNode``
+so later passes (further combination, frequency replacement, the DP
+selector) can keep reasoning about it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.streams import PrimitiveFilter
+from .matmul import make_kernel
+from .node import LinearNode
+
+
+class LinearFilter(PrimitiveFilter):
+    """A leaf filter executing ``y = x·A + b`` once per firing."""
+
+    def __init__(self, node: LinearNode, name: str = "Linear",
+                 backend: str = "direct"):
+        self.linear_node = node
+        self.name = name
+        self.backend = backend
+        self.peek = node.peek
+        self.pop = node.pop
+        self.push = node.push
+
+    def make_runner(self, profiler):
+        node = self.linear_node
+        kernel = make_kernel(node, self.backend)
+        counts = kernel.counts
+        name = self.name
+
+        class _Runner:
+            def fire(self, ch_in, ch_out):
+                window = ch_in.peek_block(node.peek)
+                y = kernel.fire_window(window)
+                ch_out.push_array(y)
+                ch_in.pop_block(node.pop)
+                profiler.add_counts(counts, filter_name=name)
+
+        return _Runner()
+
+
+class ConstantSourceFilter(PrimitiveFilter):
+    """Pushes a fixed vector each firing (a linear node with e = o = 0).
+
+    Used when an entire subgraph folds to constants; kept for completeness
+    of the replacement machinery.
+    """
+
+    pop = 0
+    peek = 0
+
+    def __init__(self, values, name: str = "ConstSource"):
+        self.values = np.asarray(values, dtype=float)
+        self.push = len(self.values)
+        self.name = name
+
+    def make_runner(self, profiler):
+        values = self.values
+
+        class _Runner:
+            def fire(self, ch_in, ch_out):
+                ch_out.push_array(values)
+
+        return _Runner()

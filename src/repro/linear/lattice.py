@@ -1,0 +1,122 @@
+"""Abstract values for linear extraction (thesis §3.2, Figure 3-2).
+
+Every program value is tracked as a *linear form* ``(v, c)``: at runtime
+the value equals ``x·v + c`` where ``x`` is the input vector and ``v`` a
+``peek``-length column vector.  Values that cannot be expressed this way
+are TOP (⊤); join of unequal values is TOP.  BOTTOM (⊥) marks matrix/
+vector entries not yet written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _Top:
+    """⊤ — value not expressible as an affine function of the input."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "⊤"
+
+
+class _Bottom:
+    """⊥ — not yet defined."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "⊥"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """``value = x · v + c``; a pure constant has an all-zero ``v``.
+
+    ``c`` may be an int or float — int-ness is preserved so that loop
+    bounds, array indices and peek offsets stay resolvable.
+    """
+
+    v: np.ndarray
+    c: float | int
+
+    @staticmethod
+    def constant(c, peek: int) -> "LinearForm":
+        return LinearForm(np.zeros(peek), c)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.v.any()
+
+    def __add__(self, other: "LinearForm") -> "LinearForm":
+        return LinearForm(self.v + other.v, self.c + other.c)
+
+    def __sub__(self, other: "LinearForm") -> "LinearForm":
+        return LinearForm(self.v - other.v, self.c - other.c)
+
+    def scale(self, k) -> "LinearForm":
+        return LinearForm(self.v * k, self.c * k)
+
+    def __eq__(self, other):
+        if not isinstance(other, LinearForm):
+            return NotImplemented
+        return (self.c == other.c and self.v.shape == other.v.shape
+                and bool(np.array_equal(self.v, other.v)))
+
+    def __hash__(self):  # pragma: no cover - not used as dict key
+        return hash((self.c, self.v.tobytes()))
+
+    def __repr__(self):
+        if self.is_constant:
+            return f"LF(const {self.c})"
+        taps = {i: x for i, x in enumerate(self.v) if x}
+        return f"LF(v={taps}, c={self.c})"
+
+
+def build_coeff(peek: int, pos: int) -> LinearForm:
+    """BuildCoeff (Algorithm 1): coefficient 1 for input index ``pos``.
+
+    The vector is indexed so that ``v[peek - 1 - pos] = 1``, matching the
+    thesis' convention ``x[i] = peek(e-1-i)``.
+    """
+    v = np.zeros(peek)
+    v[peek - 1 - pos] = 1.0
+    return LinearForm(v, 0)
+
+
+def join(a, b):
+    """The confluence operator ⊔ on abstract values (branch merge)."""
+    if a is BOTTOM:
+        return b
+    if b is BOTTOM:
+        return a
+    if a is TOP or b is TOP:
+        return TOP
+    if isinstance(a, LinearForm) and isinstance(b, LinearForm):
+        return a if a == b else TOP
+    return a if a == b else TOP
+
+
+def join_env(env1: dict, env2: dict) -> dict:
+    """Pointwise join of two variable environments."""
+    out = {}
+    for k in env1.keys() | env2.keys():
+        out[k] = join(env1.get(k, BOTTOM), env2.get(k, BOTTOM))
+    return out

@@ -1,0 +1,143 @@
+"""The linear node representation (thesis §3.1, Definition 1).
+
+A linear node ``Λ = {A, b, e, o, u}`` abstracts a stream block computing the
+affine map ``y = x·A + b`` where
+
+* ``x`` is an ``e``-element row vector with ``x[i] = peek(e-1-i)``,
+* ``A`` is an ``e × u`` matrix, ``b`` a ``u``-element row vector,
+* the ``u`` outputs are pushed starting with ``y[u-1]`` down to ``y[0]``
+  (so the *j*-th ``push`` statement writes column ``u-1-j``), and
+* ``o`` items are popped after pushing.
+
+Hence entry ``A[e-1-i, u-1-j]`` is the coefficient of ``peek(i)`` in the
+*j*-th output and ``b[u-1-j]`` its constant offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearNode:
+    """An affine stream block ``y = x·A + b`` with rates (peek, pop, push)."""
+
+    A: np.ndarray
+    b: np.ndarray
+    peek: int
+    pop: int
+    push: int
+
+    def __post_init__(self):
+        A = np.asarray(self.A, dtype=float)
+        b = np.asarray(self.b, dtype=float)
+        object.__setattr__(self, "A", A)
+        object.__setattr__(self, "b", b)
+        if A.shape != (self.peek, self.push):
+            raise ValueError(
+                f"A has shape {A.shape}, expected ({self.peek}, {self.push})")
+        if b.shape != (self.push,):
+            raise ValueError(
+                f"b has shape {b.shape}, expected ({self.push},)")
+        if self.pop <= 0:
+            raise ValueError("linear node must pop at least one item")
+        if self.peek < self.pop:
+            raise ValueError("peek must be >= pop")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_coefficients(coeffs_per_push, offsets, pop: int,
+                          peek: int | None = None) -> "LinearNode":
+        """Build from natural per-push coefficient lists.
+
+        ``coeffs_per_push[j][i]`` is the coefficient of ``peek(i)`` in the
+        *j*-th pushed value; ``offsets[j]`` its constant term.  This is the
+        human-friendly layout; the constructor converts to the thesis'
+        reversed convention.
+        """
+        u = len(coeffs_per_push)
+        if peek is None:
+            peek = max((len(c) for c in coeffs_per_push), default=pop)
+            peek = max(peek, pop)
+        A = np.zeros((peek, u))
+        for j, coeffs in enumerate(coeffs_per_push):
+            for i, c in enumerate(coeffs):
+                A[peek - 1 - i, u - 1 - j] = c
+        b = np.zeros(u)
+        for j, off in enumerate(offsets):
+            b[u - 1 - j] = off
+        return LinearNode(A, b, peek, pop, u)
+
+    # ------------------------------------------------------------------
+    def coefficient(self, push_index: int, peek_index: int) -> float:
+        """Coefficient of ``peek(peek_index)`` in push number ``push_index``."""
+        return float(self.A[self.peek - 1 - peek_index,
+                            self.push - 1 - push_index])
+
+    def offset(self, push_index: int) -> float:
+        return float(self.b[self.push - 1 - push_index])
+
+    def apply(self, window: np.ndarray) -> np.ndarray:
+        """One firing: ``window`` is ``[peek(0), ..., peek(e-1)]``.
+
+        Returns outputs in push order ``[y_0, ..., y_{u-1}]``.
+        """
+        window = np.asarray(window, dtype=float)
+        if window.shape != (self.peek,):
+            raise ValueError(f"window must have {self.peek} items")
+        x = window[::-1]  # x[i] = peek(e-1-i)
+        y = x @ self.A + self.b
+        return y[::-1]  # y[u-1] is pushed first
+
+    def reference_run(self, inputs, firings: int) -> np.ndarray:
+        """Run ``firings`` firings over ``inputs``; concatenated outputs.
+
+        A straightforward oracle used by tests and the frequency/redundancy
+        modules to validate optimized implementations.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        out = []
+        pos = 0
+        for _ in range(firings):
+            window = inputs[pos:pos + self.peek]
+            if len(window) < self.peek:
+                raise ValueError("not enough input for requested firings")
+            out.append(self.apply(window))
+            pos += self.pop
+        return np.concatenate(out) if out else np.zeros(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Non-zero entries of A (drives the direct cost function)."""
+        return int(np.count_nonzero(self.A))
+
+    @property
+    def nnz_b(self) -> int:
+        return int(np.count_nonzero(self.b))
+
+    def column_spans(self) -> list[tuple[int, int]]:
+        """Per column (first_nonzero, last_nonzero+1); (0, 0) if all-zero.
+
+        The direct matrix-multiply code generator skips leading/trailing
+        zeros in each column (thesis §5.4, Figure 5-7).
+        """
+        spans = []
+        for j in range(self.push):
+            nz = np.nonzero(self.A[:, j])[0]
+            if len(nz) == 0:
+                spans.append((0, 0))
+            else:
+                spans.append((int(nz[0]), int(nz[-1]) + 1))
+        return spans
+
+    def is_convolution_compatible(self) -> bool:
+        """True if the frequency transformation applies (always, via the
+        pretend-pop-1 + decimator trick), kept for cost-model gating."""
+        return self.peek >= 1
+
+    def __str__(self):
+        return (f"LinearNode(e={self.peek}, o={self.pop}, u={self.push}, "
+                f"nnz={self.nnz})")

@@ -1,0 +1,60 @@
+"""Pipeline combination (thesis §3.3.2, Transformation 2).
+
+Two adjacent linear nodes Λ1 → Λ2 collapse into one node with
+``A' = A1ᵉ·A2ᵉ`` and ``b' = b1ᵉ·A2ᵉ + b2ᵉ`` after expanding both sides so
+the intermediate channel rates match:
+
+* ``chanPop  = lcm(u1, o2)`` — items crossing the channel per combined
+  firing (any common multiple is legal; the lcm keeps matrices small),
+* ``chanPeek = chanPop + e2 - o2`` — extra items Λ2 peeks are *recomputed*
+  by the expanded Λ1 (overlapping outputs), trading computation for the
+  inter-filter buffer a linear node cannot hold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CombinationError
+from .expansion import expand
+from .node import LinearNode
+
+
+def combine_pipeline_pair(n1: LinearNode, n2: LinearNode,
+                          chan_pop: int | None = None) -> LinearNode:
+    """Collapse two linear nodes connected in a pipeline."""
+    u1, o1, e1 = n1.push, n1.pop, n1.peek
+    u2, o2, e2 = n2.push, n2.pop, n2.peek
+    if chan_pop is None:
+        chan_pop = math.lcm(u1, o2)
+    else:
+        if chan_pop % u1 or chan_pop % o2:
+            raise CombinationError(
+                f"chanPop={chan_pop} must be a common multiple of "
+                f"u1={u1} and o2={o2}")
+    chan_peek = chan_pop + e2 - o2
+
+    # Expand Λ1 to produce chanPeek items (the extra e2-o2 items Λ2 peeks
+    # are regenerated each firing); it pops the inputs for chanPop outputs.
+    firings_needed = math.ceil(chan_peek / u1)
+    e1_exp = (firings_needed - 1) * o1 + e1
+    o1_exp = (chan_pop // u1) * o1
+    n1e = expand(n1, e1_exp, o1_exp, chan_peek)
+
+    # Expand Λ2 to consume chanPeek (peeking) / chanPop (popping).
+    u2_exp = (chan_pop // o2) * u2
+    n2e = expand(n2, chan_peek, chan_pop, u2_exp)
+
+    A = n1e.A @ n2e.A
+    b = n1e.b @ n2e.A + n2e.b
+    return LinearNode(A, b, n1e.peek, n1e.pop, n2e.push)
+
+
+def combine_pipeline(nodes: list[LinearNode]) -> LinearNode:
+    """Collapse a whole pipeline of linear nodes, left to right."""
+    if not nodes:
+        raise CombinationError("empty pipeline")
+    acc = nodes[0]
+    for node in nodes[1:]:
+        acc = combine_pipeline_pair(acc, node)
+    return acc

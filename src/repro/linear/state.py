@@ -1,0 +1,216 @@
+"""Stateful linear nodes — the thesis' §7.1 future-work extension.
+
+A *stateful* linear node carries a state vector ``s`` across firings:
+
+    y    = x·Ax + s·As + bx          (outputs, as in Definition 1)
+    s'   = x·Cx + s·Cs + bs          (next state)
+
+with ``x`` the input window in the standard reversed convention.  This
+represents IIR filters and the computation inside feedbackloops, which
+the stateless framework cannot express.
+
+Provided here:
+
+* :class:`StatefulLinearNode` — the representation plus a reference
+  simulator;
+* :func:`from_difference_equation` — build the node for a direct-form
+  IIR filter ``y[n] = sum b_k x[n-k] + sum a_k y[n-k]``;
+* :func:`combine_stateful_pipeline` — composition of two stateful nodes
+  in sequence (rates must match 1:1; the general rate-changing case
+  reduces to it via expansion of the stateless parts);
+* :class:`StatefulLinearFilter` — a runtime leaf executing the node.
+
+This is deliberately scoped to pop = 1 per firing on the stateless-input
+side — exactly the IIR/feedback use cases the thesis names (control
+systems and IIR filters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.streams import PrimitiveFilter
+from ..profiling import Counts
+
+
+@dataclass(frozen=True)
+class StatefulLinearNode:
+    """An affine stream block with persistent state.
+
+    Shapes: ``Ax (e,u)``, ``As (k,u)``, ``bx (u,)``, ``Cx (e,k)``,
+    ``Cs (k,k)``, ``bs (k,)``, initial state ``s0 (k,)``.
+    """
+
+    Ax: np.ndarray
+    As: np.ndarray
+    bx: np.ndarray
+    Cx: np.ndarray
+    Cs: np.ndarray
+    bs: np.ndarray
+    s0: np.ndarray
+    peek: int
+    pop: int
+    push: int
+
+    def __post_init__(self):
+        e, u = self.peek, self.push
+        k = len(self.s0)
+        object.__setattr__(self, "Ax", np.asarray(self.Ax, dtype=float))
+        object.__setattr__(self, "As", np.asarray(self.As, dtype=float))
+        object.__setattr__(self, "bx", np.asarray(self.bx, dtype=float))
+        object.__setattr__(self, "Cx", np.asarray(self.Cx, dtype=float))
+        object.__setattr__(self, "Cs", np.asarray(self.Cs, dtype=float))
+        object.__setattr__(self, "bs", np.asarray(self.bs, dtype=float))
+        object.__setattr__(self, "s0", np.asarray(self.s0, dtype=float))
+        if self.Ax.shape != (e, u):
+            raise ValueError(f"Ax shape {self.Ax.shape} != ({e},{u})")
+        if self.As.shape != (k, u):
+            raise ValueError(f"As shape {self.As.shape} != ({k},{u})")
+        if self.Cx.shape != (e, k):
+            raise ValueError(f"Cx shape {self.Cx.shape} != ({e},{k})")
+        if self.Cs.shape != (k, k):
+            raise ValueError(f"Cs shape {self.Cs.shape} != ({k},{k})")
+        if self.bx.shape != (u,) or self.bs.shape != (k,):
+            raise ValueError("offset vector shapes do not match rates")
+
+    @property
+    def state_dim(self) -> int:
+        return len(self.s0)
+
+    # ------------------------------------------------------------------
+    def simulate(self, inputs, firings: int) -> np.ndarray:
+        """Reference execution: concatenated outputs of ``firings`` firings."""
+        inputs = np.asarray(inputs, dtype=float)
+        s = self.s0.copy()
+        out = []
+        pos = 0
+        for _ in range(firings):
+            window = inputs[pos:pos + self.peek]
+            if len(window) < self.peek:
+                raise ValueError("not enough input")
+            x = window[::-1]
+            y = x @ self.Ax + s @ self.As + self.bx
+            s = x @ self.Cx + s @ self.Cs + self.bs
+            out.append(y[::-1])
+            pos += self.pop
+        return np.concatenate(out) if out else np.zeros(0)
+
+    def is_stable(self) -> bool:
+        """Spectral radius of Cs < 1 (BIBO stability of the state part)."""
+        if self.state_dim == 0:
+            return True
+        return bool(np.max(np.abs(np.linalg.eigvals(self.Cs))) < 1.0)
+
+
+def from_difference_equation(b_coeffs, a_coeffs) -> StatefulLinearNode:
+    """Direct-form II transposed IIR: ``y[n] = Σ b_k·x[n-k] + Σ a_k·y[n-k]``.
+
+    ``b_coeffs = [b0, b1, ..., bM]`` (feed-forward), ``a_coeffs =
+    [a1, ..., aN]`` (feedback, note the paper-style positive-sum sign
+    convention).  The node fires per input sample (e = o = u = 1), with
+    state holding the delayed partial sums.
+    """
+    b = np.asarray(b_coeffs, dtype=float)
+    a = np.asarray(a_coeffs, dtype=float)
+    k = max(len(b) - 1, len(a))
+    b_pad = np.zeros(k + 1)
+    b_pad[:len(b)] = b
+    a_pad = np.zeros(k)
+    a_pad[:len(a)] = a
+    # state s[i] = w_{i+1}: y = b0*x + s[0]
+    # s'[i] = b_{i+1}*x + a_{i+1}*y + s[i+1]
+    Ax = np.array([[b_pad[0]]])
+    As = np.zeros((k, 1))
+    if k:
+        As[0, 0] = 1.0
+    Cx = np.zeros((1, k))
+    Cs = np.zeros((k, k))
+    for i in range(k):
+        # y = x*b0 + s[0]: expand a_{i+1}*y into x and s contributions
+        Cx[0, i] = b_pad[i + 1] + a_pad[i] * b_pad[0]
+        Cs[0, i] += a_pad[i]  # a_{i+1} * s[0] term
+        if i + 1 < k:
+            Cs[i + 1, i] += 1.0  # shift: s[i+1] feeds s'[i]
+    return StatefulLinearNode(
+        Ax=Ax, As=As, bx=np.zeros(1), Cx=Cx, Cs=Cs, bs=np.zeros(k),
+        s0=np.zeros(k), peek=1, pop=1, push=1)
+
+
+def from_stateless(node) -> StatefulLinearNode:
+    """Embed a stateless LinearNode as a stateful node with k = 0."""
+    return StatefulLinearNode(
+        Ax=node.A, As=np.zeros((0, node.push)), bx=node.b,
+        Cx=np.zeros((node.peek, 0)), Cs=np.zeros((0, 0)), bs=np.zeros(0),
+        s0=np.zeros(0), peek=node.peek, pop=node.pop, push=node.push)
+
+
+def combine_stateful_pipeline(n1: StatefulLinearNode,
+                              n2: StatefulLinearNode) -> StatefulLinearNode:
+    """Compose two rate-matched stateful nodes in sequence.
+
+    Requires ``u1 == e2 == o2`` (each firing of Λ1 feeds exactly one
+    firing of Λ2 — the IIR cascade case).  The combined state is the
+    concatenation (s1, s2); Λ2 sees Λ1's output ``y1 = x·Ax1 + s1·As1 +
+    bx1`` as its input window (reversal conventions cancel because both
+    sides use the same ordering).
+    """
+    if n1.push != n2.peek or n2.peek != n2.pop:
+        raise ValueError(
+            "stateful combination requires u1 == e2 == o2; expand first")
+    k1, k2 = n1.state_dim, n2.state_dim
+    u2 = n2.push
+    # y2 = y1·Ax2 + s2·As2 + bx2, with y1 row-vector in x2-convention:
+    # x2 = reverse(outputs) and outputs = reverse(y1-vector) => x2 = y1.
+    Ax = n1.Ax @ n2.Ax
+    As = np.vstack([n1.As @ n2.Ax, n2.As])
+    bx = n1.bx @ n2.Ax + n2.bx
+    # state updates: s1' as before; s2' = y1·Cx2 + s2·Cs2 + bs2
+    Cx = np.hstack([n1.Cx, n1.Ax @ n2.Cx])
+    Cs = np.zeros((k1 + k2, k1 + k2))
+    Cs[:k1, :k1] = n1.Cs
+    Cs[:k1, k1:] = n1.As @ n2.Cx
+    Cs[k1:, k1:] = n2.Cs
+    bs = np.concatenate([n1.bs, n1.bx @ n2.Cx + n2.bs])
+    return StatefulLinearNode(
+        Ax=Ax, As=As, bx=bx, Cx=Cx, Cs=Cs, bs=bs,
+        s0=np.concatenate([n1.s0, n2.s0]),
+        peek=n1.peek, pop=n1.pop, push=u2)
+
+
+class StatefulLinearFilter(PrimitiveFilter):
+    """Runtime leaf executing a stateful linear node."""
+
+    def __init__(self, node: StatefulLinearNode,
+                 name: str = "StatefulLinear"):
+        self.stateful_node = node
+        self.name = name
+        self.peek = node.peek
+        self.pop = node.pop
+        self.push = node.push
+
+    def make_runner(self, profiler):
+        node = self.stateful_node
+        counts = Counts()
+        counts.fmul = (int(np.count_nonzero(node.Ax))
+                       + int(np.count_nonzero(node.As))
+                       + int(np.count_nonzero(node.Cx))
+                       + int(np.count_nonzero(node.Cs)))
+        counts.fadd = counts.fmul  # multiply-accumulate pairs
+        name = self.name
+
+        class _Runner:
+            def __init__(self):
+                self.s = node.s0.copy()
+
+            def fire(self, ch_in, ch_out):
+                window = ch_in.peek_block(node.peek)
+                x = window[::-1]
+                y = x @ node.Ax + self.s @ node.As + node.bx
+                self.s = x @ node.Cx + self.s @ node.Cs + node.bs
+                ch_out.push_array(y[::-1])
+                ch_in.pop_block(node.pop)
+                profiler.add_counts(counts, filter_name=name)
+
+        return _Runner()

@@ -1,0 +1,10 @@
+"""Redundancy elimination: cross-firing product caching (thesis §4.2)."""
+
+from .analysis import (LCT, RedundancyInfo, analyze_redundancy,
+                       redundancy_ratio)
+from .filters import RedundancyEliminationFilter
+
+__all__ = [
+    "LCT", "RedundancyInfo", "analyze_redundancy", "redundancy_ratio",
+    "RedundancyEliminationFilter",
+]

@@ -1,0 +1,108 @@
+"""Redundancy analysis (thesis §4.2.2, Algorithm 3).
+
+A *linear computation tuple* (LCT) ``t = (coeff, pos)`` denotes the product
+``coeff * peek(pos)``.  Because a linear filter slides its window by ``o``
+between firings, the value of ``(c, p)`` computed now equals the value of
+``(c, p - i*o)`` computed ``i`` firings in the future.  The analysis maps
+each LCT of the current firing to all future firings that recompute it,
+yielding:
+
+* ``uses[t]``   — the set of firing offsets at which ``t``'s value recurs,
+* ``min_use``/``max_use`` per tuple,
+* ``reused``    — tuples computed now (min_use = 0) and needed later
+  (max_use > 0): the caching candidates,
+* ``comp_map``  — maps each current-firing tuple to the cached tuple and
+  firing age that already holds its value.
+
+Zero coefficients are skipped: the direct code generator never multiplies
+by literal zero, so caching them would not remove a multiplication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .. import linear
+from ..linear.node import LinearNode
+
+LCT = tuple[float, int]  # (coeff, pos)
+
+
+@dataclass
+class RedundancyInfo:
+    """Output of Algorithm 3 for one linear node."""
+
+    node: LinearNode
+    uses: dict[LCT, set[int]] = field(default_factory=dict)
+    min_use: dict[LCT, int] = field(default_factory=dict)
+    max_use: dict[LCT, int] = field(default_factory=dict)
+    reused: set[LCT] = field(default_factory=set)
+    comp_map: dict[LCT, tuple[LCT, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_terms(self) -> int:
+        """Multiplications per firing of the direct implementation."""
+        return self.node.nnz
+
+    def mults_per_firing(self) -> int:
+        """Multiplications per steady firing after caching.
+
+        One multiply per reused tuple (computed and stored), plus one per
+        current-firing term not covered by the cache.
+        """
+        e, u = self.node.peek, self.node.push
+        fresh = 0
+        for row in range(e):
+            for col in range(u):
+                c = self.node.A[row, col]
+                if c == 0.0:
+                    continue
+                t = (float(c), e - 1 - row)
+                if t not in self.comp_map:
+                    fresh += 1
+        return fresh + len(self.reused)
+
+
+def analyze_redundancy(node: LinearNode) -> RedundancyInfo:
+    """Run Algorithm 3 on ``node``."""
+    info = RedundancyInfo(node)
+    e, o, u = node.peek, node.pop, node.push
+    A = node.A
+
+    horizon = math.ceil(e / o)
+    for n in range(horizon):
+        for row in range(n * o, e):
+            for col in range(u):
+                c = A[row, col]
+                if c == 0.0:
+                    continue
+                t = (float(c), n * o + e - 1 - row)
+                info.uses.setdefault(t, set()).add(n)
+    for t, ns in info.uses.items():
+        info.min_use[t] = min(ns)
+        info.max_use[t] = max(ns)
+    info.reused = {t for t in info.uses
+                   if info.min_use[t] == 0 and info.max_use[t] > 0}
+
+    for t in info.reused:
+        info.comp_map[t] = (t, 0)
+        for i in sorted(info.uses[t]):
+            nt = (t[0], t[1] - i * o)
+            if nt == t:
+                continue
+            if info.min_use.get(nt) == 0:
+                prev = info.comp_map.get(nt)
+                if prev is None or i > prev[1]:
+                    info.comp_map[nt] = (t, i)
+    return info
+
+
+def redundancy_ratio(node: LinearNode) -> float:
+    """Fraction of per-firing multiplications removed by caching."""
+    info = analyze_redundancy(node)
+    total = info.total_terms
+    if total == 0:
+        return 0.0
+    return 1.0 - info.mults_per_firing() / total

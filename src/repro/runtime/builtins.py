@@ -1,0 +1,110 @@
+"""Built-in primitive filters: test sources, sinks, and identity.
+
+These are :class:`~repro.graph.streams.PrimitiveFilter` leaves used by the
+executor's convenience entry points and by benchmark top-levels.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Iterable
+
+from ..graph.streams import PrimitiveFilter
+
+
+class ListSource(PrimitiveFilter):
+    """Pushes values from a finite list, one per firing."""
+
+    pop = 0
+    peek = 0
+    push = 1
+
+    def __init__(self, values: Iterable[float], name: str = "ListSource"):
+        self.values = [float(v) for v in values]
+        self.name = name
+
+    def make_runner(self, profiler):
+        values = self.values
+        pos = count()
+
+        class _Runner:
+            exhausted = False
+
+            def fire(self, ch_in, ch_out):
+                i = next(pos)
+                if i >= len(values):
+                    self.exhausted = True
+                    raise IndexError("ListSource exhausted")
+                ch_out.push(values[i])
+
+            def can_fire_extra(self):
+                return next(iter([next(pos)])) < len(values)  # pragma: no cover
+
+        runner = _Runner()
+        runner.remaining = lambda: len(values)
+        return runner
+
+
+class FunctionSource(PrimitiveFilter):
+    """Pushes ``fn(n)`` for n = 0, 1, 2, ... — an unbounded source."""
+
+    pop = 0
+    peek = 0
+    push = 1
+
+    def __init__(self, fn: Callable[[int], float], name: str = "Source"):
+        self.fn = fn
+        self.name = name
+
+    def make_runner(self, profiler):
+        fn = self.fn
+        counter = count()
+
+        class _Runner:
+            def fire(self, ch_in, ch_out):
+                ch_out.push(float(fn(next(counter))))
+
+        return _Runner()
+
+
+class Collector(PrimitiveFilter):
+    """Terminal sink: pops one item per firing into ``collected``.
+
+    The executor looks for a Collector to decide when ``n_outputs`` have
+    been produced.
+    """
+
+    pop = 1
+    peek = 1
+    push = 0
+
+    def __init__(self, name: str = "Collector"):
+        self.name = name
+
+    def make_runner(self, profiler):
+        class _Runner:
+            def __init__(self):
+                self.collected: list[float] = []
+
+            def fire(self, ch_in, ch_out):
+                self.collected.append(ch_in.pop())
+
+        return _Runner()
+
+
+class Identity(PrimitiveFilter):
+    """Passes items through unchanged (StreamIt's Identity filter)."""
+
+    pop = 1
+    peek = 1
+    push = 1
+
+    def __init__(self, name: str = "Identity"):
+        self.name = name
+
+    def make_runner(self, profiler):
+        class _Runner:
+            def fire(self, ch_in, ch_out):
+                ch_out.push(ch_in.pop())
+
+        return _Runner()

@@ -1,0 +1,80 @@
+"""FIFO channels (tapes) connecting stream nodes.
+
+A channel supports the three StreamIt tape primitives — ``peek(i)``,
+``pop()``, ``push(v)`` — plus block variants used by the vectorized
+(matrix/FFT) kernels.  Storage is a Python list with a head index that is
+compacted periodically, giving amortized O(1) operations without deque's
+lack of random access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InterpError
+
+_COMPACT_THRESHOLD = 4096
+
+
+class Channel:
+    """A FIFO of floats with peeking."""
+
+    __slots__ = ("_buf", "_head", "name")
+
+    def __init__(self, name: str = ""):
+        self._buf: list[float] = []
+        self._head = 0
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._buf) - self._head
+
+    # tape primitives ---------------------------------------------------
+    def push(self, value: float) -> None:
+        self._buf.append(value)
+
+    def pop(self) -> float:
+        if self._head >= len(self._buf):
+            raise InterpError(f"pop from empty channel {self.name!r}")
+        v = self._buf[self._head]
+        self._head += 1
+        if self._head >= _COMPACT_THRESHOLD:
+            del self._buf[:self._head]
+            self._head = 0
+        return v
+
+    def peek(self, index: int) -> float:
+        i = self._head + index
+        if index < 0 or i >= len(self._buf):
+            raise InterpError(
+                f"peek({index}) beyond channel {self.name!r} "
+                f"(holds {len(self)})")
+        return self._buf[i]
+
+    # block operations for vectorized kernels ---------------------------
+    def peek_block(self, n: int) -> np.ndarray:
+        """First ``n`` items as an ndarray, without consuming."""
+        if len(self) < n:
+            raise InterpError(
+                f"peek_block({n}) beyond channel {self.name!r} "
+                f"(holds {len(self)})")
+        return np.asarray(self._buf[self._head:self._head + n])
+
+    def pop_block(self, n: int) -> None:
+        """Discard the first ``n`` items."""
+        if len(self) < n:
+            raise InterpError(f"pop_block({n}) from channel {self.name!r}")
+        self._head += n
+        if self._head >= _COMPACT_THRESHOLD:
+            del self._buf[:self._head]
+            self._head = 0
+
+    def push_block(self, values) -> None:
+        self._buf.extend(float(v) for v in values)
+
+    def push_array(self, values: np.ndarray) -> None:
+        self._buf.extend(values.tolist())
+
+    def snapshot(self) -> list[float]:
+        """Current contents (for debugging/tests)."""
+        return list(self._buf[self._head:])

@@ -1,0 +1,332 @@
+"""Data-driven execution of stream graphs.
+
+Reproduces the StreamIt uniprocessor backend + runtime library: the
+hierarchical graph is flattened into leaf nodes (filters, splitters,
+joiners) connected by FIFO channels, then fired data-driven in passes until
+the requested number of outputs has been collected at the sink.
+
+Two leaf execution backends exist for IR filters:
+
+* ``interp``  — the reference tree-walking interpreter (exact per-op
+  FLOP accounting),
+* ``compiled`` — generated Python (the default; static per-block FLOP
+  accounting; ~50x faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InterpError, StreamGraphError
+from ..graph.scheduler import steady_state
+from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                             PrimitiveFilter, RoundRobin, SplitJoin, Stream)
+from ..ir.interp import Interpreter
+from ..ir.pycodegen import compile_work
+from .builtins import Collector, ListSource
+from .channels import Channel
+from ..profiling import NullProfiler, Profiler
+
+_MAX_PASSES_WITHOUT_PROGRESS = 2
+
+
+class _IRRunner:
+    """Executes an IR filter: prework once (if any), then work."""
+
+    def __init__(self, filt: Filter, profiler: Profiler, backend: str):
+        self.filt = filt
+        self.profiler = profiler
+        # fields are copied so a graph can be executed repeatedly
+        self.fields = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in filt.fields.items()
+        }
+        self.fired_init = filt.prework is None
+        if backend == "interp":
+            interp = Interpreter(self.fields, profiler)
+            self._run_work = lambda wf, ci, co: interp.run(wf, ci, co)
+        elif backend == "compiled":
+            self._compiled = {}
+            self._run_work = self._run_compiled
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+    def _run_compiled(self, wf, ch_in, ch_out):
+        fn = self._compiled.get(id(wf))
+        if fn is None:
+            fn = compile_work(wf, self.fields, self.filt.name)
+            self._compiled[id(wf)] = fn
+        fn(ch_in.peek, ch_in.pop, ch_out.push, self.fields,
+           self.profiler.bulk)
+
+    def current_work(self):
+        return self.filt.prework if not self.fired_init else self.filt.work
+
+    def fire(self, ch_in, ch_out):
+        wf = self.current_work()
+        self._run_work(wf, ch_in, ch_out)
+        self.fired_init = True
+
+
+@dataclass
+class _Node:
+    """A flattened execution node."""
+
+    name: str
+    kind: str  # 'filter' | 'primitive' | 'splitter' | 'joiner'
+    inputs: list[Channel] = field(default_factory=list)
+    outputs: list[Channel] = field(default_factory=list)
+    runner: object = None
+    stream: object = None
+    splitter: object = None  # Duplicate | RoundRobin for splitters
+    joiner: object = None  # RoundRobin for joiners
+    prim_fired_init: bool = False
+
+    # ------------------------------------------------------------------
+    def required_inputs(self) -> list[int]:
+        """Items needed on each input channel to fire once."""
+        if self.kind == "filter":
+            wf = self.runner.current_work()
+            return [wf.peek]
+        if self.kind == "primitive":
+            s = self.stream
+            if s.init_peek is not None and not self.prim_fired_init:
+                return [s.init_peek]
+            return [s.peek]
+        if self.kind == "splitter":
+            if isinstance(self.splitter, Duplicate):
+                return [1]
+            return [self.splitter.total]
+        # joiner
+        return list(self.joiner.weights)
+
+    def can_fire(self) -> bool:
+        return all(len(ch) >= need
+                   for ch, need in zip(self.inputs, self.required_inputs()))
+
+    def fire(self, profiler: Profiler) -> None:
+        if self.kind in ("filter", "primitive"):
+            ch_in = self.inputs[0] if self.inputs else _NULL_CHANNEL
+            ch_out = self.outputs[0] if self.outputs else _NULL_CHANNEL
+            self.runner.fire(ch_in, ch_out)
+            self.prim_fired_init = True
+        elif self.kind == "splitter":
+            src = self.inputs[0]
+            if isinstance(self.splitter, Duplicate):
+                v = src.pop()
+                for out in self.outputs:
+                    out.push(v)
+            else:
+                for out, w in zip(self.outputs, self.splitter.weights):
+                    for _ in range(w):
+                        out.push(src.pop())
+        else:  # joiner
+            out = self.outputs[0]
+            for ch, w in zip(self.inputs, self.joiner.weights):
+                for _ in range(w):
+                    out.push(ch.pop())
+
+
+class _NullChannelType(Channel):
+    """Channel for unused endpoints (void input of sources, etc.)."""
+
+    def push(self, v):
+        raise InterpError("push on void tape")
+
+    def pop(self):
+        raise InterpError("pop on void tape")
+
+    def peek(self, i):
+        raise InterpError("peek on void tape")
+
+
+_NULL_CHANNEL = _NullChannelType("void")
+
+
+class FlatGraph:
+    """A flattened stream graph ready for execution."""
+
+    def __init__(self, stream: Stream, profiler: Profiler | None = None,
+                 backend: str = "compiled"):
+        self.stream = stream
+        self.profiler = profiler if profiler is not None else NullProfiler()
+        self.backend = backend
+        self.nodes: list[_Node] = []
+        self._channel_counter = 0
+        self.input_channel = Channel("graph-in")
+        self.output_channel = Channel("graph-out")
+        out = self._flatten(stream, self.input_channel)
+        # replace dangling output with the graph output channel
+        if out is not None:
+            for node in self.nodes:
+                node.outputs = [self.output_channel if ch is out else ch
+                                for ch in node.outputs]
+        self.collectors = [n for n in self.nodes
+                           if isinstance(n.stream, Collector)]
+
+    # ------------------------------------------------------------------
+    def _new_channel(self) -> Channel:
+        self._channel_counter += 1
+        return Channel(f"ch{self._channel_counter}")
+
+    def _flatten(self, stream: Stream, ch_in: Channel) -> Channel | None:
+        """Wire ``stream`` reading from ``ch_in``; return its output channel."""
+        if isinstance(stream, Filter):
+            node = _Node(name=stream.name, kind="filter", stream=stream,
+                         runner=_IRRunner(stream, self.profiler, self.backend))
+            node.inputs = [ch_in] if stream.pop or stream.peek else []
+            out = self._new_channel() if stream.push or (
+                stream.prework and stream.prework.push) else None
+            if out is not None:
+                node.outputs = [out]
+            self.nodes.append(node)
+            return out
+        if isinstance(stream, PrimitiveFilter):
+            node = _Node(name=stream.name, kind="primitive", stream=stream,
+                         runner=stream.make_runner(self.profiler))
+            needs_in = stream.peek or stream.pop or (
+                stream.init_peek or stream.init_pop)
+            node.inputs = [ch_in] if needs_in else []
+            out = self._new_channel() if stream.push or (
+                stream.init_push) else None
+            if out is not None:
+                node.outputs = [out]
+            self.nodes.append(node)
+            return out
+        if isinstance(stream, Pipeline):
+            cur = ch_in
+            for child in stream.children:
+                cur = self._flatten(child, cur)
+            return cur
+        if isinstance(stream, SplitJoin):
+            split_node = _Node(name=f"{stream.name}.split", kind="splitter",
+                               splitter=stream.splitter, inputs=[ch_in])
+            self.nodes.append(split_node)
+            branch_outs = []
+            for child in stream.children:
+                branch_in = self._new_channel()
+                split_node.outputs.append(branch_in)
+                branch_outs.append(self._flatten(child, branch_in))
+            join_node = _Node(name=f"{stream.name}.join", kind="joiner",
+                              joiner=stream.joiner)
+            join_node.inputs = branch_outs
+            out = self._new_channel()
+            join_node.outputs = [out]
+            self.nodes.append(join_node)
+            return out
+        if isinstance(stream, FeedbackLoop):
+            loop_to_join = self._new_channel()
+            for v in stream.enqueued:
+                loop_to_join.push(v)
+            join_node = _Node(name=f"{stream.name}.join", kind="joiner",
+                              joiner=stream.joiner,
+                              inputs=[ch_in, loop_to_join])
+            body_in = self._new_channel()
+            join_node.outputs = [body_in]
+            self.nodes.append(join_node)
+            body_out = self._flatten(stream.body, body_in)
+            split_node = _Node(name=f"{stream.name}.split", kind="splitter",
+                               splitter=stream.splitter, inputs=[body_out])
+            out = self._new_channel()
+            split_to_loop = self._new_channel()
+            split_node.outputs = [out, split_to_loop]
+            self.nodes.append(split_node)
+            loop_out = self._flatten(stream.loop, split_to_loop)
+            # feed the loop stream's output back into the joiner
+            for node in self.nodes:
+                node.outputs = [loop_to_join if ch is loop_out else ch
+                                for ch in node.outputs]
+            return out
+        raise TypeError(f"cannot flatten {stream!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
+        """Fire nodes until the sink has ``n_outputs`` items; return them.
+
+        The sink is the graph's Collector if present, otherwise the graph
+        output channel.
+        """
+        collector = self.collectors[0].runner if self.collectors else None
+
+        def produced():
+            if collector is not None:
+                return len(collector.collected)
+            return len(self.output_channel)
+
+        sources = [n for n in self.nodes if not n.inputs]
+        passes = 0
+        while produced() < n_outputs:
+            passes += 1
+            if passes > max_passes:
+                raise InterpError("executor pass limit exceeded")
+            progress = False
+            for node in sources:
+                try:
+                    node.fire(self.profiler)
+                    progress = True
+                except IndexError:
+                    pass  # finite source exhausted
+            # propagate until quiescent
+            busy = True
+            while busy:
+                busy = False
+                for node in self.nodes:
+                    if node.inputs:
+                        while node.can_fire():
+                            node.fire(self.profiler)
+                            busy = True
+                            if produced() >= n_outputs:
+                                busy = False
+                                break
+                if produced() >= n_outputs:
+                    break
+            if not progress and produced() < n_outputs:
+                raise InterpError(
+                    f"deadlock: no source progress, "
+                    f"{produced()}/{n_outputs} outputs")
+        if collector is not None:
+            return collector.collected[:n_outputs]
+        return [self.output_channel.pop() for _ in range(n_outputs)]
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def run_graph(stream: Stream, n_outputs: int,
+              profiler: Profiler | None = None,
+              backend: str = "compiled") -> list[float]:
+    """Run a complete (void->void or void->float) program graph."""
+    return FlatGraph(stream, profiler, backend).run(n_outputs)
+
+
+def run_stream(stream: Stream, inputs, n_outputs: int,
+               profiler: Profiler | None = None,
+               backend: str = "compiled") -> list[float]:
+    """Run a float->float ``stream`` on ``inputs``; collect ``n_outputs``."""
+    program = Pipeline([ListSource(inputs), stream, Collector()],
+                       name="harness")
+    return run_graph(program, n_outputs, profiler, backend)
+
+
+def count_ops(stream: Stream, n_outputs: int, inputs=None,
+              backend: str = "compiled") -> Profiler:
+    """Run and return the profiler (FLOP counts) for ``n_outputs`` outputs."""
+    profiler = Profiler()
+    if inputs is None:
+        run_graph(stream, n_outputs, profiler, backend)
+    else:
+        run_stream(stream, inputs, n_outputs, profiler, backend)
+    return profiler
+
+
+def sanity_check_schedulable(stream: Stream) -> None:
+    """Raise if the stream has no steady-state schedule."""
+    try:
+        steady_state(stream)
+    except Exception as exc:  # re-raise with context
+        raise StreamGraphError(
+            f"stream {stream.name} is not schedulable: {exc}") from exc

@@ -1,0 +1,9 @@
+"""Compatibility shim: the profiler lives in :mod:`repro.profiling`.
+
+It is a standalone top-level module to keep the import graph acyclic
+(IR interpreter -> profiler, runtime package -> graph -> IR).
+"""
+
+from ..profiling import CATEGORIES, Counts, NullProfiler, Profiler
+
+__all__ = ["Profiler", "NullProfiler", "Counts", "CATEGORIES"]

@@ -1,0 +1,13 @@
+"""Automatic optimization selection (dynamic programming, thesis §4.3)."""
+
+from .costs import (decimator_cost, direct_cost, frequency_block_flops,
+                    frequency_cost)
+from .dp import (Config, OptimizationSelector, SelectionResult,
+                 select_optimizations)
+
+__all__ = [
+    "direct_cost", "frequency_cost", "decimator_cost",
+    "frequency_block_flops",
+    "Config", "OptimizationSelector", "SelectionResult",
+    "select_optimizations",
+]

@@ -1,0 +1,284 @@
+"""Optimization selection via dynamic programming (thesis §4.3).
+
+For every stream (and every contiguous child range of every container) the
+selector evaluates three ways of realizing it:
+
+* collapse the region and run it in the **time domain** (LINEAR),
+* collapse the region and run it in the **frequency domain** (FREQ),
+* leave it **uncollapsed** (NONE) — realized either by descending into a
+  single child or by *cutting* the region into two sub-regions (pipeline
+  ranges cut horizontally, splitjoin ranges vertically) whose costs add.
+
+Costs are normalized per steady state of the whole program: a candidate
+implementation of a region with push rate u' fires ``items_out / u'``
+times per steady state, where ``items_out`` is the data volume crossing
+the region's output edge (computed once from the original schedule).
+Non-linear leaves cost zero under NONE, as in the thesis, so the search
+concentrates on the linear portions.
+
+Splitjoin cuts nest the range as two groups under an outer splitter and
+joiner whose weights are the per-group sums — semantically identical to
+the flat construct, which is what makes the cut a pure refactoring.
+
+The result is both the minimal cost and the rebuilt optimized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CombinationError, SchedulingError, StreamGraphError
+from ..frequency.filters import make_frequency_stream
+from ..graph.scheduler import steady_state
+from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                             PrimitiveFilter, RoundRobin, SplitJoin, Stream)
+from ..linear.combine import LinearityMap, analyze
+from ..linear.filters import LinearFilter
+from ..linear.node import LinearNode
+from ..linear.pipeline_comb import combine_pipeline_pair
+from ..linear.splitjoin_comb import combine_splitjoin
+from .costs import direct_cost, frequency_cost
+
+
+@dataclass
+class Config:
+    """A costed realization of a region (thesis Figure 4-3)."""
+
+    cost: float
+    stream: Stream
+    choice: str  # 'linear' | 'freq' | 'none' | 'cut'
+
+
+@dataclass
+class SelectionResult:
+    stream: Stream
+    cost: float
+    decisions: dict
+
+
+class OptimizationSelector:
+    """Runs the DP over one program graph."""
+
+    def __init__(self, program: Stream, lmap: LinearityMap | None = None,
+                 max_matrix_elems: int = 4_000_000,
+                 min_freq_peek: int = 2):
+        self.program = program
+        self.lmap = lmap if lmap is not None else analyze(program)
+        self.max_matrix_elems = max_matrix_elems
+        self.min_freq_peek = min_freq_peek
+        self._memo: dict = {}
+        self._region_nodes: dict = {}
+        self._out_items: dict[int, float] = {}
+        self._feedback_depth = 0
+        self._compute_data_volumes()
+
+    # ------------------------------------------------------------------
+    # data volumes (the executionsPerSteadyState normalization)
+    # ------------------------------------------------------------------
+    def _compute_data_volumes(self):
+        def visit(stream: Stream, mult: float):
+            if isinstance(stream, (Filter, PrimitiveFilter)):
+                self._out_items[id(stream)] = mult * stream.push
+                return
+            sub = steady_state(stream)
+            self._out_items[id(stream)] = mult * sub.push
+            if isinstance(stream, (Pipeline, SplitJoin)):
+                for child in stream.children:
+                    visit(child, mult * sub.multiplicity(child))
+            elif isinstance(stream, FeedbackLoop):
+                visit(stream.body, mult * sub.multiplicity(stream.body))
+                visit(stream.loop, mult * sub.multiplicity(stream.loop))
+
+        visit(self.program, 1.0)
+
+    @staticmethod
+    def _firings(items_out: float, push: int) -> float:
+        return items_out / push if push else 0.0
+
+    # ------------------------------------------------------------------
+    # region linear nodes
+    # ------------------------------------------------------------------
+    def _node_for_range(self, container, lo: int, hi: int) \
+            -> LinearNode | None:
+        """Linear node of children[lo:hi] of a container, or None."""
+        key = (id(container), lo, hi)
+        if key in self._region_nodes:
+            return self._region_nodes[key]
+        node = None
+        children = container.children[lo:hi]
+        child_nodes = [self.lmap.node_for(c) for c in children]
+        if all(n is not None for n in child_nodes):
+            try:
+                if isinstance(container, Pipeline):
+                    acc = child_nodes[0]
+                    for n in child_nodes[1:]:
+                        acc = combine_pipeline_pair(acc, n)
+                        if acc.peek * acc.push > self.max_matrix_elems:
+                            raise CombinationError("matrix too large")
+                    node = acc
+                else:  # SplitJoin range
+                    splitter = container.splitter
+                    if isinstance(splitter, RoundRobin):
+                        splitter = RoundRobin(splitter.weights[lo:hi])
+                    joiner = RoundRobin(container.joiner.weights[lo:hi])
+                    node = combine_splitjoin(splitter, child_nodes, joiner)
+                    if node.peek * node.push > self.max_matrix_elems:
+                        node = None
+            except (CombinationError, SchedulingError):
+                node = None
+        self._region_nodes[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # collapse candidates (thesis Figure 4-5, getNodeCost)
+    # ------------------------------------------------------------------
+    def _collapse_configs(self, node: LinearNode, items_out: float,
+                          label: str) -> list[Config]:
+        configs = []
+        firings = self._firings(items_out, node.push)
+        configs.append(Config(firings * direct_cost(node),
+                              LinearFilter(node, name=f"Linear[{label}]"),
+                              "linear"))
+        if self._feedback_depth > 0:
+            # frequency filters change granularity -> unsafe in a cycle
+            return configs
+        if node.peek >= self.min_freq_peek:
+            try:
+                freq_stream = make_frequency_stream(
+                    node, name=f"Freq[{label}]")
+                configs.append(Config(firings * frequency_cost(node),
+                                      freq_stream, "freq"))
+            except StreamGraphError:
+                pass
+        return configs
+
+    # ------------------------------------------------------------------
+    # the DP
+    # ------------------------------------------------------------------
+    def best(self, stream: Stream) -> Config:
+        """Minimal-cost realization of a whole stream (ANY transform)."""
+        key = id(stream)
+        if key in self._memo:
+            return self._memo[key]
+        items_out = self._out_items.get(id(stream), 0.0)
+
+        if isinstance(stream, (Filter, PrimitiveFilter)):
+            node = self.lmap.node_for(stream)
+            if node is None:
+                result = Config(0.0, stream, "none")
+            else:
+                candidates = [Config(
+                    self._firings(items_out, node.push) * direct_cost(node),
+                    stream, "none")]
+                candidates += self._collapse_configs(node, items_out,
+                                                     stream.name)
+                result = min(candidates, key=lambda c: c.cost)
+        elif isinstance(stream, (Pipeline, SplitJoin)):
+            result = self._best_range(stream, 0, len(stream.children))
+        elif isinstance(stream, FeedbackLoop):
+            self._feedback_depth += 1
+            body = self.best(stream.body)
+            loop = self.best(stream.loop)
+            self._feedback_depth -= 1
+            result = Config(
+                body.cost + loop.cost,
+                FeedbackLoop(body.stream, loop.stream, stream.joiner,
+                             stream.splitter, stream.enqueued,
+                             name=stream.name),
+                "none")
+        else:
+            raise TypeError(f"unknown stream {stream!r}")
+        self._memo[key] = result
+        return result
+
+    def _range_items_out(self, container, lo: int, hi: int) -> float:
+        if isinstance(container, Pipeline):
+            return self._out_items.get(id(container.children[hi - 1]), 0.0)
+        return sum(self._out_items.get(id(c), 0.0)
+                   for c in container.children[lo:hi])
+
+    def _best_range(self, container, lo: int, hi: int) -> Config:
+        key = (id(container), lo, hi)
+        if key in self._memo:
+            return self._memo[key]
+
+        if hi - lo == 1:
+            # single child: its own best realization stands in directly
+            # (for splitjoins the outer cut already routes its share).
+            result = self.best(container.children[lo])
+            self._memo[key] = result
+            return result
+
+        candidates: list[Config] = []
+
+        # collapse the whole range (LINEAR / FREQ); multi-child collapse
+        # coarsens granularity, so it is skipped inside feedback cycles
+        node = None if self._feedback_depth > 0 \
+            else self._node_for_range(container, lo, hi)
+        if node is not None:
+            items_out = self._range_items_out(container, lo, hi)
+            label = f"{container.name}[{lo}:{hi}]"
+            candidates += self._collapse_configs(node, items_out, label)
+
+        # cuts (NONE): every pivot splits the range in two
+        for pivot in range(lo + 1, hi):
+            left = self._best_range(container, lo, pivot)
+            right = self._best_range(container, pivot, hi)
+            cost = left.cost + right.cost
+            if isinstance(container, Pipeline):
+                stream = self._cut_pipeline(container, left.stream,
+                                            right.stream)
+            else:
+                stream = self._cut_splitjoin(container, lo, pivot, hi,
+                                             left.stream, right.stream)
+            candidates.append(Config(cost, stream, "cut"))
+
+        result = min(candidates, key=lambda c: c.cost)
+        self._memo[key] = result
+        return result
+
+    @staticmethod
+    def _cut_pipeline(container: Pipeline, left: Stream,
+                      right: Stream) -> Pipeline:
+        """Two realized halves in sequence; nested pipelines flatten."""
+        parts: list[Stream] = []
+        for part in (left, right):
+            if isinstance(part, Pipeline):
+                parts.extend(part.children)
+            else:
+                parts.append(part)
+        return Pipeline(parts, name=container.name)
+
+    @staticmethod
+    def _cut_splitjoin(container: SplitJoin, lo: int, pivot: int,
+                       hi: int, left: Stream, right: Stream) -> SplitJoin:
+        """Nest the range as two groups with summed splitter/joiner weights.
+
+        Each realized group already encodes its internal routing (a deeper
+        cut yields a nested splitjoin; a collapse yields a leaf whose
+        matrix absorbed the sliced splitter and joiner), so the groups
+        plug in directly.
+        """
+        w = container.joiner.weights
+        joiner = RoundRobin((sum(w[lo:pivot]), sum(w[pivot:hi])))
+        if isinstance(container.splitter, Duplicate):
+            splitter: Duplicate | RoundRobin = Duplicate()
+        else:
+            v = container.splitter.weights
+            splitter = RoundRobin((sum(v[lo:pivot]), sum(v[pivot:hi])))
+        return SplitJoin(splitter, [left, right], joiner,
+                         name=container.name)
+
+
+def select_optimizations(program: Stream,
+                         lmap: LinearityMap | None = None,
+                         max_matrix_elems: int = 4_000_000) \
+        -> SelectionResult:
+    """Run automatic optimization selection on a whole program.
+
+    Returns the rebuilt program realizing the minimal-cost configuration.
+    """
+    selector = OptimizationSelector(program, lmap, max_matrix_elems)
+    best = selector.best(program)
+    return SelectionResult(stream=best.stream, cost=best.cost,
+                           decisions=dict(selector._memo))

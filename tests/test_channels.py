@@ -1,0 +1,77 @@
+"""Channel (tape) semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError
+from repro.runtime import Channel
+
+
+def test_fifo_order():
+    ch = Channel("t")
+    for v in (1.0, 2.0, 3.0):
+        ch.push(v)
+    assert [ch.pop(), ch.pop(), ch.pop()] == [1.0, 2.0, 3.0]
+
+
+def test_peek_does_not_consume():
+    ch = Channel()
+    ch.push_block([10.0, 20.0])
+    assert ch.peek(1) == 20.0
+    assert len(ch) == 2
+    assert ch.pop() == 10.0
+
+
+def test_peek_out_of_range():
+    ch = Channel("x")
+    ch.push(1.0)
+    with pytest.raises(InterpError):
+        ch.peek(1)
+    with pytest.raises(InterpError):
+        ch.peek(-1)
+
+
+def test_pop_empty():
+    with pytest.raises(InterpError):
+        Channel("e").pop()
+
+
+def test_block_operations():
+    ch = Channel()
+    ch.push_array(np.arange(5.0))
+    block = ch.peek_block(3)
+    np.testing.assert_array_equal(block, [0.0, 1.0, 2.0])
+    ch.pop_block(2)
+    assert ch.pop() == 2.0
+    assert len(ch) == 2
+
+
+def test_block_underflow():
+    ch = Channel()
+    ch.push(1.0)
+    with pytest.raises(InterpError):
+        ch.peek_block(2)
+    with pytest.raises(InterpError):
+        ch.pop_block(2)
+
+
+def test_compaction_preserves_contents():
+    """Push/pop far past the compaction threshold."""
+    ch = Channel()
+    expected = []
+    n = 20_000
+    for i in range(n):
+        ch.push(float(i))
+        if i % 3 != 0:
+            expected.append(ch.pop())
+    while len(ch):
+        expected.append(ch.pop())
+    assert expected[:5] == sorted(expected[:5])
+    assert len(expected) == n
+
+
+def test_snapshot():
+    ch = Channel()
+    ch.push_block([1.0, 2.0, 3.0])
+    ch.pop()
+    assert ch.snapshot() == [2.0, 3.0]

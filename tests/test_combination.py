@@ -1,0 +1,205 @@
+"""Pipeline and splitjoin combination tests, validated on the thesis'
+worked examples (Figures 3-4 and 3-6) and on random-node equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CombinationError
+from repro.graph import Duplicate, RoundRobin
+from repro.linear import (LinearNode, combine_duplicate_splitjoin,
+                          combine_pipeline, combine_pipeline_pair,
+                          combine_splitjoin, decimator_node,
+                          roundrobin_to_duplicate)
+
+
+def test_figure_3_4_pipeline_combination():
+    """Two FIR filters: A1=[1;2] (e=2), A2=[3;4;5] (e=3) => e=4 combined."""
+    n1 = LinearNode.from_coefficients([[1.0, 2.0]], [0.0], pop=1)
+    n2 = LinearNode.from_coefficients([[3.0, 4.0, 5.0]], [0.0], pop=1)
+    combined = combine_pipeline_pair(n1, n2)
+    assert (combined.peek, combined.pop, combined.push) == (4, 1, 1)
+    # Verify against brute-force composition on a random input stream.
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=16)
+    mid = n1.reference_run(x, firings=15)
+    expected = n2.reference_run(mid, firings=10)
+    got = combined.reference_run(x, firings=10)
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_pipeline_combination_composes_offsets():
+    n1 = LinearNode.from_coefficients([[2.0]], [3.0], pop=1)   # y = 2x + 3
+    n2 = LinearNode.from_coefficients([[5.0]], [-1.0], pop=1)  # z = 5y - 1
+    combined = combine_pipeline_pair(n1, n2)
+    # z = 10x + 14
+    np.testing.assert_allclose(combined.apply(np.array([7.0])), [84.0])
+
+
+def test_pipeline_combination_with_rate_mismatch():
+    """u1=2 vs o2=3 forces expansion to chanPop=lcm(2,3)=6."""
+    n1 = LinearNode.from_coefficients(
+        [[1.0, 1.0], [2.0, 0.0]], [0.0, 0.0], pop=1)  # push 2 per pop 1
+    n2 = LinearNode.from_coefficients([[1.0, 1.0, 1.0]], [0.0], pop=3)
+    combined = combine_pipeline_pair(n1, n2)
+    assert combined.push == 2  # 6 channel items / o2=3 * u2=1 = 2
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=20)
+    mid = n1.reference_run(x, firings=12)
+    expected = n2.reference_run(mid, firings=6)
+    got = combined.reference_run(x, firings=3)
+    np.testing.assert_allclose(got, expected[:len(got)], atol=1e-12)
+
+
+def test_pipeline_combination_with_downstream_peeking():
+    """Downstream peeks (e2 > o2): upstream must regenerate overlap."""
+    n1 = LinearNode.from_coefficients([[1.0, -1.0]], [0.0], pop=1)
+    n2 = LinearNode.from_coefficients([[1.0, 2.0, 3.0, 4.0]], [0.0], pop=1)
+    combined = combine_pipeline_pair(n1, n2)
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=30)
+    mid = n1.reference_run(x, firings=29)
+    expected = n2.reference_run(mid, firings=20)
+    got = combined.reference_run(x, firings=20)
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_combine_pipeline_many():
+    nodes = [LinearNode.from_coefficients([[1.0, 1.0]], [0.0], pop=1)
+             for _ in range(4)]
+    combined = combine_pipeline(nodes)
+    assert combined.peek == 5  # binomial smoothing depth
+    # coefficients are binomial(4, k)
+    window = np.eye(5)
+    outs = [combined.apply(w)[0] for w in window]
+    np.testing.assert_allclose(outs, [1, 4, 6, 4, 1])
+
+
+def test_combine_pipeline_empty_fails():
+    with pytest.raises(CombinationError):
+        combine_pipeline([])
+
+
+def test_figure_3_6_splitjoin_combination():
+    """Duplicate splitjoin, children u=4 and u=1, joiner roundrobin(2,1)."""
+    A1 = np.array([[1.0, 2.0, 3.0, 4.0],
+                   [5.0, 6.0, 7.0, 8.0]])
+    n1 = LinearNode(A1, np.zeros(4), 2, 2, 4)
+    n2 = LinearNode(np.array([[9.0]]), np.array([10.0]), 1, 1, 1)
+    combined = combine_duplicate_splitjoin([n1, n2], [2, 1])
+    expected_A = np.array([
+        [9.0, 1.0, 2.0, 0.0, 3.0, 4.0],
+        [0.0, 5.0, 6.0, 9.0, 7.0, 8.0],
+    ])
+    np.testing.assert_array_equal(combined.A, expected_A)
+    np.testing.assert_array_equal(combined.b,
+                                  [10.0, 0.0, 0.0, 10.0, 0.0, 0.0])
+    assert (combined.peek, combined.pop, combined.push) == (2, 2, 6)
+
+
+def _run_duplicate_splitjoin(children, weights, inputs, cycles):
+    """Oracle: simulate a duplicate splitjoin + roundrobin joiner."""
+    outs = [list() for _ in children]
+    for k, child in enumerate(children):
+        firings = (len(inputs) - (child.peek - child.pop)) // child.pop
+        outs[k] = list(child.reference_run(inputs, firings))
+    result = []
+    positions = [0] * len(children)
+    for _ in range(cycles):
+        for k, w in enumerate(weights):
+            result.extend(outs[k][positions[k]:positions[k] + w])
+            positions[k] += w
+    return np.array(result)
+
+
+def test_duplicate_splitjoin_equivalence_mismatched_rates():
+    """Rates (o=3,u=2,w=2) vs (o=1,u=1,w=3): reps 1 and 3, equal pops."""
+    n1 = LinearNode.from_coefficients(
+        [[1.0, 2.0, 0.0], [0.5, 0.0, 1.0]], [0.0, 1.0], pop=3)
+    n2 = LinearNode.from_coefficients([[3.0, 0.0, -1.0]], [0.5], pop=1)
+    combined = combine_duplicate_splitjoin([n1, n2], [2, 3])
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=40)
+    firings = 4
+    got = combined.reference_run(x, firings=firings)
+    expected = _run_duplicate_splitjoin(
+        [n1, n2], [2, 3], x, cycles=firings * combined.push // 5)
+    np.testing.assert_allclose(got, expected[:len(got)], atol=1e-12)
+
+
+def test_duplicate_splitjoin_rejects_inconsistent_pops():
+    n1 = LinearNode.from_coefficients([[1.0]], [0.0], pop=1)  # o=1, u=1
+    n2 = LinearNode.from_coefficients([[1.0, 1.0]], [0.0], pop=2)  # o=2, u=1
+    with pytest.raises(CombinationError):
+        combine_duplicate_splitjoin([n1, n2], [1, 1])
+
+
+def test_decimator_node_structure():
+    """Transformation 4's decimator: keep branch k's segment of each cycle."""
+    dec = decimator_node([2, 1], k=0)
+    assert (dec.peek, dec.pop, dec.push) == (3, 3, 2)
+    np.testing.assert_allclose(dec.apply(np.array([10.0, 20.0, 30.0])),
+                               [10.0, 20.0])
+    dec1 = decimator_node([2, 1], k=1)
+    np.testing.assert_allclose(dec1.apply(np.array([10.0, 20.0, 30.0])),
+                               [30.0])
+
+
+def test_roundrobin_splitjoin_equivalence():
+    """rr(1,1) split, identity children, rr(1,1) join == identity overall."""
+    ident = LinearNode.from_coefficients([[1.0]], [0.0], pop=1)
+    combined = combine_splitjoin(
+        RoundRobin((1, 1)), [ident, ident], RoundRobin((1, 1)))
+    x = np.arange(10, dtype=float)
+    firings = 10 // combined.pop
+    got = combined.reference_run(x, firings=firings)
+    np.testing.assert_allclose(got, x[:len(got)])
+
+
+def test_roundrobin_splitjoin_swap():
+    """rr(1,1) split + rr joiner reading right child first swaps pairs."""
+    ident = LinearNode.from_coefficients([[1.0]], [0.0], pop=1)
+    neg = LinearNode.from_coefficients([[-1.0]], [0.0], pop=1)
+    combined = combine_splitjoin(
+        RoundRobin((1, 1)), [ident, neg], RoundRobin((1, 1)))
+    got = combined.reference_run(np.array([1.0, 2.0, 3.0, 4.0]), firings=2)
+    np.testing.assert_allclose(got, [1.0, -2.0, 3.0, -4.0])
+
+
+def test_duplicate_splitjoin_three_children():
+    a = LinearNode.from_coefficients([[1.0]], [0.0], pop=1)
+    b = LinearNode.from_coefficients([[2.0]], [0.0], pop=1)
+    c = LinearNode.from_coefficients([[3.0]], [0.0], pop=1)
+    combined = combine_splitjoin(Duplicate(), [a, b, c],
+                                 RoundRobin((1, 1, 1)))
+    got = combined.reference_run(np.array([5.0, 7.0]), firings=2)
+    np.testing.assert_allclose(got, [5, 10, 15, 7, 14, 21])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    e1=st.integers(1, 4), u1=st.integers(1, 3),
+    e2=st.integers(1, 4), o2=st.integers(1, 3), u2=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_property_pipeline_combination_equivalence(e1, u1, e2, o2, u2, seed):
+    """pipeline(Λ1, Λ2) computes exactly the composed stream function."""
+    rng = np.random.default_rng(seed)
+    o1 = 1
+    e1 = max(e1, o1)
+    e2 = max(e2, o2)
+    n1 = LinearNode(rng.integers(-2, 3, (e1, u1)).astype(float),
+                    rng.integers(-1, 2, u1).astype(float), e1, o1, u1)
+    n2 = LinearNode(rng.integers(-2, 3, (e2, u2)).astype(float),
+                    rng.integers(-1, 2, u2).astype(float), e2, o2, u2)
+    combined = combine_pipeline_pair(n1, n2)
+    x = rng.normal(size=combined.peek + 3 * combined.pop)
+    firings = 3
+    mid_firings = (len(x) - (n1.peek - n1.pop)) // n1.pop
+    mid = n1.reference_run(x, firings=mid_firings)
+    out_firings = (len(mid) - (n2.peek - n2.pop)) // n2.pop
+    expected = n2.reference_run(mid, firings=out_firings)
+    got = combined.reference_run(x, firings=firings)
+    n = min(len(got), len(expected))
+    np.testing.assert_allclose(got[:n], expected[:n], atol=1e-9)

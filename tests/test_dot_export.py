@@ -1,0 +1,39 @@
+"""Graphviz export tests (Appendix-B style stream graphs)."""
+
+from repro.apps import dtoa, fir, fmradio
+from repro.graph.dot import to_dot
+
+
+def test_fir_graph_marks_linear_filter():
+    dot = to_dot(fir.build(taps=8), title="FIR")
+    assert dot.startswith('digraph "FIR"')
+    assert dot.rstrip().endswith("}")
+    assert "LowPassFilter" in dot
+    assert "lightblue" in dot  # the FIR filter is linear
+    assert "FloatSource" in dot
+
+
+def test_splitjoin_rendering():
+    dot = to_dot(fmradio.build(bands=4, taps=8))
+    assert "duplicate" in dot
+    assert "join roundrobin" in dot
+    assert dot.count("subgraph") >= 3
+
+
+def test_feedbackloop_rendering():
+    dot = to_dot(dtoa.build(stages=2, taps=8, out_taps=8))
+    assert "enqueue 1" in dot
+    assert "style=dashed" in dot  # the feedback edge
+
+
+def test_linear_containers_highlighted():
+    from repro.apps import oversampler
+
+    dot = to_dot(oversampler.build(stages=2, taps=8))
+    # the OverSampler pipeline is entirely linear -> pink cluster
+    assert "pink" in dot
+
+
+def test_dot_is_balanced():
+    dot = to_dot(fmradio.build(bands=4, taps=8))
+    assert dot.count("{") == dot.count("}")

@@ -1,0 +1,92 @@
+"""Linear expansion tests (thesis §3.3.1, validated on Figure 3-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linear import LinearNode, expand, expand_firings
+
+
+def fir2():
+    """The first filter of Figure 3-4: y = 2*peek(0) + peek(1), A1 = [1;2]
+    in the thesis' layout (row 0 holds the peek(1) coefficient)."""
+    return LinearNode.from_coefficients([[2.0, 1.0]], [0.0], pop=1)
+
+
+def test_figure_3_4_expansion():
+    """expand(A1, 4, 1, 3) from the worked pipeline example."""
+    node = expand(fir2(), 4, 1, 3)
+    expected = np.array([
+        [1.0, 0.0, 0.0],
+        [2.0, 1.0, 0.0],
+        [0.0, 2.0, 1.0],
+        [0.0, 0.0, 2.0],
+    ])
+    np.testing.assert_array_equal(node.A, expected)
+    np.testing.assert_array_equal(node.b, np.zeros(3))
+    assert (node.peek, node.pop, node.push) == (4, 1, 3)
+
+
+def test_expand_identity():
+    node = fir2()
+    same = expand(node, node.peek, node.pop, node.push)
+    np.testing.assert_array_equal(same.A, node.A)
+    np.testing.assert_array_equal(same.b, node.b)
+
+
+def test_expand_firings_equivalence():
+    """k-firing expansion computes exactly k consecutive firings."""
+    node = LinearNode.from_coefficients(
+        [[1.0, -2.0, 0.5], [0.0, 3.0, 1.0]], [1.0, -1.0], pop=2)
+    k = 3
+    expanded = expand_firings(node, k)
+    assert expanded.pop == k * node.pop
+    assert expanded.push == k * node.push
+    rng = np.random.default_rng(42)
+    inputs = rng.normal(size=expanded.peek)
+    expected = node.reference_run(inputs, firings=k)
+    got = expanded.apply(inputs[:expanded.peek])
+    np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+def test_expand_b_replication():
+    node = LinearNode.from_coefficients([[1.0], [2.0]], [5.0, 7.0], pop=1)
+    expanded = expand_firings(node, 2)
+    # push order per firing is (b=5, b=7, 5, 7)
+    outs = expanded.apply(np.zeros(expanded.peek))
+    np.testing.assert_allclose(outs, [5.0, 7.0, 5.0, 7.0])
+
+
+def test_expand_pads_zero_rows_on_top():
+    """e' larger than the copies need => zero rows at the top (extra peek)."""
+    node = fir2()
+    expanded = expand(node, 6, 1, 3)
+    assert expanded.A.shape == (6, 3)
+    np.testing.assert_array_equal(expanded.A[:2], np.zeros((2, 3)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    e=st.integers(1, 6), o=st.integers(1, 4), u=st.integers(1, 4),
+    k=st.integers(1, 4), seed=st.integers(0, 10_000),
+)
+def test_property_expansion_equals_repeated_firings(e, o, u, k, seed):
+    """expand_firings(node, k) ≡ k firings of node, for random nodes."""
+    e = max(e, o)
+    rng = np.random.default_rng(seed)
+    A = rng.integers(-3, 4, size=(e, u)).astype(float)
+    b = rng.integers(-2, 3, size=u).astype(float)
+    node = LinearNode(A, b, e, o, u)
+    expanded = expand_firings(node, k)
+    inputs = rng.normal(size=expanded.peek)
+    np.testing.assert_allclose(
+        expanded.apply(inputs),
+        node.reference_run(inputs, firings=k),
+        atol=1e-9,
+    )
+
+
+def test_expand_rejects_bad_k():
+    with pytest.raises(ValueError):
+        expand_firings(fir2(), 0)

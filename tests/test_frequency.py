@@ -1,0 +1,198 @@
+"""Frequency replacement tests (thesis §4.1, Transformations 5-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamGraphError
+from repro.frequency import (CountedRadix2FFT, Decimator, NaiveFreqFilter,
+                             OptimizedFreqFilter, fft_size_for, fftw_counts,
+                             make_frequency_stream, next_power_of_two,
+                             simple_fft_counts)
+from repro.linear import LinearNode
+from repro.profiling import Profiler
+from repro.runtime import run_stream
+
+
+def random_node(e, u, o=1, seed=0, with_b=True):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(e, u))
+    b = rng.normal(size=u) if with_b else np.zeros(u)
+    return LinearNode(A, b, e, o, u)
+
+
+# ---------------------------------------------------------------------------
+# FFT library
+# ---------------------------------------------------------------------------
+
+
+class TestFFTLib:
+    def test_radix2_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        for n in (2, 4, 8, 16, 64):
+            x = rng.normal(size=n) + 1j * rng.normal(size=n)
+            fft = CountedRadix2FFT(n)
+            np.testing.assert_allclose(fft.transform(x), np.fft.fft(x),
+                                       atol=1e-9)
+
+    def test_radix2_inverse(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=32) + 1j * rng.normal(size=32)
+        fft = CountedRadix2FFT(32)
+        np.testing.assert_allclose(fft.transform(fft.transform(x),
+                                                 inverse=True), x, atol=1e-9)
+
+    def test_counts_match_closed_form(self):
+        for n in (4, 16, 128):
+            fft = CountedRadix2FFT(n)
+            assert fft.counts_per_call.fmul == simple_fft_counts(n).fmul
+            assert fft.counts_per_call.fadd == simple_fft_counts(n).fadd
+
+    def test_fftw_model_cheaper_than_simple(self):
+        for n in (16, 256, 4096):
+            assert fftw_counts(n).mults < simple_fft_counts(n).mults
+            assert fftw_counts(n).flops < simple_fft_counts(n).flops
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CountedRadix2FFT(12)
+
+    def test_fft_size_for(self):
+        assert fft_size_for(1) == 2
+        assert fft_size_for(3) == 8
+        # power-of-two peek doubles so that m >= e (see docstring)
+        assert fft_size_for(256) == 1024
+        for e in (3, 7, 31, 64, 100, 256):
+            n = fft_size_for(e)
+            assert n - 2 * e + 1 >= e
+        assert next_power_of_two(17) == 32
+
+
+# ---------------------------------------------------------------------------
+# frequency filters: functional equivalence with the linear node
+# ---------------------------------------------------------------------------
+
+
+def freq_outputs(node, strategy, n_out, seed=5, fft_size=None):
+    rng = np.random.default_rng(seed)
+    n_inputs = node.peek + node.pop * (n_out // node.push + 64)
+    inputs = rng.normal(size=n_inputs)
+    stream = make_frequency_stream(node, strategy=strategy,
+                                   fft_size=fft_size)
+    got = run_stream(stream, inputs.tolist(), n_out)
+    firings = n_out // node.push + 1
+    expected = node.reference_run(inputs, firings=firings)[:n_out]
+    return np.asarray(got), expected
+
+
+class TestFrequencyEquivalence:
+    @pytest.mark.parametrize("strategy", ["naive", "optimized"])
+    def test_single_column_fir(self, strategy):
+        node = random_node(e=8, u=1, seed=11)
+        got, expected = freq_outputs(node, strategy, n_out=100)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @pytest.mark.parametrize("strategy", ["naive", "optimized"])
+    def test_multi_column(self, strategy):
+        node = random_node(e=5, u=3, seed=12)
+        got, expected = freq_outputs(node, strategy, n_out=90)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @pytest.mark.parametrize("strategy", ["naive", "optimized"])
+    def test_pop_greater_than_one_uses_decimator(self, strategy):
+        node = random_node(e=6, u=2, o=3, seed=13)
+        got, expected = freq_outputs(node, strategy, n_out=40)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_offsets_added(self):
+        node = LinearNode(np.ones((4, 1)), np.array([2.5]), 4, 1, 1)
+        got, expected = freq_outputs(node, "optimized", n_out=50)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_manual_fft_size(self):
+        node = random_node(e=4, u=1, seed=14)
+        got, expected = freq_outputs(node, "optimized", n_out=64,
+                                     fft_size=32)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_fft_size_too_small_rejected(self):
+        node = random_node(e=8, u=1, seed=15)
+        with pytest.raises(StreamGraphError):
+            NaiveFreqFilter(node, fft_size=8)
+
+    def test_simple_backend_equivalent(self):
+        node = random_node(e=8, u=1, seed=16)
+        stream = make_frequency_stream(node, backend="simple")
+        rng = np.random.default_rng(17)
+        inputs = rng.normal(size=500)
+        got = run_stream(stream, inputs.tolist(), 64)
+        expected = node.reference_run(inputs, firings=64)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(e=st.integers(2, 12), u=st.integers(1, 3), o=st.integers(1, 3),
+           seed=st.integers(0, 1000))
+    def test_property_frequency_equals_time(self, e, u, o, seed):
+        e = max(e, o)
+        node = random_node(e=e, u=u, o=o, seed=seed)
+        got, expected = freq_outputs(node, "optimized", n_out=5 * u)
+        np.testing.assert_allclose(got, expected, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# rates and FLOP accounting
+# ---------------------------------------------------------------------------
+
+
+class TestFrequencyAccounting:
+    def test_naive_rates(self):
+        node = random_node(e=8, u=2)
+        f = NaiveFreqFilter(node)
+        n = fft_size_for(8)
+        m = n - 16 + 1
+        assert f.pop == m
+        assert f.peek == m + 7
+        assert f.push == 2 * m
+
+    def test_optimized_rates(self):
+        node = random_node(e=8, u=2)
+        f = OptimizedFreqFilter(node)
+        r = f.m + 7
+        assert (f.peek, f.pop, f.push) == (r, r, 2 * r)
+        assert f.init_push == 2 * f.m
+
+    def test_optimized_beats_naive_per_output(self):
+        """Per-output FLOPs: optimized < naive (same FFT size)."""
+        node = random_node(e=64, u=1, seed=20, with_b=False)
+        rng = np.random.default_rng(21)
+        inputs = rng.normal(size=6000).tolist()
+        per_output = {}
+        for strategy in ("naive", "optimized"):
+            prof = Profiler()
+            stream = make_frequency_stream(node, strategy=strategy)
+            run_stream(stream, inputs, 2000, profiler=prof)
+            per_output[strategy] = prof.counts.flops / 2000
+        assert per_output["optimized"] < per_output["naive"]
+
+    def test_frequency_beats_direct_for_large_fir(self):
+        """The headline effect: freq mults/output << e for large e."""
+        from repro.linear import LinearFilter
+
+        e = 128
+        node = random_node(e=e, u=1, seed=22, with_b=False)
+        rng = np.random.default_rng(23)
+        inputs = rng.normal(size=8000).tolist()
+
+        prof_direct = Profiler()
+        run_stream(LinearFilter(node), inputs, 1000, profiler=prof_direct)
+        prof_freq = Profiler()
+        run_stream(make_frequency_stream(node), inputs, 1000,
+                   profiler=prof_freq)
+        assert prof_freq.counts.mults < prof_direct.counts.mults / 2
+
+    def test_decimator_counts_nothing(self):
+        prof = Profiler()
+        out = run_stream(Decimator(3, 2), list(range(18)), 4, profiler=prof)
+        assert out == [0.0, 1.0, 6.0, 7.0]
+        assert prof.counts.flops == 0

@@ -1,0 +1,267 @@
+"""IR interpreter/codegen agreement and stream executor tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError, SchedulingError
+from repro.graph import (Duplicate, FeedbackLoop, Pipeline, RoundRobin,
+                         SplitJoin, steady_state)
+from repro.ir import FilterBuilder, call, work_to_str
+from repro.profiling import Profiler
+from repro.runtime import (Collector, FunctionSource, Identity, ListSource,
+                           run_graph, run_stream)
+
+
+def make_fir(coeffs, name="FIR"):
+    n = len(coeffs)
+    f = FilterBuilder(name, peek=n, pop=1, push=1)
+    h = f.const_array("h", coeffs)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + h[i] * f.peek(i))
+        f.push(s)
+        f.pop()
+    return f.build()
+
+
+def make_compressor(m):
+    f = FilterBuilder(f"Compressor{m}", peek=m, pop=m, push=1)
+    with f.work():
+        f.push(f.pop_expr())
+        with f.loop("i", 0, m - 1):
+            f.pop()
+    return f.build()
+
+
+def make_counter_source():
+    f = FilterBuilder("CounterSource", peek=0, pop=0, push=1)
+    x = f.state("x", 0.0)
+    with f.work():
+        f.push(x)
+        f.assign(x, x + 1.0)
+    return f.build()
+
+
+# ---------------------------------------------------------------------------
+# interpreter vs compiled backend
+# ---------------------------------------------------------------------------
+
+
+class TestBackendsAgree:
+    def _run_both(self, filt, inputs, n_out):
+        p1, p2 = Profiler(), Profiler()
+        out1 = run_stream(filt, inputs, n_out, profiler=p1, backend="interp")
+        out2 = run_stream(filt, inputs, n_out, profiler=p2, backend="compiled")
+        return out1, out2, p1, p2
+
+    def test_fir_outputs_and_flops_match(self):
+        filt = make_fir([1.0, -0.5, 0.25])
+        inputs = np.arange(20.0).tolist()
+        out1, out2, p1, p2 = self._run_both(filt, inputs, 10)
+        np.testing.assert_allclose(out1, out2)
+        assert p1.counts.flops == p2.counts.flops
+        assert p1.counts.mults == p2.counts.mults
+        # 3 mults + 3 adds per output
+        assert p1.counts.fmul == 30
+        assert p1.counts.fadd == 30
+
+    def test_branching_filter_matches(self):
+        f = FilterBuilder("AbsLike", peek=1, pop=1, push=1)
+        with f.work():
+            t = f.local("t", f.pop_expr())
+            cond = f.if_(t < 0.0)
+            with cond:
+                f.push(-t)
+            with cond.otherwise():
+                f.push(t)
+        filt = f.build()
+        inputs = [3.0, -2.0, 0.0, -7.5, 1.5, -1.0]
+        out1, out2, p1, p2 = self._run_both(filt, inputs, 6)
+        np.testing.assert_allclose(out1, [3.0, 2.0, 0.0, 7.5, 1.5, 1.0])
+        np.testing.assert_allclose(out1, out2)
+        assert p1.counts.flops == p2.counts.flops
+
+    def test_stateful_filter_matches(self):
+        f = FilterBuilder("RunningSum", peek=1, pop=1, push=1)
+        acc = f.state("acc", 0.0)
+        with f.work():
+            f.assign(acc, acc + f.pop_expr())
+            f.push(acc)
+        filt = f.build()
+        inputs = [1.0, 2.0, 3.0, 4.0]
+        out1, out2, _, _ = self._run_both(filt, inputs, 4)
+        np.testing.assert_allclose(out1, [1.0, 3.0, 6.0, 10.0])
+        np.testing.assert_allclose(out1, out2)
+
+    def test_intrinsics_match(self):
+        f = FilterBuilder("Weird", peek=2, pop=1, push=1)
+        with f.work():
+            f.push(call("sqrt", call("abs", f.peek(0) * f.peek(1)) + 1.0))
+            f.pop()
+        inputs = [0.5, -1.5, 2.0, 3.0, -0.25]
+        out1, out2, p1, p2 = self._run_both(f.build(), inputs, 4)
+        np.testing.assert_allclose(out1, out2)
+        assert p1.counts.fcall == p2.counts.fcall == 4
+        assert p1.counts.fabs == p2.counts.fabs == 4
+
+    def test_integer_arithmetic_matches(self):
+        """C-style truncating division/modulo on ints in both backends."""
+        f = FilterBuilder("IntOps", peek=1, pop=1, push=1)
+        with f.work():
+            k = f.local("k", 7, ty="int")
+            f.assign(k, (k * 3) / 2 % 4)  # 10 % 4 = 2
+            f.push(f.pop_expr() + k)
+        out1, out2, _, _ = self._run_both(f.build(), [1.0, 2.0], 2)
+        np.testing.assert_allclose(out1, [3.0, 4.0])
+        np.testing.assert_allclose(out1, out2)
+
+
+# ---------------------------------------------------------------------------
+# executor semantics
+# ---------------------------------------------------------------------------
+
+
+class TestExecutor:
+    def test_pipeline_of_filters(self):
+        filt = make_fir([2.0])
+        prog = Pipeline([ListSource([1, 2, 3]), filt, Collector()])
+        assert run_graph(prog, 3) == [2.0, 4.0, 6.0]
+
+    def test_ir_source_feeds_graph(self):
+        prog = Pipeline([make_counter_source(), Collector()])
+        assert run_graph(prog, 4) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_function_source(self):
+        prog = Pipeline([FunctionSource(lambda n: n * n), Collector()])
+        assert run_graph(prog, 4) == [0.0, 1.0, 4.0, 9.0]
+
+    def test_compressor_decimates(self):
+        out = run_stream(make_compressor(3), list(range(12)), 4)
+        assert out == [0.0, 3.0, 6.0, 9.0]
+
+    def test_duplicate_splitjoin_interleaves(self):
+        sj = SplitJoin(Duplicate(),
+                       [Identity("a"), Identity("b")],
+                       RoundRobin((1, 1)))
+        out = run_stream(sj, [5.0, 6.0], 4)
+        assert out == [5.0, 5.0, 6.0, 6.0]
+
+    def test_roundrobin_splitjoin_reorders(self):
+        sj = SplitJoin(RoundRobin((1, 1)),
+                       [Identity("a"), Identity("b")],
+                       RoundRobin((1, 1)))
+        out = run_stream(sj, [1.0, 2.0, 3.0, 4.0], 4)
+        assert out == [1.0, 2.0, 3.0, 4.0]
+
+    def test_feedbackloop_integrator(self):
+        """y[n] = x[n] + y[n-1] via a feedback loop around an adder."""
+        f = FilterBuilder("Add2", peek=2, pop=2, push=1)
+        with f.work():
+            f.push(f.pop_expr() + f.pop_expr())
+        adder = f.build()
+        loop = FeedbackLoop(
+            body=adder, loop=Identity("fb"),
+            joiner=RoundRobin((1, 1)), splitter=RoundRobin((1, 1)),
+            enqueued=[0.0])
+        # splitter rr(1,1) alternates: output, feedback -> each body firing
+        # pushes 1; duplicate semantics need push 2.  Use a Dup-style body.
+        g = FilterBuilder("AddDup", peek=2, pop=2, push=2)
+        with g.work():
+            t = g.local("t", g.pop_expr() + g.pop_expr())
+            g.push(t)
+            g.push(t)
+        loop = FeedbackLoop(
+            body=g.build(), loop=Identity("fb"),
+            joiner=RoundRobin((1, 1)), splitter=RoundRobin((1, 1)),
+            enqueued=[0.0])
+        out = run_stream(loop, [1.0, 2.0, 3.0, 4.0], 4)
+        assert out == [1.0, 3.0, 6.0, 10.0]
+
+    def test_peeking_filter_waits_for_data(self):
+        filt = make_fir([1.0, 1.0, 1.0, 1.0])
+        out = run_stream(filt, list(range(10)), 3)
+        assert out == [6.0, 10.0, 14.0]
+
+    def test_prework_fires_once(self):
+        f = FilterBuilder("Delay1", peek=1, pop=1, push=1)
+        with f.prework(peek=0, pop=0, push=1):
+            f.push(0.0)
+        with f.work():
+            f.push(f.pop_expr())
+        out = run_stream(f.build(), [1.0, 2.0, 3.0], 4)
+        assert out == [0.0, 1.0, 2.0, 3.0]
+
+    def test_deadlock_detection(self):
+        filt = make_fir([1.0, 1.0])
+        with pytest.raises(InterpError):
+            run_stream(filt, [1.0], 5)  # source exhausts before 5 outputs
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_pipeline_multiplicities(self):
+        up = FilterBuilder("Up", peek=1, pop=1, push=2)
+        with up.work():
+            v = up.local("v", up.pop_expr())
+            up.push(v)
+            up.push(v)
+        down = make_compressor(3)
+        pipe = Pipeline([up.build(), down])
+        ss = steady_state(pipe)
+        assert ss.multiplicity(pipe.children[0]) == 3
+        assert ss.multiplicity(pipe.children[1]) == 2
+        assert ss.pop == 3 and ss.push == 2
+
+    def test_splitjoin_rates(self):
+        sj = SplitJoin(Duplicate(),
+                       [Identity("a"), Identity("b")],
+                       RoundRobin((1, 1)))
+        ss = steady_state(sj)
+        assert ss.pop == 1 and ss.push == 2
+
+    def test_inconsistent_duplicate_splitjoin_rejected(self):
+        sj = SplitJoin(Duplicate(),
+                       [Identity("a"), make_compressor(2)],
+                       RoundRobin((1, 1)))
+        with pytest.raises(SchedulingError):
+            steady_state(sj)
+
+    def test_roundrobin_weights_scale_consumption(self):
+        sj = SplitJoin(RoundRobin((2, 1)),
+                       [Identity("a"), Identity("b")],
+                       RoundRobin((2, 1)))
+        ss = steady_state(sj)
+        assert ss.pop == 3 and ss.push == 3
+
+    def test_feedbackloop_schedulable(self):
+        g = FilterBuilder("AddDup", peek=2, pop=2, push=2)
+        with g.work():
+            t = g.local("t", g.pop_expr() + g.pop_expr())
+            g.push(t)
+            g.push(t)
+        loop = FeedbackLoop(
+            body=g.build(), loop=Identity("fb"),
+            joiner=RoundRobin((1, 1)), splitter=RoundRobin((1, 1)),
+            enqueued=[0.0])
+        ss = steady_state(loop)
+        assert ss.pop == 1 and ss.push == 1
+
+
+# ---------------------------------------------------------------------------
+# printer smoke test
+# ---------------------------------------------------------------------------
+
+
+def test_printer_roundtrip_smoke():
+    filt = make_fir([1.0, 2.0])
+    text = work_to_str(filt.work)
+    assert "peek 2 pop 1 push 1" in text
+    assert "push(sum);" in text
+    assert "for (int i = 0; i < 2; i++)" in text

@@ -1,0 +1,86 @@
+"""Unit tests for the LinearNode representation (thesis §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.linear import LinearNode
+
+
+def test_figure_3_1_example():
+    """The thesis' Figure 3-1: peek 3, pop 1, push 2 filter.
+
+    work { push(3*peek(2) + 5*peek(1)); push(2*peek(2) + peek(0) + 6); }
+    """
+    node = LinearNode.from_coefficients(
+        coeffs_per_push=[[0.0, 5.0, 3.0],   # push 0: 5*peek(1) + 3*peek(2)
+                         [1.0, 0.0, 2.0]],  # push 1: peek(0) + 2*peek(2) + 6
+        offsets=[0.0, 6.0],
+        pop=1,
+    )
+    assert (node.peek, node.pop, node.push) == (3, 1, 2)
+    # thesis layout: A = [[3, 2], [0, 5]? ...] -- verify via accessors
+    assert node.coefficient(0, 2) == 3.0
+    assert node.coefficient(0, 1) == 5.0
+    assert node.coefficient(0, 0) == 0.0
+    assert node.coefficient(1, 2) == 2.0
+    assert node.coefficient(1, 1) == 0.0
+    assert node.coefficient(1, 0) == 1.0
+    assert node.offset(0) == 0.0
+    assert node.offset(1) == 6.0
+    # thesis layout: row 0 holds peek(2) coefficients, column 0 the second
+    # push; Figure 3-1 prints rows [.., ..], [0, 5], [1, 0]:
+    expected_A = np.array([[2.0, 3.0],
+                           [0.0, 5.0],
+                           [1.0, 0.0]])
+    np.testing.assert_array_equal(node.A, expected_A)
+    np.testing.assert_array_equal(node.b, [6.0, 0.0])
+
+
+def test_apply_matches_work_semantics():
+    node = LinearNode.from_coefficients(
+        [[0.0, 5.0, 3.0], [1.0, 0.0, 2.0]], [0.0, 6.0], pop=1)
+    window = np.array([10.0, 20.0, 30.0])  # peek(0), peek(1), peek(2)
+    y = node.apply(window)
+    assert y[0] == pytest.approx(3 * 30 + 5 * 20)
+    assert y[1] == pytest.approx(2 * 30 + 10 + 6)
+
+
+def test_reference_run_slides_window():
+    # y_i = x_i + 2*x_{i+1}, pop 1
+    node = LinearNode.from_coefficients([[1.0, 2.0]], [0.0], pop=1)
+    out = node.reference_run([1, 2, 3, 4], firings=3)
+    np.testing.assert_allclose(out, [1 + 4, 2 + 6, 3 + 8])
+
+
+def test_reference_run_with_pop_2():
+    node = LinearNode.from_coefficients([[1.0, 1.0]], [0.0], pop=2)
+    out = node.reference_run([1, 2, 3, 4, 5, 6], firings=3)
+    np.testing.assert_allclose(out, [3, 7, 11])
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        LinearNode(np.zeros((2, 2)), np.zeros(3), 2, 1, 2)
+    with pytest.raises(ValueError):
+        LinearNode(np.zeros((3, 2)), np.zeros(2), 2, 1, 2)
+    with pytest.raises(ValueError):
+        LinearNode(np.zeros((2, 1)), np.zeros(1), 2, 0, 1)  # pop 0
+    with pytest.raises(ValueError):
+        LinearNode(np.zeros((1, 1)), np.zeros(1), 1, 2, 1)  # peek < pop
+
+
+def test_nnz_and_spans():
+    A = np.array([[0.0, 1.0],
+                  [2.0, 0.0],
+                  [3.0, 0.0],
+                  [0.0, 0.0]])
+    node = LinearNode(A, np.array([0.0, 4.0]), 4, 1, 2)
+    assert node.nnz == 3
+    assert node.nnz_b == 1
+    assert node.column_spans() == [(1, 3), (0, 1)]
+
+
+def test_all_zero_column_span():
+    node = LinearNode(np.zeros((3, 1)), np.zeros(1), 3, 1, 1)
+    assert node.column_spans() == [(0, 0)]
+    np.testing.assert_allclose(node.apply(np.ones(3)), [0.0])

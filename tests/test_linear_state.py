@@ -1,0 +1,153 @@
+"""Tests for the stateful linear-node extension (thesis §7.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import FeedbackLoop, Pipeline, RoundRobin
+from repro.ir import FilterBuilder
+from repro.linear import LinearNode
+from repro.linear.state import (StatefulLinearFilter, StatefulLinearNode,
+                                combine_stateful_pipeline,
+                                from_difference_equation, from_stateless)
+from repro.runtime import run_stream
+
+
+def iir_reference(b, a, x):
+    """Direct evaluation of y[n] = sum b_k x[n-k] + sum a_j y[n-j]."""
+    y = np.zeros(len(x))
+    for n in range(len(x)):
+        acc = 0.0
+        for k, bk in enumerate(b):
+            if n - k >= 0:
+                acc += bk * x[n - k]
+        for j, aj in enumerate(a, start=1):
+            if n - j >= 0:
+                acc += aj * y[n - j]
+        y[n] = acc
+    return y
+
+
+class TestDifferenceEquation:
+    def test_pure_fir_case(self):
+        node = from_difference_equation([1.0, 0.5, 0.25], [])
+        x = np.arange(1.0, 9.0)
+        got = node.simulate(x, firings=8)
+        np.testing.assert_allclose(got, iir_reference([1, 0.5, 0.25], [], x))
+
+    def test_first_order_iir(self):
+        node = from_difference_equation([1.0], [0.5])
+        x = np.ones(10)
+        got = node.simulate(x, firings=10)
+        np.testing.assert_allclose(got, iir_reference([1.0], [0.5], x))
+
+    def test_biquad(self):
+        b, a = [0.2, 0.3, 0.1], [0.4, -0.25]
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=32)
+        node = from_difference_equation(b, a)
+        np.testing.assert_allclose(node.simulate(x, 32),
+                                   iir_reference(b, a, x), atol=1e-12)
+
+    def test_stability_check(self):
+        assert from_difference_equation([1.0], [0.5]).is_stable()
+        assert not from_difference_equation([1.0], [1.5]).is_stable()
+
+    @settings(max_examples=40, deadline=None)
+    @given(nb=st.integers(1, 4), na=st.integers(0, 3),
+           seed=st.integers(0, 1000))
+    def test_property_matches_reference(self, nb, na, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(-1, 1, size=nb).tolist()
+        a = rng.uniform(-0.4, 0.4, size=na).tolist()  # keep it stable-ish
+        x = rng.normal(size=24)
+        node = from_difference_equation(b, a)
+        np.testing.assert_allclose(node.simulate(x, 24),
+                                   iir_reference(b, a, x), atol=1e-9)
+
+
+class TestStatefulComposition:
+    def test_stateless_embedding(self):
+        lin = LinearNode.from_coefficients([[1.0, 2.0]], [0.5], pop=1)
+        node = from_stateless(lin)
+        assert node.state_dim == 0
+        x = np.arange(6.0)
+        np.testing.assert_allclose(node.simulate(x, 5),
+                                   lin.reference_run(x, 5))
+
+    def test_cascade_of_iirs(self):
+        """(IIR1 ; IIR2) combined == running them in sequence."""
+        n1 = from_difference_equation([1.0, 0.2], [0.3])
+        n2 = from_difference_equation([0.5], [0.1, 0.05])
+        combined = combine_stateful_pipeline(n1, n2)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=40)
+        mid = n1.simulate(x, 39)
+        expected = n2.simulate(mid, 39)
+        got = combined.simulate(x, 39)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_cascade_rejects_rate_mismatch(self):
+        n1 = from_stateless(
+            LinearNode.from_coefficients([[1.0], [2.0]], [0, 0], pop=1))
+        n2 = from_difference_equation([1.0], [0.5])
+        with pytest.raises(ValueError):
+            combine_stateful_pipeline(n1, n2)
+
+    def test_cascade_state_dim_concatenates(self):
+        n1 = from_difference_equation([1.0, 0.1], [0.2])  # k=1
+        n2 = from_difference_equation([1.0], [0.1, 0.2])  # k=2
+        assert combine_stateful_pipeline(n1, n2).state_dim == 3
+
+
+class TestStatefulFilterRuntime:
+    def test_filter_equivalence_with_simulation(self):
+        node = from_difference_equation([0.3, 0.4], [0.25])
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=64)
+        got = run_stream(StatefulLinearFilter(node), inputs.tolist(), 60)
+        np.testing.assert_allclose(got, node.simulate(inputs, 60),
+                                   atol=1e-12)
+
+    def test_replaces_feedbackloop_semantics(self):
+        """A first-order recursive integrator built two ways: as a
+        feedbackloop graph and as a stateful linear node."""
+        g = FilterBuilder("LeakyAddDup", peek=2, pop=2, push=2)
+        with g.work():
+            t = g.local("t", g.pop_expr() + 0.5 * g.pop_expr())
+            g.push(t)
+            g.push(t)
+        fwd = FilterBuilder("Fwd", peek=1, pop=1, push=1)
+        with fwd.work():
+            fwd.push(fwd.pop_expr())
+        loop = FeedbackLoop(
+            body=g.build(), loop=fwd.build(),
+            joiner=RoundRobin((1, 1)), splitter=RoundRobin((1, 1)),
+            enqueued=[0.0])
+        node = from_difference_equation([1.0], [0.5])
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=50)
+        via_graph = run_stream(loop, inputs.tolist(), 40)
+        via_node = node.simulate(inputs, 40)
+        np.testing.assert_allclose(via_graph, via_node, atol=1e-10)
+
+    def test_stateful_node_in_pipeline_with_stateless(self):
+        iir = from_difference_equation([1.0], [0.3])
+        fir = LinearNode.from_coefficients([[1.0, -1.0]], [0.0], pop=1)
+        from repro.linear import LinearFilter
+
+        pipe = Pipeline([StatefulLinearFilter(iir), LinearFilter(fir)])
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=64)
+        got = run_stream(pipe, inputs.tolist(), 50)
+        mid = iir.simulate(inputs, 63)
+        expected = fir.reference_run(mid, 50)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StatefulLinearNode(
+                Ax=np.zeros((2, 1)), As=np.zeros((1, 2)),  # bad As
+                bx=np.zeros(1), Cx=np.zeros((2, 1)), Cs=np.zeros((1, 1)),
+                bs=np.zeros(1), s0=np.zeros(1), peek=2, pop=1, push=1)

@@ -1,0 +1,153 @@
+"""Redundancy analysis and elimination tests (thesis §4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linear import LinearFilter, LinearNode
+from repro.profiling import Profiler
+from repro.redundancy import (RedundancyEliminationFilter, analyze_redundancy,
+                              redundancy_ratio)
+from repro.runtime import run_stream
+
+
+def symmetric_fir(coeffs_half, odd_center=None):
+    """Build a symmetric FIR node like the thesis' Figure 4-1 example."""
+    coeffs = list(coeffs_half)
+    if odd_center is not None:
+        coeffs = coeffs + [odd_center] + coeffs[::-1]
+    else:
+        coeffs = coeffs + coeffs[::-1]
+    return LinearNode.from_coefficients([coeffs], [0.0], pop=1)
+
+
+def test_figure_4_1_example():
+    """SimpleFIR: push(2*peek(2) + peek(1) + 2*peek(0)).
+
+    2*peek(2) now equals 2*peek(0) two firings later: one reused tuple.
+    """
+    node = LinearNode.from_coefficients([[2.0, 1.0, 2.0]], [0.0], pop=1)
+    info = analyze_redundancy(node)
+    assert (2.0, 2) in info.reused
+    assert info.max_use[(2.0, 2)] == 2
+    # 3 direct mults -> 2 after caching (store 2*peek(2), reuse it; the
+    # center tap 1*peek(1) and... coefficient 1 at peek(1) is unique)
+    assert info.mults_per_firing() == 2
+    assert redundancy_ratio(node) == pytest.approx(1 / 3)
+
+
+def test_even_symmetric_fir_caches_all_pairs():
+    node = symmetric_fir([1.5, 2.5, 3.5])  # 6 taps, all pairs distinct
+    info = analyze_redundancy(node)
+    # every pair (c, far-pos) is reused; mults = 3 stores + 0 fresh
+    assert info.mults_per_firing() == 3
+    assert redundancy_ratio(node) == pytest.approx(0.5)
+
+
+def test_odd_symmetric_fir_center_not_cached():
+    node = symmetric_fir([1.5, 2.5, 3.5], odd_center=9.0)  # 7 taps
+    info = analyze_redundancy(node)
+    # 3 stored pairs + 1 fresh center tap
+    assert info.mults_per_firing() == 4
+    assert redundancy_ratio(node) == pytest.approx(1 - 4 / 7)
+
+
+def test_zigzag_even_odd(  ):
+    """Fig 5-10's zig-zag: size N+1 (even) removes more than size N (odd)."""
+    def remaining(n):
+        half = [float(i + 1) for i in range(n // 2)]
+        node = symmetric_fir(half, odd_center=99.0) if n % 2 else \
+            symmetric_fir(half)
+        info = analyze_redundancy(node)
+        return info.mults_per_firing()
+
+    assert remaining(7) == 4 and remaining(8) == 4
+    assert remaining(9) == 5 and remaining(10) == 5
+
+
+def test_no_redundancy_when_coeffs_unique():
+    node = LinearNode.from_coefficients([[1.0, 2.0, 3.0]], [0.0], pop=1)
+    info = analyze_redundancy(node)
+    assert not info.reused
+    assert info.mults_per_firing() == 3
+
+
+def test_pop_greater_than_one_shrinks_horizon():
+    """With o = e the window never overlaps: nothing is reusable."""
+    node = LinearNode.from_coefficients([[2.0, 1.0, 2.0]], [0.0], pop=3)
+    info = analyze_redundancy(node)
+    assert not info.reused
+
+
+def test_zero_coefficients_ignored():
+    node = LinearNode.from_coefficients([[0.0, 5.0, 0.0, 5.0]], [0.0], pop=1)
+    info = analyze_redundancy(node)
+    assert all(t[0] != 0.0 for t in info.uses)
+
+
+# ---------------------------------------------------------------------------
+# runtime filter equivalence
+# ---------------------------------------------------------------------------
+
+
+def assert_equivalent(node, n_out=60, seed=3):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=node.peek + node.pop * (n_out + 8)).tolist()
+    plain = run_stream(LinearFilter(node), inputs, n_out)
+    cached = run_stream(RedundancyEliminationFilter(node), inputs, n_out)
+    np.testing.assert_allclose(cached, plain, atol=1e-12)
+
+
+def test_filter_equivalence_symmetric():
+    assert_equivalent(symmetric_fir([1.0, 2.0, 3.0, 4.0]))
+
+
+def test_filter_equivalence_odd():
+    assert_equivalent(symmetric_fir([1.0, 2.0], odd_center=7.0))
+
+
+def test_filter_equivalence_multi_output():
+    node = LinearNode.from_coefficients(
+        [[2.0, 1.0, 2.0], [1.0, 2.0, 1.0]], [0.5, -0.5], pop=1)
+    assert_equivalent(node)
+
+
+def test_filter_equivalence_with_pop2():
+    node = LinearNode.from_coefficients(
+        [[3.0, 1.0, 3.0, 1.0, 3.0, 1.0]], [0.0], pop=2)
+    assert_equivalent(node)
+
+
+def test_flop_accounting_matches_plan():
+    node = symmetric_fir([1.0, 2.0, 3.0])
+    filt = RedundancyEliminationFilter(node)
+    prof = Profiler()
+    n_out = 50
+    inputs = list(np.random.default_rng(0).normal(size=200))
+    run_stream(filt, inputs, n_out, profiler=prof)
+    info = analyze_redundancy(node)
+    priming = sum(info.max_use[t] for t in info.reused)
+    assert prof.counts.fmul == info.mults_per_firing() * n_out + priming
+
+
+def test_redundant_filter_saves_mults_vs_direct():
+    node = symmetric_fir([float(i + 1) for i in range(16)])  # 32 taps
+    inputs = list(np.random.default_rng(1).normal(size=400))
+    p_direct, p_cached = Profiler(), Profiler()
+    run_stream(LinearFilter(node), inputs, 100, profiler=p_direct)
+    run_stream(RedundancyEliminationFilter(node), inputs, 100,
+               profiler=p_cached)
+    assert p_cached.counts.fmul < 0.6 * p_direct.counts.fmul
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 10), o=st.integers(1, 3), seed=st.integers(0, 500))
+def test_property_equivalence_random_symmetric(n, o, seed):
+    rng = np.random.default_rng(seed)
+    half = rng.integers(1, 4, size=n // 2).astype(float).tolist()
+    coeffs = half + ([5.0] if n % 2 else []) + half[::-1]
+    e = max(len(coeffs), o)
+    coeffs += [0.0] * (e - len(coeffs))
+    node = LinearNode.from_coefficients([coeffs], [0.0], pop=o, peek=e)
+    assert_equivalent(node, n_out=20, seed=seed)

@@ -1,0 +1,84 @@
+"""Steady-state scheduler edge cases."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graph import (Duplicate, Pipeline, RoundRobin, SplitJoin,
+                         steady_state)
+from repro.ir import FilterBuilder
+from repro.runtime import Identity
+
+
+def rate_filter(name, pop, push, peek=None):
+    peek = max(pop, peek or pop)
+    f = FilterBuilder(name, peek=peek, pop=pop, push=push)
+    with f.work():
+        acc = f.local("acc", 0.0)
+        with f.loop("i", 0, pop) as i:
+            f.assign(acc, acc + f.peek(i))
+        with f.loop("j", 0, push):
+            f.push(acc)
+        with f.loop("k", 0, pop):
+            f.pop()
+    return f.build()
+
+
+def test_three_stage_lcm_chain():
+    """Rates 1->2, 3->1, 2->5: multiplicities from the lcm chain."""
+    pipe = Pipeline([rate_filter("a", 1, 2), rate_filter("b", 3, 1),
+                     rate_filter("c", 2, 5)])
+    ss = steady_state(pipe)
+    m = [ss.multiplicity(c) for c in pipe.children]
+    # a:2 -> b:(2*2/3)... smallest integers: a=3,b=2,c=1
+    assert m == [3, 2, 1]
+    assert ss.pop == 3 and ss.push == 5
+
+
+def test_nested_pipeline_multiplicities():
+    inner = Pipeline([rate_filter("x", 1, 2)], name="inner")
+    outer = Pipeline([inner, rate_filter("y", 4, 1)], name="outer")
+    ss = steady_state(outer)
+    assert ss.multiplicity(inner.children[0]) == 2
+    assert ss.multiplicity(outer.children[1]) == 1
+
+
+def test_splitjoin_of_pipelines():
+    sj = SplitJoin(
+        Duplicate(),
+        [Pipeline([rate_filter("l1", 1, 2), rate_filter("l2", 1, 1)]),
+         rate_filter("r", 1, 2)],
+        RoundRobin((2, 2)))
+    ss = steady_state(sj)
+    assert ss.pop == 1 and ss.push == 4
+
+
+def test_roundrobin_weights_determine_rates():
+    sj = SplitJoin(RoundRobin((3, 1)),
+                   [Identity("a"), Identity("b")],
+                   RoundRobin((3, 1)))
+    ss = steady_state(sj)
+    assert ss.pop == 4 and ss.push == 4
+
+
+def test_unbalanced_roundrobin_rejected():
+    # splitter gives 1:1 but children output 1:2 against a 1:1 joiner
+    sj = SplitJoin(RoundRobin((1, 1)),
+                   [Identity("a"), rate_filter("up", 1, 2)],
+                   RoundRobin((1, 1)))
+    with pytest.raises(SchedulingError):
+        steady_state(sj)
+
+
+def test_weighted_joiner_balances_unequal_producers():
+    # child a produces 1/firing, child b produces 2/firing; joiner 1:2
+    sj = SplitJoin(RoundRobin((1, 1)),
+                   [Identity("a"), rate_filter("up", 1, 2)],
+                   RoundRobin((1, 2)))
+    ss = steady_state(sj)
+    assert ss.pop == 2 and ss.push == 3
+
+
+def test_multiplicities_are_minimal_integers():
+    pipe = Pipeline([rate_filter("a", 1, 4), rate_filter("b", 6, 1)])
+    ss = steady_state(pipe)
+    assert [ss.multiplicity(c) for c in pipe.children] == [3, 2]
