@@ -15,10 +15,28 @@ Quickstart::
     program = fir.build()                       # FIR pipeline
     optimized = linear.maximal_linear_replacement(program)
     outputs = runtime.run_graph(optimized, 100)
+
+Three execution backends share one FLOP-accounting contract (identical
+counts, outputs equal to 1e-9):
+
+* ``backend="interp"``   — reference tree-walking interpreter;
+* ``backend="compiled"`` — generated Python per filter (default);
+* ``backend="plan"``     — vectorized steady-state engine
+  (:mod:`repro.exec`): batches firings, runs linear filters as NumPy
+  matrix products.  Programs with feedback loops (cyclic flattened
+  graphs) or unknown primitive sources transparently fall back to
+  ``compiled``; within a plan, non-linear/stateful/branching filters run
+  through the compiled scalar fallback.
+
+Benchmark CLI::
+
+    python -m repro.bench --app fir --backend plan --outputs 10000
+    python -m repro.bench --app filterbank --compare   # compiled vs plan
 """
 
-from . import errors, graph, ir, linear, runtime
+from . import errors, exec, graph, ir, linear, runtime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["errors", "graph", "ir", "linear", "runtime", "__version__"]
+__all__ = ["errors", "exec", "graph", "ir", "linear", "runtime",
+           "__version__"]

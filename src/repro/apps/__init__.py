@@ -20,6 +20,27 @@ BENCHMARKS = {
 BENCHMARK_ORDER = ["FIR", "RateConvert", "TargetDetect", "FMRadio", "Radar",
                    "FilterBank", "Vocoder", "Oversampler", "DToA"]
 
-__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "fir", "ratec", "targetdetect",
-           "fmradio", "radar", "filterbank", "vocoder", "oversampler",
-           "dtoa"]
+
+def resolve_app(name: str) -> str:
+    """Canonical registry key for a (case-insensitive) app name."""
+    by_lower = {k.lower(): k for k in BENCHMARKS}
+    key = by_lower.get(name.lower())
+    if key is None:
+        raise KeyError(
+            f"unknown app {name!r}; choose from {sorted(BENCHMARKS)}")
+    return key
+
+
+def build_app(name: str, **params):
+    """Build a benchmark by (case-insensitive) name, e.g. ``"fir"``.
+
+    Used by the ``python -m repro.bench`` CLI; ``params`` are forwarded to
+    the app's ``build()``.
+    """
+    key = resolve_app(name)
+    return BENCHMARKS[key](**params), key
+
+
+__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "build_app", "resolve_app",
+           "fir", "ratec", "targetdetect", "fmradio", "radar", "filterbank",
+           "vocoder", "oversampler", "dtoa"]

@@ -144,6 +144,91 @@ def speedup_percent(t_before: float, t_after: float) -> float:
     return 100.0 * (t_before / t_after - 1.0)
 
 
+def _measurement_record(app: str, config: str, backend: str,
+                        m: Measurement) -> dict:
+    return {
+        "app": app,
+        "config": config,
+        "backend": backend,
+        "outputs": m.outputs,
+        "flops": m.flops,
+        "mults": m.mults,
+        "seconds": round(m.seconds, 6),
+        "flops_per_output": round(m.flops_per_output, 3),
+        "seconds_per_output": m.seconds_per_output,
+    }
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench``: run one app, emit a one-line JSON result.
+
+    Examples::
+
+        python -m repro.bench --app fir --backend plan --outputs 10000
+        python -m repro.bench --app filterbank --compare
+        python -m repro.bench --app radar --config linear --backend plan
+
+    With ``--compare`` the app runs under both the ``compiled`` and
+    ``plan`` backends and the record includes the wall-clock speedup —
+    the trajectory-tracking mode used by CI and the benchmark suite.
+    """
+    import argparse
+    import json
+
+    from .apps import BENCHMARKS, resolve_app
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run one benchmark app and print a one-line JSON "
+                    "result (FLOPs, mults, wall-clock).")
+    parser.add_argument("--app", required=True,
+                        help="app name, case-insensitive (fir, radar, ...)")
+    parser.add_argument("--backend", default="plan",
+                        choices=["interp", "compiled", "plan"])
+    parser.add_argument("--outputs", type=int, default=None,
+                        help="outputs to produce (default: the app's "
+                             "paper-sized run)")
+    parser.add_argument("--config", default="original", choices=CONFIGS,
+                        help="optimization configuration to apply")
+    parser.add_argument("--compare", action="store_true",
+                        help="measure compiled vs plan and report speedup")
+    args = parser.parse_args(argv)
+
+    if args.outputs is not None and args.outputs < 1:
+        parser.error("--outputs must be a positive integer")
+    try:
+        app_name = resolve_app(args.app)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    n_outputs = args.outputs if args.outputs is not None else \
+        DEFAULT_OUTPUTS[app_name]
+
+    if args.compare:
+        records = {}
+        for backend in ("compiled", "plan"):
+            m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+                        backend=backend)
+            records[backend] = _measurement_record(
+                app_name, args.config, backend, m)
+        result = {
+            "app": app_name,
+            "config": args.config,
+            "outputs": n_outputs,
+            "compiled": records["compiled"],
+            "plan": records["plan"],
+            "flops_equal": records["compiled"]["flops"]
+                           == records["plan"]["flops"],
+            "speedup": round(records["compiled"]["seconds"]
+                             / max(records["plan"]["seconds"], 1e-12), 2),
+        }
+    else:
+        m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+                    backend=args.backend)
+        result = _measurement_record(app_name, args.config, args.backend, m)
+    print(json.dumps(result))
+    return 0
+
+
 def format_table(title: str, headers: list[str], rows: list[list],
                  width: int = 14) -> str:
     """Fixed-width text table used by every figure/table generator."""
@@ -159,3 +244,7 @@ def format_table(title: str, headers: list[str], rows: list[list],
     for row in rows:
         lines.append("".join(fmt(c).ljust(width) for c in row))
     return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

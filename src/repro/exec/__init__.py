@@ -1,0 +1,18 @@
+"""Vectorized steady-state execution engine (the ``plan`` backend).
+
+Compiles a flattened stream graph plus its static I/O rates into a batched
+execution plan: linear filters run as one NumPy matrix product per chunk,
+splitters/joiners as reshapes, everything else through the compiled scalar
+fallback — with FLOP accounting identical to the ``interp`` and
+``compiled`` backends.  Entry point: ``run_graph(..., backend="plan")`` or
+:func:`plan_executor_for`.
+"""
+
+from .planner import (DEFAULT_CHUNK_OUTPUTS, PlanExecutor,
+                      plan_bailout_reason, plan_executor_for)
+from .ring import RingBuffer
+
+__all__ = [
+    "PlanExecutor", "RingBuffer", "plan_executor_for",
+    "plan_bailout_reason", "DEFAULT_CHUNK_OUTPUTS",
+]

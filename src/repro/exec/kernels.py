@@ -1,0 +1,228 @@
+"""Batched step kernels executed by the plan backend.
+
+Each step executes ``n`` consecutive firings of one flattened graph node
+against :class:`~repro.exec.ring.RingBuffer` channels:
+
+* :class:`MatmulStep` — a linear filter's ``n`` firings collapse into one
+  ``(n, peek) @ (peek, push)`` NumPy matrix product over a strided window
+  view of the input ring (the paper's "linear filters are matrix
+  multiplications", applied across firings instead of within one);
+* splitter/joiner steps become reshape + strided scatter/gather;
+* trivial primitives (identity, decimator, sources, collector) become
+  block transfers;
+* :class:`FallbackStep` fires the node's existing scalar runner (compiled
+  work function or primitive runner) ``n`` times — the escape hatch for
+  non-linear or stateful filters, with exact FLOP-count parity.
+
+FLOP accounting: every step reports exactly the operations the scalar
+backends would have counted for the same firings, so profiles are
+bit-identical across ``interp``/``compiled``/``plan``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InterpError
+from ..profiling import Counts, Profiler
+
+
+class Step:
+    """One plan step: executes batched firings of a single node."""
+
+    #: debugging/introspection label set by the planner
+    kind = "step"
+
+    def execute(self, n: int) -> None:
+        raise NotImplementedError
+
+
+class MatmulStep(Step):
+    """Batched affine map ``Y = X[:, ::-1] @ A + b`` for a linear node.
+
+    ``filter_name`` is set for :class:`~repro.linear.filters.LinearFilter`
+    leaves (whose scalar runners attribute counts per filter); it is left
+    ``None`` for IR filters, matching the compiled backend's aggregate-only
+    accounting.
+    """
+
+    kind = "matmul"
+
+    def __init__(self, ring_in, ring_out, A: np.ndarray, b: np.ndarray,
+                 peek: int, pop: int, push: int, counts: Counts,
+                 profiler: Profiler, filter_name: str | None = None):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+        self.A = np.ascontiguousarray(A[::-1])  # row i <=> peek(i)
+        self.b = np.asarray(b, dtype=float)
+        self.has_b = bool(np.any(self.b != 0.0))
+        self.peek = peek
+        self.pop = pop
+        self.push = push
+        self.counts = counts
+        self.profiler = profiler
+        self.filter_name = filter_name
+
+    def execute(self, n: int) -> None:
+        X = self.ring_in.window_view(n, self.pop, self.peek)
+        # window rows are [peek(0)..peek(e-1)]; A was pre-reversed so that
+        # X @ A == (X[:, ::-1]) @ A_thesis, avoiding a strided copy.
+        Y = X @ self.A
+        if self.has_b:
+            Y += self.b
+        if self.push:
+            # push order within a firing is y[u-1] first
+            self.ring_out.push_array(Y[:, ::-1].reshape(-1))
+        self.ring_in.pop_block(n * self.pop)
+        self.profiler.add_counts(self.counts, times=n,
+                                 filter_name=self.filter_name)
+
+
+class FallbackStep(Step):
+    """Scalar escape hatch: fire the node's existing runner ``n`` times."""
+
+    kind = "fallback"
+
+    def __init__(self, node, ring_in, ring_out):
+        self.node = node
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+
+    def execute(self, n: int) -> None:
+        fire = self.node.runner.fire
+        ch_in, ch_out = self.ring_in, self.ring_out
+        for _ in range(n):
+            fire(ch_in, ch_out)
+
+
+class DuplicateSplitStep(Step):
+    kind = "dup-split"
+
+    def __init__(self, ring_in, rings_out):
+        self.ring_in = ring_in
+        self.rings_out = rings_out
+
+    def execute(self, n: int) -> None:
+        block = self.ring_in.pop_block_array(n)
+        for ring in self.rings_out:
+            ring.push_array(block)
+
+
+class RoundRobinSplitStep(Step):
+    kind = "rr-split"
+
+    def __init__(self, ring_in, rings_out, weights):
+        self.ring_in = ring_in
+        self.rings_out = rings_out
+        self.weights = weights
+        self.total = sum(weights)
+
+    def execute(self, n: int) -> None:
+        block = self.ring_in.pop_block_array(n * self.total)
+        block = block.reshape(n, self.total)
+        off = 0
+        for ring, w in zip(self.rings_out, self.weights):
+            if w:
+                ring.push_array(block[:, off:off + w].reshape(-1))
+                off += w
+
+
+class RoundRobinJoinStep(Step):
+    kind = "rr-join"
+
+    def __init__(self, rings_in, ring_out, weights):
+        self.rings_in = rings_in
+        self.ring_out = ring_out
+        self.weights = weights
+        self.total = sum(weights)
+
+    def execute(self, n: int) -> None:
+        out = np.empty((n, self.total))
+        off = 0
+        for ring, w in zip(self.rings_in, self.weights):
+            if w:
+                out[:, off:off + w] = ring.pop_block_array(n * w).reshape(n, w)
+                off += w
+        self.ring_out.push_array(out.reshape(-1))
+
+
+class CollectorStep(Step):
+    kind = "collector"
+
+    def __init__(self, ring_in, collected: list):
+        self.ring_in = ring_in
+        self.collected = collected
+
+    def execute(self, n: int) -> None:
+        self.collected.extend(self.ring_in.pop_block_array(n).tolist())
+
+
+class ListSourceStep(Step):
+    kind = "list-source"
+
+    def __init__(self, ring_out, values):
+        self.ring_out = ring_out
+        self.values = np.asarray(values, dtype=float)
+        self.pos = 0
+
+    def execute(self, n: int) -> None:
+        if self.pos + n > len(self.values):
+            raise InterpError("plan fired exhausted ListSource")
+        self.ring_out.push_array(self.values[self.pos:self.pos + n])
+        self.pos += n
+
+
+class FunctionSourceStep(Step):
+    kind = "function-source"
+
+    def __init__(self, ring_out, fn):
+        self.ring_out = ring_out
+        self.fn = fn
+        self.pos = 0
+
+    def execute(self, n: int) -> None:
+        fn = self.fn
+        start = self.pos
+        self.ring_out.push_array(
+            np.fromiter((float(fn(i)) for i in range(start, start + n)),
+                        dtype=float, count=n))
+        self.pos += n
+
+
+class ConstantSourceStep(Step):
+    kind = "const-source"
+
+    def __init__(self, ring_out, values):
+        self.ring_out = ring_out
+        self.values = np.asarray(values, dtype=float)
+
+    def execute(self, n: int) -> None:
+        self.ring_out.push_array(np.tile(self.values, n))
+
+
+class IdentityStep(Step):
+    kind = "identity"
+
+    def __init__(self, ring_in, ring_out):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+
+    def execute(self, n: int) -> None:
+        self.ring_out.push_array(self.ring_in.pop_block_array(n))
+
+
+class DecimatorStep(Step):
+    """Keep the first ``u`` of every ``u*o`` items, batched."""
+
+    kind = "decimator"
+
+    def __init__(self, ring_in, ring_out, o: int, u: int):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+        self.o = o
+        self.u = u
+
+    def execute(self, n: int) -> None:
+        uo = self.u * self.o
+        block = self.ring_in.pop_block_array(n * uo).reshape(n, uo)
+        self.ring_out.push_array(block[:, :self.u].reshape(-1))

@@ -1,0 +1,530 @@
+"""Plan compilation: flattened graph + steady schedule -> batched steps.
+
+The scalar executor (:class:`~repro.runtime.executor.FlatGraph`) fires
+nodes one item at a time, data-driven.  The plan backend observes that the
+firing *sequence* of an acyclic stream graph is fully determined by the
+static I/O rates, so it splits execution into two phases:
+
+1. **Rate simulation** — an integer-only transcription of
+   ``FlatGraph.run``'s control flow (source pass, topological drain sweep,
+   early stop once the sink holds ``n_outputs``).  No data moves; the
+   simulator only tracks channel occupancies and accumulates *pending
+   firing counts* per node.  Because it replicates the scalar executor's
+   loop structure exactly — including the final pass's early-break
+   behavior — every node's total firing count matches the scalar backends,
+   which is what makes FLOP accounting bit-identical.
+
+2. **Batched execution** — pending counts are flushed in flattening
+   (topological) order: each node executes all of its pending firings as
+   one batched step (:mod:`repro.exec.kernels`) over ndarray ring buffers.
+   For a linear filter this is a single ``(B·mult, peek) @ (peek, push)``
+   matrix product covering every firing in the chunk.
+
+Topological full-batch execution is valid because within every simulated
+pass producers fire before consumers, so cumulative counts at any pass
+boundary are a feasible prefix schedule.  Runs larger than
+``chunk_outputs`` flush in chunks to bound buffer memory.
+
+The planner *bails out* to the scalar compiled executor for graphs it
+cannot batch safely: feedback loops (the flattened graph is cyclic, so no
+topological sweep exists), nodes that consume nothing yet have inputs
+(unbounded drain), and unknown primitive sources whose exhaustion
+behavior the rate simulator cannot model.  Individual *filters* that are
+non-linear, stateful, branching, or carry prework simply run through
+:class:`~repro.exec.kernels.FallbackStep` inside the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InterpError
+from ..graph.streams import Duplicate, Filter, Stream, has_feedback
+from ..ir import nodes as N
+from ..ir.interp import Interpreter
+from ..linear.extraction import extract_filter
+from ..linear.filters import ConstantSourceFilter, LinearFilter
+from ..linear.matmul import blas_cost_counts, direct_cost_counts
+from ..profiling import Counts, NullProfiler, Profiler
+from ..runtime.builtins import (Collector, FunctionSource, Identity,
+                                ListSource)
+from ..runtime.channels import Channel
+from ..runtime.executor import _NULL_CHANNEL, FlatGraph
+from . import kernels as K
+from .ring import RingBuffer
+
+#: Flush batched work once this many sink outputs are pending (bounds ring
+#: memory for very long runs while keeping batches large).
+DEFAULT_CHUNK_OUTPUTS = 1 << 16
+
+_PROBE_INPUT = 0.5  # probe value dodging singularities (log 0, 1/0, ...)
+
+
+# ---------------------------------------------------------------------------
+# Vectorizability of IR filters
+# ---------------------------------------------------------------------------
+
+
+def _probe_firing_counts(filt: Filter) -> Counts | None:
+    """FLOP counts of one ``work`` firing, measured with the interpreter.
+
+    Valid as the per-firing cost of *every* firing when the filter has no
+    data-dependent control flow and no mutable fields (the planner checks
+    both before calling).  Returns None when probing fails.
+    """
+    fields = {k: (v.copy() if isinstance(v, np.ndarray) else v)
+              for k, v in filt.fields.items()}
+    profiler = Profiler()
+    ch_in = Channel("probe-in")
+    ch_in.push_block([_PROBE_INPUT] * filt.peek)
+    ch_out = Channel("probe-out")
+    try:
+        Interpreter(fields, profiler).run(filt.work, ch_in, ch_out)
+    except Exception:
+        return None
+    return profiler.counts.copy()
+
+
+def _linear_matmul_params(filt: Filter):
+    """(node, counts) when an IR filter can run as a batched matmul."""
+    if filt.prework is not None or filt.mutable_fields:
+        return None
+    if filt.pop <= 0 or filt.push <= 0:
+        return None
+    if N.has_data_dependent_control(filt.work.body):
+        return None
+    result = extract_filter(filt)
+    if not result.is_linear:
+        return None
+    node = result.node
+    if (node.peek, node.pop, node.push) != (filt.peek, filt.pop, filt.push):
+        return None
+    counts = _probe_firing_counts(filt)
+    if counts is None:
+        return None
+    return node, counts
+
+
+# ---------------------------------------------------------------------------
+# Bailout detection
+# ---------------------------------------------------------------------------
+
+_KNOWN_SOURCES = (ListSource, FunctionSource, ConstantSourceFilter)
+
+
+def plan_bailout_reason(stream: Stream,
+                        flat: FlatGraph | None = None) -> str | None:
+    """Why ``stream`` cannot be compiled to a plan (None = plannable)."""
+    if has_feedback(stream):
+        return (f"{stream.name}: contains a feedbackloop, so the "
+                "flattened graph is cyclic and no topological batch "
+                "order exists")
+    if flat is None:
+        flat = FlatGraph(stream, NullProfiler(), backend="compiled")
+    for node in flat.nodes:
+        if node.inputs and sum(_steady_rates(node)[1]) == 0:
+            return (f"node {node.name} has inputs but pops nothing: "
+                    "batch size is unbounded")
+        if not node.inputs and node.kind == "primitive" and \
+                not isinstance(node.stream, _KNOWN_SOURCES):
+            return (f"source {node.name}: unknown primitive type "
+                    f"{type(node.stream).__name__}, exhaustion behavior "
+                    "not statically known")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rate records for the integer simulator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SimNode:
+    """Static I/O rates of one flattened node, with a one-shot init phase."""
+
+    index: int
+    in_ids: list[int]
+    out_ids: list[int]
+    needs: list[int]
+    pops: list[int]
+    pushes: list[int]
+    # first-firing (prework / init) overrides, aligned with in/out ids
+    has_init: bool = False
+    init_needs: list[int] = field(default_factory=list)
+    init_pops: list[int] = field(default_factory=list)
+    init_pushes: list[int] = field(default_factory=list)
+    fired: bool = False
+    remaining: int | None = None  # finite sources (ListSource)
+
+
+def _steady_rates(node) -> tuple[list[int], list[int], list[int]]:
+    """(needs, pops, pushes) of a steady firing, aligned with channels."""
+    if node.kind == "filter":
+        wf = node.stream.work
+        needs = [wf.peek] if node.inputs else []
+        pops = [wf.pop] if node.inputs else []
+        pushes = [wf.push] if node.outputs else []
+        return needs, pops, pushes
+    if node.kind == "primitive":
+        s = node.stream
+        needs = [s.peek] if node.inputs else []
+        pops = [s.pop] if node.inputs else []
+        pushes = [s.push] if node.outputs else []
+        return needs, pops, pushes
+    if node.kind == "splitter":
+        if isinstance(node.splitter, Duplicate):
+            return [1], [1], [1] * len(node.outputs)
+        w = list(node.splitter.weights)
+        total = sum(w)
+        return [total], [total], w
+    # joiner
+    w = list(node.joiner.weights)
+    return w[:], w[:], [sum(w)]
+
+
+def _init_rates(node):
+    """(has_init, needs, pops, pushes) for the first firing."""
+    if node.kind == "filter":
+        pw = node.stream.prework
+        if pw is None:
+            return False, [], [], []
+        needs = [pw.peek] if node.inputs else []
+        pops = [pw.pop] if node.inputs else []
+        pushes = [pw.push] if node.outputs else []
+        return True, needs, pops, pushes
+    if node.kind == "primitive":
+        s = node.stream
+        if s.init_peek is None and s.init_pop is None and \
+                s.init_push is None:
+            return False, [], [], []
+
+        def pick(init, steady):
+            return init if init is not None else steady
+
+        needs = [pick(s.init_peek, s.peek)] if node.inputs else []
+        pops = [pick(s.init_pop, s.pop)] if node.inputs else []
+        pushes = [pick(s.init_push, s.push)] if node.outputs else []
+        return True, needs, pops, pushes
+    return False, [], [], []
+
+
+# ---------------------------------------------------------------------------
+# The plan executor
+# ---------------------------------------------------------------------------
+
+
+class PlanExecutor:
+    """Executes a flattened acyclic graph in batched steady-state chunks.
+
+    Mirrors :meth:`FlatGraph.run`'s interface and observable behavior
+    (outputs, FLOP counts, deadlock errors); only the execution strategy
+    differs.
+    """
+
+    def __init__(self, flat: FlatGraph,
+                 chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS):
+        self.flat = flat
+        self.profiler = flat.profiler
+        self.chunk_outputs = chunk_outputs
+
+        # channel registry: every distinct Channel gets a ring and an index
+        self._chan_ids: dict[int, int] = {}
+        self.rings: list[RingBuffer] = []
+
+        def ring_of(ch):
+            key = id(ch)
+            idx = self._chan_ids.get(key)
+            if idx is None:
+                idx = len(self.rings)
+                self._chan_ids[key] = idx
+                self.rings.append(RingBuffer(ch.name))
+            return idx
+
+        self._out_chan = ring_of(flat.output_channel)
+        ring_of(flat.input_channel)
+
+        self.sim_nodes: list[_SimNode] = []
+        self.steps: list[K.Step] = []
+        for i, node in enumerate(flat.nodes):
+            in_ids = [ring_of(ch) for ch in node.inputs]
+            out_ids = [ring_of(ch) for ch in node.outputs]
+            needs, pops, pushes = _steady_rates(node)
+            has_init, init_needs, init_pops, init_pushes = _init_rates(node)
+            sn = _SimNode(i, in_ids, out_ids, needs, pops, pushes,
+                          has_init, init_needs, init_pops, init_pushes)
+            if isinstance(node.stream, ListSource):
+                sn.remaining = len(node.stream.values)
+            self.sim_nodes.append(sn)
+            self.steps.append(self._make_step(node, in_ids, out_ids))
+
+        self.sources = [sn for sn in self.sim_nodes if not sn.in_ids]
+        self.consumers = [sn for sn in self.sim_nodes if sn.in_ids]
+
+        # the sink the executor watches: first Collector, else graph out
+        self._collected: list | None = None
+        self._sink_index: int | None = None
+        if flat.collectors:
+            coll = flat.collectors[0]
+            self._collected = coll.runner.collected
+            self._sink_index = next(i for i, n in enumerate(flat.nodes)
+                                    if n is coll)
+        else:
+            for sn in self.sim_nodes:
+                if self._out_chan in sn.out_ids:
+                    self._sink_index = sn.index
+        self._sink_fires = 0  # cumulative collector firings (sim)
+
+        # persistent simulator state
+        self._occ = [0] * len(self.rings)
+        self._pending = [0] * len(self.sim_nodes)
+        self._pending_outputs = 0
+        self._passes = 0
+        self._saw_init_fire = False
+
+    # -- step construction ------------------------------------------------
+    def _make_step(self, node, in_ids, out_ids) -> K.Step:
+        from ..frequency.filters import Decimator
+
+        def rin(j=0):
+            return self.rings[in_ids[j]] if in_ids else _NULL_CHANNEL
+
+        def rout(j=0):
+            return self.rings[out_ids[j]] if out_ids else _NULL_CHANNEL
+
+        if node.kind == "splitter":
+            outs = [self.rings[i] for i in out_ids]
+            if isinstance(node.splitter, Duplicate):
+                return K.DuplicateSplitStep(rin(), outs)
+            return K.RoundRobinSplitStep(rin(), outs,
+                                         list(node.splitter.weights))
+        if node.kind == "joiner":
+            ins = [self.rings[i] for i in in_ids]
+            return K.RoundRobinJoinStep(ins, rout(),
+                                        list(node.joiner.weights))
+        s = node.stream
+        if node.kind == "filter":
+            params = _linear_matmul_params(s)
+            if params is not None:
+                ln, counts = params
+                return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek,
+                                    ln.pop, ln.push, counts, self.profiler)
+            return K.FallbackStep(node, rin(), rout())
+        # primitives
+        if isinstance(s, LinearFilter):
+            ln = s.linear_node
+            counts = (blas_cost_counts(ln) if s.backend == "blas"
+                      else direct_cost_counts(ln))
+            return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek, ln.pop,
+                                ln.push, counts, self.profiler,
+                                filter_name=s.name)
+        if isinstance(s, Collector):
+            return K.CollectorStep(rin(), node.runner.collected)
+        if isinstance(s, ListSource):
+            return K.ListSourceStep(rout(), s.values)
+        if isinstance(s, FunctionSource):
+            return K.FunctionSourceStep(rout(), s.fn)
+        if isinstance(s, ConstantSourceFilter):
+            return K.ConstantSourceStep(rout(), s.values)
+        if isinstance(s, Identity):
+            return K.IdentityStep(rin(), rout())
+        if isinstance(s, Decimator):
+            return K.DecimatorStep(rin(), rout(), s.o, s.u)
+        return K.FallbackStep(node, rin(), rout())
+
+    # -- integer rate simulation ------------------------------------------
+    def _produced(self) -> int:
+        if self._collected is not None:
+            return self._sink_fires
+        return self._occ[self._out_chan]
+
+    def _sim_fire(self, sn: _SimNode, n: int, init: bool) -> None:
+        occ = self._occ
+        pops = sn.init_pops if init else sn.pops
+        pushes = sn.init_pushes if init else sn.pushes
+        for cid, o in zip(sn.in_ids, pops):
+            occ[cid] -= o * n
+        for cid, u in zip(sn.out_ids, pushes):
+            occ[cid] += u * n
+        self._pending[sn.index] += n
+        if init:
+            self._saw_init_fire = True
+        sn.fired = True
+        if sn.index == self._sink_index:
+            if self._collected is not None:
+                self._sink_fires += n
+            self._pending_outputs += n
+
+    def _in_init_phase(self, sn: _SimNode) -> bool:
+        return sn.has_init and not sn.fired
+
+    def _feasible_steady(self, sn: _SimNode) -> int:
+        """Max consecutive steady firings given current occupancies."""
+        occ = self._occ
+        n = None
+        for cid, need, o in zip(sn.in_ids, sn.needs, sn.pops):
+            have = occ[cid]
+            if have < need:
+                return 0
+            if o > 0:
+                k = (have - need) // o + 1
+                if n is None or k < n:
+                    n = k
+        return n if n is not None else 0
+
+    def _sweep(self, n_outputs: int) -> None:
+        """One drain sweep, transcribing FlatGraph.run's inner loop.
+
+        Nodes drain fully in flattening (topological) order.  Once the
+        sink reaches ``n_outputs`` the scalar executor's loop fires each
+        remaining fireable node exactly once before stopping; we replicate
+        that to keep firing counts — and therefore FLOP counts —
+        identical.
+        """
+        hit = self._produced() >= n_outputs
+        for sn in self.consumers:
+            if self._in_init_phase(sn):
+                ok = all(self._occ[cid] >= need for cid, need
+                         in zip(sn.in_ids, sn.init_needs))
+                if not ok:
+                    continue
+                self._sim_fire(sn, 1, init=True)
+                if hit:
+                    continue
+                if sn.index == self._sink_index and \
+                        self._produced() >= n_outputs:
+                    hit = True
+                    continue
+            if hit:
+                if self._feasible_steady(sn) > 0:
+                    self._sim_fire(sn, 1, init=False)
+                continue
+            n = self._feasible_steady(sn)
+            if n <= 0:
+                continue
+            if sn.index == self._sink_index:
+                gain = (1 if self._collected is not None
+                        else (sn.pushes[sn.out_ids.index(self._out_chan)]
+                              if self._out_chan in sn.out_ids else 0))
+                if gain > 0:
+                    deficit = n_outputs - self._produced()
+                    cap = -(-deficit // gain)  # ceil
+                    if n >= cap:
+                        n = cap
+                        hit = True
+            self._sim_fire(sn, n, init=False)
+
+    def _sim_sources(self) -> bool:
+        progress = False
+        for sn in self.sources:
+            if sn.remaining is not None:
+                if sn.remaining <= 0:
+                    continue
+                sn.remaining -= 1
+            self._sim_fire(sn, 1, init=self._in_init_phase(sn))
+            progress = True
+        return progress
+
+    # -- batched flush -----------------------------------------------------
+    def _flush(self) -> None:
+        pending = self._pending
+        for i, step in enumerate(self.steps):
+            n = pending[i]
+            if n:
+                step.execute(n)
+                pending[i] = 0
+        self._pending_outputs = 0
+
+    # -- steady-regime extrapolation ---------------------------------------
+    def _extrapolate(self, occ_before, pending_before, n_outputs) -> None:
+        """Replay the pass just simulated K more times in O(nodes).
+
+        Valid only when the pass left every channel occupancy unchanged
+        (period-1 steady regime): the sweep is a deterministic function of
+        occupancies and phases, so the next pass must fire the exact same
+        vector.  K is capped so the sink stays strictly below
+        ``n_outputs`` (the final passes run through the literal simulator,
+        preserving the scalar executor's early-stop firing counts) and so
+        no finite source runs dry mid-replay.
+        """
+        if self._saw_init_fire or self._occ != occ_before:
+            return
+        fires = [a - b for a, b in zip(self._pending, pending_before)]
+        if self._sink_index is None:
+            return
+        if self._collected is not None:
+            gain = fires[self._sink_index]
+        else:
+            gain = self._occ[self._out_chan] - occ_before[self._out_chan]
+        if gain <= 0:
+            return
+        k = (n_outputs - self._produced() - 1) // gain
+        k = min(k, -(-self.chunk_outputs // gain))  # bound chunk memory
+        for sn in self.sources:
+            if sn.remaining is not None and fires[sn.index] > 0:
+                k = min(k, sn.remaining // fires[sn.index])
+        if k <= 0:
+            return
+        for sn in self.sim_nodes:
+            f = fires[sn.index]
+            if not f:
+                continue
+            self._pending[sn.index] += f * k
+            for cid, o in zip(sn.in_ids, sn.pops):
+                self._occ[cid] -= o * f * k
+            for cid, u in zip(sn.out_ids, sn.pushes):
+                self._occ[cid] += u * f * k
+            if sn.remaining is not None:
+                sn.remaining -= f * k
+        if self._collected is not None:
+            self._sink_fires += fires[self._sink_index] * k
+        self._pending_outputs += gain * k
+        self._passes += k
+
+    # -- public API ---------------------------------------------------------
+    def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
+        """Batched equivalent of :meth:`FlatGraph.run`."""
+        while self._produced() < n_outputs:
+            self._passes += 1
+            if self._passes > max_passes:
+                raise InterpError("executor pass limit exceeded")
+            occ_before = self._occ[:]
+            pending_before = self._pending[:]
+            self._saw_init_fire = False
+            progress = self._sim_sources()
+            self._sweep(n_outputs)
+            if progress and self._produced() < n_outputs:
+                self._extrapolate(occ_before, pending_before, n_outputs)
+            if self._pending_outputs >= self.chunk_outputs:
+                self._flush()
+            if not progress and self._produced() < n_outputs:
+                self._flush()
+                raise InterpError(
+                    f"deadlock: no source progress, "
+                    f"{self._produced()}/{n_outputs} outputs")
+        self._flush()
+        if self._collected is not None:
+            return self._collected[:n_outputs]
+        out_ring = self.rings[self._out_chan]
+        self._occ[self._out_chan] -= n_outputs
+        return [out_ring.pop() for _ in range(n_outputs)]
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
+                      chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS):
+    """Compile ``stream`` into a :class:`PlanExecutor`.
+
+    Falls back to the scalar compiled :class:`FlatGraph` (same ``run``
+    interface) when the graph cannot be batched — see
+    :func:`plan_bailout_reason`.
+    """
+    flat = FlatGraph(stream, profiler, backend="compiled")
+    if plan_bailout_reason(stream, flat) is not None:
+        return flat
+    return PlanExecutor(flat, chunk_outputs=chunk_outputs)

@@ -1,0 +1,135 @@
+"""Preallocated ndarray ring buffers for the plan backend.
+
+A :class:`RingBuffer` is a drop-in replacement for the list-based
+:class:`~repro.runtime.channels.Channel` backed by a contiguous float64
+ndarray.  The live region ``[_head, _tail)`` always stays contiguous (no
+wraparound), so batched kernels can take zero-copy window views over it;
+space consumed by popped items is reclaimed lazily — when an append no
+longer fits, the live region is slid back to the front (or the buffer is
+doubled), giving amortized O(1) push/pop with compaction work proportional
+to the *live* data rather than a fixed head offset.
+
+Scalar ``peek``/``pop``/``push`` keep exact :class:`Channel` semantics
+(including error behavior) so the compiled fallback runners execute
+unchanged over a ring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import InterpError
+
+_MIN_CAPACITY = 64
+
+
+class RingBuffer:
+    """A FIFO of floats over a contiguous, growable ndarray."""
+
+    __slots__ = ("_buf", "_head", "_tail", "name")
+
+    def __init__(self, name: str = "", capacity: int = _MIN_CAPACITY):
+        self._buf = np.empty(max(capacity, _MIN_CAPACITY), dtype=np.float64)
+        self._head = 0
+        self._tail = 0
+        self.name = name
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    # -- storage management ---------------------------------------------
+    def _reserve(self, n: int) -> None:
+        """Make room to append ``n`` items past ``_tail``."""
+        if self._tail + n <= len(self._buf):
+            return
+        live = self._tail - self._head
+        need = live + n
+        cap = len(self._buf)
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            new = np.empty(cap, dtype=np.float64)
+            new[:live] = self._buf[self._head:self._tail]
+            self._buf = new
+        else:
+            # slide live region to the front; cost is O(live), amortized
+            # O(1) per popped item since head must have crossed cap/2
+            self._buf[:live] = self._buf[self._head:self._tail]
+        self._head = 0
+        self._tail = live
+
+    # -- tape primitives -------------------------------------------------
+    def push(self, value: float) -> None:
+        self._reserve(1)
+        self._buf[self._tail] = value
+        self._tail += 1
+
+    def pop(self) -> float:
+        if self._head >= self._tail:
+            raise InterpError(f"pop from empty channel {self.name!r}")
+        v = self._buf[self._head]
+        self._head += 1
+        return float(v)
+
+    def peek(self, index: int) -> float:
+        i = self._head + index
+        if index < 0 or i >= self._tail:
+            raise InterpError(
+                f"peek({index}) beyond channel {self.name!r} "
+                f"(holds {len(self)})")
+        return float(self._buf[i])
+
+    # -- block operations -------------------------------------------------
+    def peek_block(self, n: int) -> np.ndarray:
+        """First ``n`` items as an ndarray view, without consuming.
+
+        The view aliases the buffer; callers must not hold it across a
+        subsequent push to the *same* ring (plan steps never do).
+        """
+        if len(self) < n:
+            raise InterpError(
+                f"peek_block({n}) beyond channel {self.name!r} "
+                f"(holds {len(self)})")
+        return self._buf[self._head:self._head + n]
+
+    def window_view(self, firings: int, pop: int, peek: int) -> np.ndarray:
+        """``(firings, peek)`` view of consecutive peek windows at stride
+        ``pop`` — row ``i`` is ``[peek(0), ..., peek(e-1)]`` of firing ``i``.
+        """
+        span = (firings - 1) * pop + peek
+        if len(self) < span:
+            raise InterpError(
+                f"window_view({firings}x{peek}@{pop}) beyond channel "
+                f"{self.name!r} (holds {len(self)}, needs {span})")
+        seg = self._buf[self._head:self._head + span]
+        return sliding_window_view(seg, peek)[::pop]
+
+    def pop_block(self, n: int) -> None:
+        """Discard the first ``n`` items."""
+        if len(self) < n:
+            raise InterpError(f"pop_block({n}) from channel {self.name!r}")
+        self._head += n
+
+    def pop_block_array(self, n: int) -> np.ndarray:
+        """Consume and return the first ``n`` items as a fresh ndarray."""
+        if len(self) < n:
+            raise InterpError(
+                f"pop_block_array({n}) from channel {self.name!r}")
+        out = self._buf[self._head:self._head + n].copy()
+        self._head += n
+        return out
+
+    def push_block(self, values) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        self.push_array(arr)
+
+    def push_array(self, values: np.ndarray) -> None:
+        n = len(values)
+        self._reserve(n)
+        self._buf[self._tail:self._tail + n] = values
+        self._tail += n
+
+    def snapshot(self) -> list[float]:
+        """Current contents (for debugging/tests)."""
+        return self._buf[self._head:self._tail].tolist()

@@ -3,12 +3,12 @@
 from .scheduler import SteadyState, container_io, steady_state
 from .streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                       PrimitiveFilter, RoundRobin, SplitJoin, Stream,
-                      construct_counts, leaf_filters, pipeline, roundrobin,
-                      walk)
+                      construct_counts, has_feedback, leaf_filters,
+                      pipeline, roundrobin, walk)
 
 __all__ = [
     "Stream", "Filter", "PrimitiveFilter", "Pipeline", "SplitJoin",
     "FeedbackLoop", "Duplicate", "RoundRobin", "roundrobin", "pipeline",
-    "walk", "leaf_filters", "construct_counts",
+    "walk", "leaf_filters", "construct_counts", "has_feedback",
     "steady_state", "container_io", "SteadyState",
 ]

@@ -253,6 +253,11 @@ def walk(stream: Stream) -> Iterator[Stream]:
         yield from walk(stream.loop)
 
 
+def has_feedback(stream: Stream) -> bool:
+    """True if any descendant is a FeedbackLoop (flattened graph cyclic)."""
+    return any(isinstance(s, FeedbackLoop) for s in walk(stream))
+
+
 def leaf_filters(stream: Stream) -> list[Stream]:
     """All Filter/PrimitiveFilter leaves in the graph."""
     return [s for s in walk(stream)

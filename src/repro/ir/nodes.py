@@ -261,6 +261,24 @@ def stmt_exprs(s: Stmt):
         yield s.step
 
 
+def has_data_dependent_control(stmts: tuple[Stmt, ...]) -> bool:
+    """True when per-execution op counts may depend on tape values.
+
+    Branches select different op mixes at runtime, and ``&&``/``||``
+    short-circuit in the interpreter; counted loops with constant bounds
+    are fine.  The plan backend uses this to decide whether one probed
+    firing's FLOP counts generalize to every firing.
+    """
+    for s in walk_stmts(stmts):
+        if isinstance(s, If):
+            return True
+        for e in stmt_exprs(s):
+            for sub in walk_exprs(e):
+                if isinstance(sub, Bin) and sub.op in ("&&", "||"):
+                    return True
+    return False
+
+
 def assigned_names(stmts: tuple[Stmt, ...]) -> set[str]:
     """Names of all variables/arrays written anywhere in ``stmts``."""
     names = set()

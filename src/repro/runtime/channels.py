@@ -2,9 +2,14 @@
 
 A channel supports the three StreamIt tape primitives — ``peek(i)``,
 ``pop()``, ``push(v)`` — plus block variants used by the vectorized
-(matrix/FFT) kernels.  Storage is a Python list with a head index that is
-compacted periodically, giving amortized O(1) operations without deque's
-lack of random access.
+(matrix/FFT) kernels and the plan backend.  Storage is a Python list with
+a head index; the dead prefix left by pops is reclaimed whenever it grows
+past half of the backing list, so compaction cost is proportional to the
+*live* buffer contents and amortized O(1) per popped item regardless of
+how large the channel gets.
+
+The plan backend's :class:`~repro.exec.ring.RingBuffer` implements the
+same interface over a preallocated ndarray.
 """
 
 from __future__ import annotations
@@ -13,7 +18,9 @@ import numpy as np
 
 from ..errors import InterpError
 
-_COMPACT_THRESHOLD = 4096
+#: Compact only once at least this many items are dead, so tiny channels
+#: are not rewritten on every pop.
+_MIN_COMPACT = 64
 
 
 class Channel:
@@ -29,6 +36,13 @@ class Channel:
     def __len__(self) -> int:
         return len(self._buf) - self._head
 
+    def _maybe_compact(self) -> None:
+        """Reclaim the popped prefix once it dominates the backing list."""
+        head = self._head
+        if head >= _MIN_COMPACT and head * 2 >= len(self._buf):
+            del self._buf[:head]
+            self._head = 0
+
     # tape primitives ---------------------------------------------------
     def push(self, value: float) -> None:
         self._buf.append(value)
@@ -38,9 +52,7 @@ class Channel:
             raise InterpError(f"pop from empty channel {self.name!r}")
         v = self._buf[self._head]
         self._head += 1
-        if self._head >= _COMPACT_THRESHOLD:
-            del self._buf[:self._head]
-            self._head = 0
+        self._maybe_compact()
         return v
 
     def peek(self, index: int) -> float:
@@ -65,12 +77,24 @@ class Channel:
         if len(self) < n:
             raise InterpError(f"pop_block({n}) from channel {self.name!r}")
         self._head += n
-        if self._head >= _COMPACT_THRESHOLD:
-            del self._buf[:self._head]
-            self._head = 0
+        self._maybe_compact()
+
+    def pop_block_array(self, n: int) -> np.ndarray:
+        """Consume and return the first ``n`` items as an ndarray."""
+        if len(self) < n:
+            raise InterpError(
+                f"pop_block_array({n}) from channel {self.name!r}")
+        out = np.asarray(self._buf[self._head:self._head + n])
+        self._head += n
+        self._maybe_compact()
+        return out
 
     def push_block(self, values) -> None:
-        self._buf.extend(float(v) for v in values)
+        """Append a block; accepts ndarrays (fast path) or any iterable."""
+        if isinstance(values, np.ndarray):
+            self._buf.extend(values.tolist())
+        else:
+            self._buf.extend(float(v) for v in values)
 
     def push_array(self, values: np.ndarray) -> None:
         self._buf.extend(values.tolist())

@@ -5,12 +5,18 @@ hierarchical graph is flattened into leaf nodes (filters, splitters,
 joiners) connected by FIFO channels, then fired data-driven in passes until
 the requested number of outputs has been collected at the sink.
 
-Two leaf execution backends exist for IR filters:
+Three execution backends exist:
 
 * ``interp``  — the reference tree-walking interpreter (exact per-op
   FLOP accounting),
 * ``compiled`` — generated Python (the default; static per-block FLOP
-  accounting; ~50x faster).
+  accounting; ~50x faster),
+* ``plan``    — the vectorized steady-state engine (:mod:`repro.exec`):
+  batches many firings per node, running linear filters as NumPy matrix
+  products over ndarray ring buffers.  Output values (to 1e-9) and FLOP
+  counts are identical to the scalar backends; graphs the planner cannot
+  batch (feedback loops, unknown primitive sources) silently fall back
+  to ``compiled``.
 """
 
 from __future__ import annotations
@@ -300,6 +306,9 @@ def run_graph(stream: Stream, n_outputs: int,
               profiler: Profiler | None = None,
               backend: str = "compiled") -> list[float]:
     """Run a complete (void->void or void->float) program graph."""
+    if backend == "plan":
+        from ..exec import plan_executor_for  # deferred: exec imports us
+        return plan_executor_for(stream, profiler).run(n_outputs)
     return FlatGraph(stream, profiler, backend).run(n_outputs)
 
 

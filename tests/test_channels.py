@@ -70,6 +70,35 @@ def test_compaction_preserves_contents():
     assert len(expected) == n
 
 
+def test_pop_block_array_returns_consumed_items():
+    ch = Channel()
+    ch.push_array(np.arange(6.0))
+    got = ch.pop_block_array(4)
+    np.testing.assert_array_equal(got, [0.0, 1.0, 2.0, 3.0])
+    assert len(ch) == 2
+    with pytest.raises(InterpError):
+        ch.pop_block_array(3)
+
+
+def test_push_block_accepts_ndarray():
+    ch = Channel()
+    ch.push_block(np.array([1.5, 2.5]))
+    ch.push_block([3.5])
+    assert ch.snapshot() == [1.5, 2.5, 3.5]
+
+
+def test_compaction_is_proportional_to_buffer():
+    """The dead prefix never exceeds the live region (plus slack)."""
+    ch = Channel()
+    ch.push_block([float(i) for i in range(100_000)])
+    for _ in range(99_000):
+        ch.pop()
+        # head may lag live data by at most max(live, _MIN_COMPACT)
+        assert ch._head <= max(len(ch), 64)
+    assert len(ch) == 1000
+    assert ch.snapshot()[0] == 99_000.0
+
+
 def test_snapshot():
     ch = Channel()
     ch.push_block([1.0, 2.0, 3.0])

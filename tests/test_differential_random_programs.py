@@ -1,9 +1,10 @@
 """Differential testing on randomly generated work functions.
 
 Generates random IR programs (straight-line code, loops, branches, local
-arrays, tape operations) and checks the two execution backends agree on
-outputs *and* FLOP counts, and that whenever extraction reports a linear
-node, the node's predictions match actual execution.
+arrays, tape operations) and checks all three execution backends —
+``interp``, ``compiled``, and the vectorized ``plan`` — agree on outputs
+*and* FLOP counts, and that whenever extraction reports a linear node,
+the node's predictions match actual execution.
 """
 
 import numpy as np
@@ -77,18 +78,24 @@ def make_random_filter(seed: int) -> Filter:
 @settings(max_examples=60, deadline=None)
 @given(seed=st.integers(0, 100_000), input_seed=st.integers(0, 1000))
 def test_backends_agree_on_random_programs(seed, input_seed):
-    filt = make_random_filter(seed)
+    """interp, compiled, and plan: bitwise-close outputs, identical FLOPs."""
     rng = np.random.default_rng(input_seed)
-    inputs = rng.normal(size=filt.peek + 30).tolist()
-    n_out = 8 * filt.push
-    p1, p2 = Profiler(), Profiler()
-    out_interp = run_stream(filt, inputs, n_out, profiler=p1,
-                            backend="interp")
-    out_compiled = run_stream(filt, inputs, n_out, profiler=p2,
-                              backend="compiled")
-    np.testing.assert_allclose(out_interp, out_compiled, atol=1e-9)
-    assert p1.counts.flops == p2.counts.flops
-    assert p1.counts.mults == p2.counts.mults
+    inputs = rng.normal(size=make_random_filter(seed).peek + 30).tolist()
+    outputs = {}
+    profilers = {}
+    for backend in ("interp", "compiled", "plan"):
+        filt = make_random_filter(seed)
+        prof = Profiler()
+        outputs[backend] = run_stream(filt, inputs, 8 * filt.push,
+                                      profiler=prof, backend=backend)
+        profilers[backend] = prof
+    for backend in ("compiled", "plan"):
+        np.testing.assert_allclose(outputs[backend], outputs["interp"],
+                                   atol=1e-9, err_msg=backend)
+        assert profilers[backend].counts.flops == \
+            profilers["interp"].counts.flops, backend
+        assert profilers[backend].counts.mults == \
+            profilers["interp"].counts.mults, backend
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,299 @@
+"""The vectorized plan backend: equivalence, FLOP parity, bailouts, rings.
+
+The acceptance bar for ``backend="plan"`` is *observational equivalence*
+with the scalar backends: same outputs (to 1e-9), same FLOP counts, same
+error behavior — only faster.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import BENCHMARKS, build_app
+from repro.bench import CONFIGS, build_config
+from repro.bench import main as bench_main
+from repro.errors import InterpError
+from repro.exec import PlanExecutor, RingBuffer, plan_bailout_reason, \
+    plan_executor_for
+from repro.exec.kernels import FallbackStep, MatmulStep
+from repro.graph import FeedbackLoop, Pipeline, RoundRobin
+from repro.ir import FilterBuilder
+from repro.profiling import CATEGORIES, Profiler
+from repro.runtime import (Collector, FunctionSource, ListSource, run_graph,
+                           run_stream)
+from repro.runtime.executor import FlatGraph
+
+SMALL_PARAMS = {
+    "FIR": dict(taps=32),
+    "RateConvert": dict(taps=48),
+    "TargetDetect": dict(n=24),
+    "FMRadio": dict(bands=4, taps=16),
+    "Radar": dict(channels=4, beams=2, fir1_taps=4, fir2_taps=2, mf_taps=4),
+    "FilterBank": dict(m=3, taps=12),
+    "Vocoder": dict(window=16, decimation=8, n_filters=3, taps=12),
+    "Oversampler": dict(stages=3, taps=16),
+    "DToA": dict(stages=2, taps=12, out_taps=24),
+}
+N_OUT = {name: 96 for name in SMALL_PARAMS}
+N_OUT["Radar"] = 32
+
+
+def small(name):
+    return BENCHMARKS[name](**SMALL_PARAMS[name])
+
+
+def assert_counts_equal(p1: Profiler, p2: Profiler, msg=""):
+    for cat in CATEGORIES:
+        assert getattr(p1.counts, cat) == getattr(p2.counts, cat), \
+            f"{msg}: {cat} differs"
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: every app, plan == interp (values and FLOPs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_plan_matches_interp_on_all_apps(name):
+    p_interp, p_plan = Profiler(), Profiler()
+    expected = run_graph(small(name), N_OUT[name], p_interp,
+                         backend="interp")
+    got = run_graph(small(name), N_OUT[name], p_plan, backend="plan")
+    np.testing.assert_allclose(got, expected, atol=1e-9)
+    assert_counts_equal(p_interp, p_plan, name)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_plan_matches_compiled_per_filter_profile(name):
+    p_c, p_p = Profiler(), Profiler()
+    run_graph(small(name), N_OUT[name], p_c, backend="compiled")
+    run_graph(small(name), N_OUT[name], p_p, backend="plan")
+    assert_counts_equal(p_c, p_p, name)
+    assert p_c.per_filter.keys() == p_p.per_filter.keys()
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_plan_runs_optimized_configs(config):
+    """Optimized graphs (LinearFilter, freq, redundancy leaves) under plan."""
+    base = run_graph(small("FilterBank"), 64)
+    p_c, p_p = Profiler(), Profiler()
+    compiled = run_graph(build_config(small("FilterBank"), config), 64, p_c)
+    planned = run_graph(build_config(small("FilterBank"), config), 64, p_p,
+                        backend="plan")
+    np.testing.assert_allclose(planned, compiled, atol=1e-8)
+    np.testing.assert_allclose(planned, base, atol=1e-7)
+    assert_counts_equal(p_c, p_p, config)
+    assert p_c.per_filter.keys() == p_p.per_filter.keys()
+
+
+def test_plan_per_filter_counts_match_for_linear_leaves():
+    """LinearFilter leaves attribute per-filter counts identically."""
+    p_c, p_p = Profiler(), Profiler()
+    run_graph(build_config(small("FIR"), "linear"), 64, p_c)
+    run_graph(build_config(small("FIR"), "linear"), 64, p_p, backend="plan")
+    assert p_c.per_filter and p_c.per_filter.keys() == p_p.per_filter.keys()
+    for name in p_c.per_filter:
+        assert p_c.per_filter[name].flops == p_p.per_filter[name].flops
+
+
+# ---------------------------------------------------------------------------
+# Scheduling-semantics parity
+# ---------------------------------------------------------------------------
+
+
+def make_fir(coeffs):
+    n = len(coeffs)
+    f = FilterBuilder("fir", peek=n, pop=1, push=1)
+    h = f.const_array("h", coeffs)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + h[i] * f.peek(i))
+        f.push(s)
+        f.pop()
+    return f.build()
+
+
+def test_plan_peeking_filter_waits_for_data():
+    out = run_stream(make_fir([1.0] * 4), list(range(10)), 3,
+                     backend="plan")
+    assert out == [6.0, 10.0, 14.0]
+
+
+def test_plan_deadlock_detection_matches_scalar():
+    with pytest.raises(InterpError, match="deadlock"):
+        run_stream(make_fir([1.0, 1.0]), [1.0], 5, backend="plan")
+
+
+def test_plan_prework_filter_falls_back_correctly():
+    f = FilterBuilder("Delay1", peek=1, pop=1, push=1)
+    with f.prework(peek=0, pop=0, push=1):
+        f.push(0.0)
+    with f.work():
+        f.push(f.pop_expr())
+    out = run_stream(f.build(), [1.0, 2.0, 3.0], 4, backend="plan")
+    assert out == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_plan_stateful_source_exact():
+    """Mutable-field filters run through the compiled fallback unchanged."""
+    prog = small("FIR")
+    a = run_graph(prog, 50, backend="compiled")
+    b = run_graph(small("FIR"), 50, backend="plan")
+    np.testing.assert_allclose(b, a, atol=1e-9)
+
+
+def test_plan_executor_chunks_large_runs():
+    """Tiny chunk size forces multiple flushes; results unchanged."""
+    flat = FlatGraph(small("FIR"), Profiler(), backend="compiled")
+    ex = PlanExecutor(flat, chunk_outputs=8)
+    out = ex.run(100)
+    expected = run_graph(small("FIR"), 100)
+    np.testing.assert_allclose(out, expected, atol=1e-9)
+
+
+def test_plan_repeated_run_extends():
+    flat = FlatGraph(small("FIR"), Profiler(), backend="compiled")
+    ex = PlanExecutor(flat)
+    first = ex.run(10)
+    more = ex.run(30)
+    expected = run_graph(small("FIR"), 30)
+    assert more[:10] == first
+    np.testing.assert_allclose(more, expected, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Bailouts
+# ---------------------------------------------------------------------------
+
+
+def make_feedback_program():
+    g = FilterBuilder("AddDup", peek=2, pop=2, push=2)
+    with g.work():
+        t = g.local("t", g.pop_expr() + g.pop_expr())
+        g.push(t)
+        g.push(t)
+    from repro.runtime import Identity
+    return FeedbackLoop(body=g.build(), loop=Identity("fb"),
+                        joiner=RoundRobin((1, 1)),
+                        splitter=RoundRobin((1, 1)), enqueued=[0.0])
+
+
+def test_feedback_loop_bails_out_to_scalar():
+    loop = make_feedback_program()
+    assert plan_bailout_reason(Pipeline([ListSource([1, 2, 3, 4]), loop,
+                                         Collector()])) is not None
+    out = run_stream(make_feedback_program(), [1.0, 2.0, 3.0, 4.0], 4,
+                     backend="plan")
+    assert out == [1.0, 3.0, 6.0, 10.0]
+
+
+def test_plannable_program_has_no_bailout_reason():
+    assert plan_bailout_reason(small("FilterBank")) is None
+    ex = plan_executor_for(small("FIR"))
+    assert isinstance(ex, PlanExecutor)
+
+
+def test_linear_filters_get_matmul_steps():
+    ex = plan_executor_for(small("FIR"))
+    kinds = {type(s).__name__ for s in ex.steps}
+    assert "MatmulStep" in kinds  # the 32-tap low-pass
+    assert any(isinstance(s, FallbackStep) for s in ex.steps)  # ramp source
+
+
+def test_nonlinear_filters_fall_back():
+    f = FilterBuilder("Square", peek=1, pop=1, push=1)
+    with f.work():
+        v = f.local("v", f.pop_expr())
+        f.push(v * v)
+    prog = Pipeline([FunctionSource(lambda n: float(n), "src"), f.build(),
+                     Collector()])
+    ex = plan_executor_for(prog)
+    assert isinstance(ex, PlanExecutor)
+    assert not any(isinstance(s, MatmulStep) for s in ex.steps)
+    out = run_graph(prog, 8, backend="plan")
+    assert out == [float(i * i) for i in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# Ring buffers
+# ---------------------------------------------------------------------------
+
+
+def test_ring_fifo_and_peek():
+    r = RingBuffer("t")
+    for v in (1.0, 2.0, 3.0):
+        r.push(v)
+    assert len(r) == 3
+    assert r.peek(2) == 3.0
+    assert [r.pop(), r.pop(), r.pop()] == [1.0, 2.0, 3.0]
+    with pytest.raises(InterpError):
+        r.pop()
+    with pytest.raises(InterpError):
+        r.peek(0)
+
+
+def test_ring_blocks_and_windows():
+    r = RingBuffer()
+    r.push_array(np.arange(8.0))
+    np.testing.assert_array_equal(r.peek_block(3), [0.0, 1.0, 2.0])
+    w = r.window_view(3, 2, 4)  # windows at stride 2, width 4
+    np.testing.assert_array_equal(
+        w, [[0, 1, 2, 3], [2, 3, 4, 5], [4, 5, 6, 7]])
+    np.testing.assert_array_equal(r.pop_block_array(2), [0.0, 1.0])
+    assert r.snapshot() == [2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    with pytest.raises(InterpError):
+        r.window_view(4, 2, 4)
+
+
+def test_ring_growth_and_compaction():
+    r = RingBuffer(capacity=64)
+    expected = []
+    for i in range(50_000):
+        r.push(float(i))
+        if i % 3 != 0:
+            expected.append(r.pop())
+    while len(r):
+        expected.append(r.pop())
+    assert expected == sorted(expected)
+    assert len(expected) == 50_000
+
+
+def test_ring_push_block_iterable():
+    r = RingBuffer()
+    r.push_block([1.0, 2.0])
+    r.push_block(np.array([3.0, 4.0]))
+    assert r.snapshot() == [1.0, 2.0, 3.0, 4.0]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_bench_cli_single_backend(capsys):
+    assert bench_main(["--app", "fir", "--backend", "plan",
+                       "--outputs", "256"]) == 0
+    record = json.loads(capsys.readouterr().out.strip())
+    assert record["app"] == "FIR"
+    assert record["backend"] == "plan"
+    assert record["outputs"] == 256
+    assert record["flops"] > 0 and record["seconds"] > 0
+
+
+def test_bench_cli_compare_mode(capsys):
+    assert bench_main(["--app", "fir", "--compare",
+                       "--outputs", "512"]) == 0
+    record = json.loads(capsys.readouterr().out.strip())
+    assert record["flops_equal"] is True
+    assert record["speedup"] > 0
+    assert record["compiled"]["flops"] == record["plan"]["flops"]
+
+
+def test_build_app_case_insensitive():
+    prog, name = build_app("filterbank", m=3, taps=12)
+    assert name == "FilterBank"
+    with pytest.raises(KeyError):
+        build_app("nope")
