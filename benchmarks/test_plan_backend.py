@@ -1,12 +1,25 @@
-"""Vectorized plan backend vs the scalar compiled backend.
+"""Vectorized plan backend (plain and optimizing) vs the scalar backend.
 
 The thesis' uniprocessor backend fires filters one item at a time; the
-plan backend executes the same schedule in batches, turning linear
-filters into a single NumPy matrix product per chunk.  This sweep
-measures wall-clock per output on FIR (the paper's canonical linear
-filter, at several tap sizes), FilterBank, and Radar, asserting the
-FLOP profile is untouched and the ISSUE's >= 3x speedup bar holds for
-FIR at N >= 64 taps.
+plan backend executes the same schedule in batches.  Since PR 2 the plan
+pipeline also (a) rewrites the graph first (``optimize=`` — maximal
+linear/frequency replacement or the batched-cost selection DP), (b) runs
+collapsed tall-peek filters as batched overlap-save FFT convolutions,
+and (c) caches plans + schedule traces by graph content, so repeated
+runs skip rewriting, extraction probing, and rate simulation.
+
+The sweep measures wall-clock per output on FIR, FilterBank, Radar and
+Vocoder under four execution strategies:
+
+* ``us/out (c)``     — scalar compiled backend,
+* ``us/out (cold)``  — the PR 1 plan backend: no cache, no rewrite,
+  planning paid on every run,
+* ``us/out (plan)``  — cached plan backend, ``optimize="none"``,
+* ``us/out (auto)``  — cached plan backend, ``optimize="auto"``,
+
+asserting FLOP parity (plain plan vs compiled), that the auto run's FLOP
+profile equals the selection DP's predicted implementation executed on
+the scalar backend, and the ISSUE speedup bars.
 """
 
 from __future__ import annotations
@@ -17,67 +30,131 @@ import numpy as np
 import pytest
 
 from conftest import once, report
-from repro.apps import filterbank, fir, radar
+from repro.apps import filterbank, fir, radar, vocoder
 from repro.bench import format_table
+from repro.exec import clear_plan_cache, plan_executor_for
 from repro.profiling import NullProfiler, Profiler
 from repro.runtime import run_graph
+from repro.selection import select_optimizations
 
 CASES = [
     ("FIR(64)", lambda: fir.build(taps=64), 8192),
     ("FIR(256)", lambda: fir.build(taps=256), 8192),
     ("FilterBank", filterbank.build, 2000),
     ("Radar", radar.build, 256),
+    ("Vocoder", vocoder.build, 1200),
 ]
 
 
-def _time_backend(build, n_outputs, backend, repeats=3):
+def _time_backend(build, n_outputs, backend, optimize="none", repeats=3):
     """Best-of-k wall clock, so one noisy sample can't fail CI."""
-    run_graph(build(), min(n_outputs, 256), NullProfiler(), backend)  # warmup
+    run_graph(build(), min(n_outputs, 256), NullProfiler(), backend,
+              optimize)  # warmup (also warms the plan cache)
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        run_graph(build(), n_outputs, NullProfiler(), backend)
+        run_graph(build(), n_outputs, NullProfiler(), backend, optimize)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_cold_plan(build, n_outputs, repeats=3):
+    """The PR 1 plan backend: planning from scratch on every run."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        plan_executor_for(build(), NullProfiler(),
+                          cache=False).run(n_outputs)
         best = min(best, time.perf_counter() - t0)
     return best
 
 
 @pytest.fixture(scope="module")
 def sweep():
+    clear_plan_cache()
     rows = []
+    metrics = {}
     for name, build, n_outputs in CASES:
-        p_c, p_p = Profiler(), Profiler()
+        p_c, p_p, p_a = Profiler(), Profiler(), Profiler()
         out_c = run_graph(build(), n_outputs, p_c, "compiled")
         out_p = run_graph(build(), n_outputs, p_p, "plan")
+        out_a = run_graph(build(), n_outputs, p_a, "plan", optimize="auto")
         np.testing.assert_allclose(out_p, out_c, atol=1e-9)
+        np.testing.assert_allclose(out_a, out_c, atol=1e-7)
         assert p_c.counts.flops == p_p.counts.flops
+        # the auto plan's FLOP profile must equal the DP's predicted
+        # implementation executed on the scalar backend
+        predicted = select_optimizations(build(),
+                                         cost_model="batched").stream
+        p_pred = Profiler()
+        run_graph(predicted, n_outputs, p_pred, "compiled")
+        assert p_a.counts.flops == p_pred.counts.flops
         t_c = _time_backend(build, n_outputs, "compiled")
+        t_cold = _time_cold_plan(build, n_outputs)
         t_p = _time_backend(build, n_outputs, "plan")
-        rows.append([name, n_outputs, 1e6 * t_c / n_outputs,
-                     1e6 * t_p / n_outputs, t_c / t_p])
-    return rows
+        t_a = _time_backend(build, n_outputs, "plan", "auto")
+        rows.append([name, n_outputs,
+                     1e6 * t_c / n_outputs, 1e6 * t_cold / n_outputs,
+                     1e6 * t_p / n_outputs, 1e6 * t_a / n_outputs,
+                     t_c / t_p, t_c / t_a])
+        metrics[name] = {"compiled": t_c, "cold": t_cold, "plan": t_p,
+                         "auto": t_a,
+                         "auto_flops": p_a.counts.flops,
+                         "plan_flops": p_p.counts.flops}
+    return rows, metrics
 
 
 def test_plan_backend_speedup_table(benchmark, sweep):
     once(benchmark)
+    rows, _ = sweep
     table = format_table(
-        "Plan (vectorized) vs compiled backend: wall-clock per output",
-        ["program", "outputs", "us/out (c)", "us/out (plan)", "speedup"],
-        sweep, width=14)
+        "Optimizing plan pipeline vs compiled backend: wall-clock per "
+        "output\n(cold = PR 1 behavior: no plan cache, no rewrite; "
+        "auto = optimize=\"auto\")",
+        ["program", "outputs", "us/out (c)", "us/out (cold)",
+         "us/out (plan)", "us/out (auto)", "x (plan)", "x (auto)"],
+        rows, width=14)
     report("plan_backend", table)
-    assert len(sweep) == len(CASES)
+    assert len(rows) == len(CASES)
 
 
 def test_plan_speedup_meets_bar_on_fir(benchmark, sweep):
     """Acceptance: >= 3x over compiled on FIR at N >= 64 taps."""
     once(benchmark)
-    speedups = {row[0]: row[4] for row in sweep}
+    rows, _ = sweep
+    speedups = {row[0]: row[6] for row in rows}
     assert speedups["FIR(64)"] >= 3.0
     assert speedups["FIR(256)"] >= 3.0
 
 
-def test_plan_never_slows_down(benchmark, sweep):
-    """Fallback-heavy programs (Radar: stateful sources, nonlinear
-    magnitude/detector) approach compiled speed from above; allow timing
-    noise but catch real regressions."""
+def test_optimized_plan_beats_pr1_plan(benchmark, sweep):
+    """Acceptance: optimize="auto" beats the PR 1 plan backend (cold
+    planning, graph as written) on FilterBank and Radar."""
     once(benchmark)
-    assert all(row[4] > 0.8 for row in sweep)
+    _, metrics = sweep
+    for name in ("FilterBank", "Radar"):
+        assert metrics[name]["auto"] < metrics[name]["cold"], name
+
+
+def test_optimized_plan_beats_cached_plan_on_filterbank(benchmark, sweep):
+    """The rewrite itself (not just caching) pays: FilterBank's collapsed
+    graph beats the as-written graph under the same cached planner."""
+    once(benchmark)
+    _, metrics = sweep
+    assert metrics["FilterBank"]["auto"] < metrics["FilterBank"]["plan"]
+
+
+def test_radar_well_above_its_pr1_speedup(benchmark, sweep):
+    """Acceptance: Radar was 1.5x over compiled under PR 1; the cached
+    optimizing pipeline must be well above that."""
+    once(benchmark)
+    _, metrics = sweep
+    assert metrics["Radar"]["compiled"] / metrics["Radar"]["auto"] > 2.0
+
+
+def test_plan_never_slows_down(benchmark, sweep):
+    """Fallback-heavy programs approach compiled speed from above; allow
+    timing noise but catch real regressions."""
+    once(benchmark)
+    rows, _ = sweep
+    assert all(row[6] > 0.8 for row in rows)

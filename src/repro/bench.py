@@ -114,16 +114,29 @@ class Measurement:
 
 
 def measure(program: Stream, config: str, n_outputs: int,
-            backend: str = "compiled") -> Measurement:
-    """Build one configuration and measure FLOPs and wall time."""
+            backend: str = "compiled",
+            optimize: str = "none") -> Measurement:
+    """Build one configuration and measure FLOPs and wall time.
+
+    ``optimize`` is the ``run_graph`` rewrite axis (independent of
+    ``config``, which applies the paper's replacement passes directly).
+    For scalar backends the rewrite happens outside the timed region, so
+    timings compare execution strategies; the plan backend performs it
+    inside ``run_graph``, where the plan cache makes the counting run pay
+    the one-time rewrite/planning cost and the timed run reuse it.
+    """
     stream = build_config(program, config)
+    if optimize != "none" and backend != "plan":
+        from .exec import optimize_stream
+        stream = optimize_stream(stream, optimize)
+        optimize = "none"
     profiler = Profiler()
-    run_graph(stream, n_outputs, profiler, backend)
+    run_graph(stream, n_outputs, profiler, backend, optimize)
     # separate timing run (profiling overhead excluded); generated code is
     # already warm from the counting run in the same FlatGraph? No — a new
     # FlatGraph compiles again, so do a short warmup first.
     t0 = time.perf_counter()
-    run_graph(stream, n_outputs, NullProfiler(), backend)
+    run_graph(stream, n_outputs, NullProfiler(), backend, optimize)
     seconds = time.perf_counter() - t0
     return Measurement(config, n_outputs, profiler.counts.flops,
                        profiler.counts.mults, seconds)
@@ -145,11 +158,12 @@ def speedup_percent(t_before: float, t_after: float) -> float:
 
 
 def _measurement_record(app: str, config: str, backend: str,
-                        m: Measurement) -> dict:
+                        m: Measurement, optimize: str = "none") -> dict:
     return {
         "app": app,
         "config": config,
         "backend": backend,
+        "optimize": optimize,
         "outputs": m.outputs,
         "flops": m.flops,
         "mults": m.mults,
@@ -167,15 +181,21 @@ def main(argv=None) -> int:
         python -m repro.bench --app fir --backend plan --outputs 10000
         python -m repro.bench --app filterbank --compare
         python -m repro.bench --app radar --config linear --backend plan
+        python -m repro.bench --app fir --backend plan --optimize auto
+        python -m repro.bench --app radar --plan-report --optimize auto
 
-    With ``--compare`` the app runs under both the ``compiled`` and
-    ``plan`` backends and the record includes the wall-clock speedup —
-    the trajectory-tracking mode used by CI and the benchmark suite.
+    With ``--compare`` the app runs over the full backend x optimize
+    matrix (``compiled``/``plan`` x ``none``/``linear``/``freq``/``auto``)
+    emitting one record per cell under ``"cells"``, plus wall-clock
+    speedup summaries — the trajectory-tracking mode used by CI and the
+    benchmark suite.  ``--plan-report`` prints which nodes the planner
+    vectorized and why the rest fall back to scalar firing.
     """
     import argparse
     import json
 
     from .apps import BENCHMARKS, resolve_app
+    from .exec import OPTIMIZE_MODES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -190,8 +210,14 @@ def main(argv=None) -> int:
                              "paper-sized run)")
     parser.add_argument("--config", default="original", choices=CONFIGS,
                         help="optimization configuration to apply")
+    parser.add_argument("--optimize", default="none", choices=OPTIMIZE_MODES,
+                        help="pre-plan rewrite mode passed to run_graph")
     parser.add_argument("--compare", action="store_true",
-                        help="measure compiled vs plan and report speedup")
+                        help="measure the full backend x optimize matrix "
+                             "and report speedups")
+    parser.add_argument("--plan-report", action="store_true",
+                        help="print the plan's kernel choices and "
+                             "fallback reasons, then exit")
     args = parser.parse_args(argv)
 
     if args.outputs is not None and args.outputs < 1:
@@ -203,28 +229,45 @@ def main(argv=None) -> int:
     n_outputs = args.outputs if args.outputs is not None else \
         DEFAULT_OUTPUTS[app_name]
 
+    if args.plan_report:
+        from .exec import plan_report
+        program = build_config(BENCHMARKS[app_name](), args.config)
+        print(plan_report(program, optimize=args.optimize))
+        return 0
+
     if args.compare:
-        records = {}
+        cells = []
+        by = {}
         for backend in ("compiled", "plan"):
-            m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
-                        backend=backend)
-            records[backend] = _measurement_record(
-                app_name, args.config, backend, m)
+            for mode in OPTIMIZE_MODES:
+                m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+                            backend=backend, optimize=mode)
+                rec = _measurement_record(app_name, args.config, backend, m,
+                                          optimize=mode)
+                cells.append(rec)
+                by[(backend, mode)] = rec
+
+        def ratio(a, b):
+            return round(a["seconds"] / max(b["seconds"], 1e-12), 2)
+
+        base = by[("compiled", "none")]
+        plan = by[("plan", "none")]
+        auto = by[("plan", "auto")]
         result = {
             "app": app_name,
             "config": args.config,
             "outputs": n_outputs,
-            "compiled": records["compiled"],
-            "plan": records["plan"],
-            "flops_equal": records["compiled"]["flops"]
-                           == records["plan"]["flops"],
-            "speedup": round(records["compiled"]["seconds"]
-                             / max(records["plan"]["seconds"], 1e-12), 2),
+            "cells": cells,
+            "flops_equal": base["flops"] == plan["flops"],
+            "speedup": ratio(base, plan),
+            "speedup_auto": ratio(base, auto),
+            "auto_vs_plan": ratio(plan, auto),
         }
     else:
         m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
-                    backend=args.backend)
-        result = _measurement_record(app_name, args.config, args.backend, m)
+                    backend=args.backend, optimize=args.optimize)
+        result = _measurement_record(app_name, args.config, args.backend, m,
+                                     optimize=args.optimize)
     print(json.dumps(result))
     return 0
 

@@ -1,0 +1,231 @@
+"""Plan caching: structural fingerprints and the compiled-plan cache.
+
+Planning a graph is not free: the ``optimize=`` rewrite runs whole-graph
+linear analysis (and possibly the selection DP), the planner probes every
+IR filter for vectorizability (extraction + one interpreted firing), and
+every ``run`` re-simulates the integer rate schedule.  For Radar this
+planning work dominates the actual batched execution several times over.
+
+The cache keys all of it on a **content fingerprint** of the stream
+graph: a hash over the hierarchy (construct types, splitter/joiner
+weights, enqueued values), each IR filter's printed work/prework functions
+and field values, and each known primitive's defining data (source values,
+linear-node matrices, FFT sizes).  Content hashing means a *rebuilt*
+graph with identical coefficients hits the cache, while mutating a field
+array in place changes the fingerprint and cleanly invalidates the entry.
+Primitives the fingerprinter does not know hash by object identity — the
+entry pins the source stream so such ids cannot be recycled while the
+entry lives.
+
+A :class:`PlanEntry` carries everything reusable across runs:
+
+* the rewritten (post-``optimize``) stream,
+* the whole-graph bailout verdict,
+* per-node vectorization *decisions* (linear node + probed FLOP counts,
+  or the fallback reason) so a cache hit skips extraction entirely,
+* recorded **schedule traces** — the exact ``(step, firings)`` sequence a
+  prior run flushed, keyed by ``(chunk_outputs, n_outputs)`` — so a
+  repeated run replays batched steps without re-simulating rates.
+
+Mutable execution state (ring buffers, fallback runners, profilers) is
+*never* cached; every run builds a fresh executor around the shared
+immutable plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                             PrimitiveFilter, RoundRobin, SplitJoin, Stream)
+from ..ir.printer import work_to_str
+
+_UNSET = object()  # bailout not yet computed
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _u(h, *parts) -> None:
+    for p in parts:
+        h.update(str(p).encode())
+        h.update(b"\x1f")
+
+
+def _fp_array(h, arr) -> None:
+    arr = np.asarray(arr)
+    _u(h, arr.dtype.str, arr.shape)
+    h.update(arr.tobytes())
+
+
+def _fp_fields(h, fields: dict) -> None:
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, np.ndarray):
+            _u(h, "arr", key)
+            _fp_array(h, value)
+        else:
+            _u(h, "val", key, repr(value))
+
+
+def _fp_linear_node(h, node) -> None:
+    _u(h, "node", node.peek, node.pop, node.push)
+    _fp_array(h, node.A)
+    _fp_array(h, node.b)
+
+
+def _fp_primitive(h, s: PrimitiveFilter) -> None:
+    # imports deferred: these modules import graph machinery themselves
+    from ..frequency.filters import Decimator, _FreqBase
+    from ..linear.filters import ConstantSourceFilter, LinearFilter
+    from ..runtime.builtins import (Collector, FunctionSource, Identity,
+                                    ListSource)
+
+    _u(h, s.peek, s.pop, s.push, s.init_peek, s.init_pop, s.init_push)
+    if isinstance(s, ListSource):
+        _fp_array(h, np.asarray(s.values, dtype=float))
+    elif isinstance(s, ConstantSourceFilter):
+        _fp_array(h, s.values)
+    elif isinstance(s, FunctionSource):
+        _u(h, "fn", id(s.fn))  # opaque callable: identity (entry pins it)
+    elif isinstance(s, LinearFilter):
+        _u(h, s.backend)
+        _fp_linear_node(h, s.linear_node)
+    elif isinstance(s, _FreqBase):
+        _u(h, s.backend, s.n)
+        _fp_linear_node(h, s.linear_node_time_domain)
+    elif isinstance(s, (Decimator, Identity, Collector)):
+        pass  # fully described by type + rates
+    else:
+        node = getattr(s, "linear_node", None)
+        if node is not None:  # e.g. redundancy-elimination filters
+            _fp_linear_node(h, node)
+        else:
+            _u(h, "id", id(s))  # unknown primitive: identity (pinned)
+
+
+def _fp_stream(h, s: Stream) -> None:
+    _u(h, type(s).__name__, getattr(s, "name", ""))
+    if isinstance(s, Filter):
+        _u(h, work_to_str(s.work),
+           work_to_str(s.prework) if s.prework is not None else "-",
+           sorted(s.mutable_fields))
+        _fp_fields(h, s.fields)
+    elif isinstance(s, PrimitiveFilter):
+        _fp_primitive(h, s)
+    elif isinstance(s, Pipeline):
+        _u(h, len(s.children))
+        for c in s.children:
+            _fp_stream(h, c)
+    elif isinstance(s, SplitJoin):
+        _u(h, str(s.splitter), str(s.joiner), len(s.children))
+        for c in s.children:
+            _fp_stream(h, c)
+    elif isinstance(s, FeedbackLoop):
+        _u(h, str(s.joiner), str(s.splitter), s.enqueued)
+        _fp_stream(h, s.body)
+        _fp_stream(h, s.loop)
+    else:
+        raise TypeError(f"cannot fingerprint {s!r}")
+
+
+def stream_fingerprint(stream: Stream) -> bytes:
+    """Content digest of a stream graph (structure + coefficients)."""
+    h = hashlib.blake2b(digest_size=16)
+    _fp_stream(h, stream)
+    return h.digest()
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+#: Schedule traces kept per entry; a sweep over many distinct n_outputs
+#: values keeps only the most recent few instead of growing forever.
+MAX_TRACES_PER_ENTRY = 8
+
+
+class _TraceStore(dict):
+    """Insertion-ordered trace map with a size cap (oldest evicted)."""
+
+    def setdefault(self, key, value):
+        if key not in self and len(self) >= MAX_TRACES_PER_ENTRY:
+            del self[next(iter(self))]
+        return super().setdefault(key, value)
+
+
+@dataclass
+class PlanEntry:
+    """Immutable plan artifacts shared by every run of one (graph, mode).
+
+    The fingerprint covers source *values* (a ``ListSource``'s data feeds
+    the outputs and the exhaustion schedule, and ``entry.optimized``
+    embeds the first caller's source objects), so sharing is only safe
+    between content-identical graphs; ``run_stream`` with per-call-unique
+    inputs therefore misses by design, bounded by the LRU.
+    """
+
+    pin: Stream  # keeps id()-fingerprinted objects alive
+    optimized: Stream | None = None
+    bailout: object = _UNSET  # str | None once computed
+    #: node index -> (LinearNode, Counts) or (None, reason)
+    decisions: dict | None = None
+    #: (chunk_outputs, n_outputs) -> [(step_index, firings), ...]
+    traces: _TraceStore = field(default_factory=_TraceStore)
+
+
+class PlanCache:
+    """LRU cache of :class:`PlanEntry` keyed by (fingerprint, optimize)."""
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, PlanEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def entry_for(self, stream: Stream, optimize: str) -> PlanEntry:
+        key = (stream_fingerprint(stream), optimize)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = PlanEntry(pin=stream)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by ``run_graph(..., backend="plan")``.
+PLAN_CACHE = PlanCache()
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss/entry counters of the global plan cache."""
+    return PLAN_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (test isolation, coefficient sweeps)."""
+    PLAN_CACHE.clear()

@@ -78,6 +78,117 @@ class MatmulStep(Step):
                                  filter_name=self.filter_name)
 
 
+#: Cap on the ``k * n * (u + 1)`` complex workspace of one batched FFT
+#: call; larger batches are processed in slices to bound memory.
+_MAX_FFT_BLOCK_ELEMS = 1 << 21
+
+
+class NaiveFreqStep(Step):
+    """Batched Transformation 5: overlap-save FFT convolution per chunk.
+
+    ``k`` firings of a :class:`~repro.frequency.filters.NaiveFreqFilter`
+    collapse into one stacked rfft -> pointwise product -> irfft over the
+    ``(k, m+e-1)`` window view of the input ring (windows overlap by
+    ``e-1``, stride ``m``).  FLOP accounting is the scalar runner's
+    per-block counts scaled by ``k``.
+    """
+
+    kind = "freq-naive"
+
+    def __init__(self, ring_in, ring_out, filt, profiler: Profiler):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+        self.kernel = filt.kernel
+        self.e, self.m, self.u = filt.e, filt.m, filt.u
+        self.b_push = filt.b_push
+        counts = filt.kernel.counts_per_block.copy()
+        counts.fadd += int(np.count_nonzero(filt.b_push)) * filt.m
+        self.counts = counts
+        self.profiler = profiler
+        self.name = filt.name
+        self.rows = max(1, _MAX_FFT_BLOCK_ELEMS
+                        // (filt.kernel.n * (filt.u + 1)))
+
+    def execute(self, n: int) -> None:
+        e, m = self.e, self.m
+        while n:
+            k = min(n, self.rows)
+            X = self.ring_in.window_view(k, m, m + e - 1)
+            y = self.kernel.convolve_batch(X)  # (k, n_fft, u)
+            kept = y[:, e - 1:e - 1 + m, :] + self.b_push
+            self.ring_out.push_array(kept.reshape(-1))
+            self.ring_in.pop_block(k * m)
+            self.profiler.add_counts(self.counts, times=k,
+                                     filter_name=self.name)
+            n -= k
+
+
+class OptimizedFreqStep(Step):
+    """Batched Transformation 6: disjoint FFT blocks with partial sums.
+
+    Within a batch, firing ``i``'s boundary outputs are completed with the
+    tail partials of firing ``i-1`` (block-shifted in one vectorized add);
+    the last block's tail is carried across batches — and across the
+    chunk-flush boundary — exactly like the scalar runner's ``partials``
+    state.  The first-ever firing pushes only the ``u*m`` interior outputs
+    (the filter's declared init rate).
+    """
+
+    kind = "freq-opt"
+
+    def __init__(self, ring_in, ring_out, filt, profiler: Profiler):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+        self.kernel = filt.kernel
+        self.e, self.m, self.u, self.r = filt.e, filt.m, filt.u, filt.r
+        self.b_push = filt.b_push
+        b_adds = int(np.count_nonzero(filt.b_push))
+        init_counts = filt.kernel.counts_per_block.copy()
+        init_counts.fadd += b_adds * filt.m
+        steady_counts = filt.kernel.counts_per_block.copy()
+        steady_counts.fadd += b_adds * filt.r
+        steady_counts.fadd += filt.u * (filt.e - 1)
+        self.init_counts = init_counts
+        self.steady_counts = steady_counts
+        self.profiler = profiler
+        self.name = filt.name
+        self.partials: np.ndarray | None = None
+        self.rows = max(1, _MAX_FFT_BLOCK_ELEMS
+                        // (filt.kernel.n * (filt.u + 1)))
+
+    def execute(self, n: int) -> None:
+        e, m, u, r = self.e, self.m, self.u, self.r
+        while n:
+            k = min(n, self.rows)
+            X = self.ring_in.window_view(k, r, r)
+            y = self.kernel.convolve_batch(X)  # (k, n_fft, u)
+            mids = y[:, e - 1:e - 1 + m, :] + self.b_push  # (k, m, u)
+            tails = y[:, m + e - 1:m + 2 * e - 2, :]  # (k, e-1, u)
+            if self.partials is None:
+                # very first firing: interior outputs only (init push u*m)
+                self.ring_out.push_array(mids[0].reshape(-1))
+                self.profiler.add_counts(self.init_counts,
+                                         filter_name=self.name)
+                if k > 1:
+                    out = np.empty((k - 1, r, u))
+                    out[:, :e - 1] = y[1:, :e - 1] + tails[:-1] + self.b_push
+                    out[:, e - 1:] = mids[1:]
+                    self.ring_out.push_array(out.reshape(-1))
+                    self.profiler.add_counts(self.steady_counts, times=k - 1,
+                                             filter_name=self.name)
+            else:
+                prev = np.concatenate([self.partials[None], tails[:-1]])
+                out = np.empty((k, r, u))
+                out[:, :e - 1] = y[:, :e - 1] + prev + self.b_push
+                out[:, e - 1:] = mids
+                self.ring_out.push_array(out.reshape(-1))
+                self.profiler.add_counts(self.steady_counts, times=k,
+                                         filter_name=self.name)
+            self.partials = tails[-1].copy()
+            self.ring_in.pop_block(k * r)
+            n -= k
+
+
 class FallbackStep(Step):
     """Scalar escape hatch: fire the node's existing runner ``n`` times."""
 
@@ -137,13 +248,12 @@ class RoundRobinJoinStep(Step):
         self.total = sum(weights)
 
     def execute(self, n: int) -> None:
-        out = np.empty((n, self.total))
+        out = self.ring_out.alloc_push(n * self.total).reshape(n, self.total)
         off = 0
         for ring, w in zip(self.rings_in, self.weights):
             if w:
                 out[:, off:off + w] = ring.pop_block_array(n * w).reshape(n, w)
                 off += w
-        self.ring_out.push_array(out.reshape(-1))
 
 
 class CollectorStep(Step):

@@ -1,0 +1,46 @@
+"""Pre-plan graph rewriting: the ``optimize=`` stage of the plan pipeline.
+
+``run_graph(..., optimize=...)`` rewrites the program with the paper's
+optimization passes *before* handing it to the planner (or the scalar
+executor), so the batched engine executes the collapsed/frequency form
+instead of the graph as written:
+
+* ``none``   — the graph as written;
+* ``linear`` — maximal linear replacement (§4.4): every maximal linear
+  region collapses to one matrix-multiply leaf;
+* ``freq``   — maximal frequency replacement (§5.2): maximal linear
+  regions become overlap-save FFT convolutions;
+* ``auto``   — the §4.3 selection DP, run with the *batched* cost model
+  (:func:`repro.selection.costs.batched_direct_cost` /
+  :func:`~repro.selection.costs.batched_frequency_cost`), which amortizes
+  per-firing overheads over plan-sized batches and prices the direct
+  implementation as the dense BLAS product the plan backend actually runs.
+
+All four rewrites preserve observable outputs; FLOP counts change by
+design (that is the point of the optimizations).
+"""
+
+from __future__ import annotations
+
+from ..graph.streams import Stream
+
+#: Valid values of the ``optimize=`` argument, in pipeline order.
+OPTIMIZE_MODES = ("none", "linear", "freq", "auto")
+
+
+def optimize_stream(stream: Stream, mode: str) -> Stream:
+    """Apply one named optimization mode to ``stream`` (non-destructive)."""
+    if mode == "none":
+        return stream
+    # deferred: the passes pull in linear/frequency/selection machinery
+    if mode == "linear":
+        from ..linear.combine import maximal_linear_replacement
+        return maximal_linear_replacement(stream)
+    if mode == "freq":
+        from ..frequency.replacer import maximal_frequency_replacement
+        return maximal_frequency_replacement(stream)
+    if mode == "auto":
+        from ..selection.dp import select_optimizations
+        return select_optimizations(stream, cost_model="batched").stream
+    raise ValueError(
+        f"unknown optimize mode {mode!r} (expected one of {OPTIMIZE_MODES})")

@@ -31,7 +31,14 @@ topological sweep exists), nodes that consume nothing yet have inputs
 (unbounded drain), and unknown primitive sources whose exhaustion
 behavior the rate simulator cannot model.  Individual *filters* that are
 non-linear, stateful, branching, or carry prework simply run through
-:class:`~repro.exec.kernels.FallbackStep` inside the plan.
+:class:`~repro.exec.kernels.FallbackStep` inside the plan —
+:func:`plan_report` lists which nodes fell back and why.
+
+:func:`plan_executor_for` wraps the whole pipeline: the ``optimize=``
+graph rewrite (:mod:`repro.exec.optimize`) runs first, and every
+planning artifact — rewrite, bailout verdict, per-filter vectorization
+decisions, recorded schedule traces — is cached across runs by graph
+content (:mod:`repro.exec.cache`).
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ from ..runtime.builtins import (Collector, FunctionSource, Identity,
 from ..runtime.channels import Channel
 from ..runtime.executor import _NULL_CHANNEL, FlatGraph
 from . import kernels as K
+from .cache import _UNSET, PLAN_CACHE
+from .optimize import optimize_stream
 from .ring import RingBuffer
 
 #: Flush batched work once this many sink outputs are pending (bounds ring
@@ -87,24 +96,29 @@ def _probe_firing_counts(filt: Filter) -> Counts | None:
     return profiler.counts.copy()
 
 
-def _linear_matmul_params(filt: Filter):
-    """(node, counts) when an IR filter can run as a batched matmul."""
-    if filt.prework is not None or filt.mutable_fields:
-        return None
+def _vectorize_decision(filt: Filter):
+    """((node, counts), None) when an IR filter can run as a batched
+    matmul, or (None, reason) explaining the scalar fallback."""
+    if filt.prework is not None:
+        return None, "has prework (first firing differs from steady state)"
+    if filt.mutable_fields:
+        return None, ("mutable state fields: "
+                      f"{', '.join(sorted(filt.mutable_fields))}")
     if filt.pop <= 0 or filt.push <= 0:
-        return None
+        return None, "pops or pushes nothing (no batched window/output)"
     if N.has_data_dependent_control(filt.work.body):
-        return None
+        return None, "data-dependent control flow"
     result = extract_filter(filt)
     if not result.is_linear:
-        return None
+        return None, f"not linear: {result.reason or 'unknown'}"
     node = result.node
     if (node.peek, node.pop, node.push) != (filt.peek, filt.pop, filt.push):
-        return None
+        return None, ("extracted node rates disagree with declared "
+                      "peek/pop/push")
     counts = _probe_firing_counts(filt)
     if counts is None:
-        return None
-    return node, counts
+        return None, "FLOP-count probe firing failed"
+    return (node, counts), None
 
 
 # ---------------------------------------------------------------------------
@@ -224,10 +238,26 @@ class PlanExecutor:
     """
 
     def __init__(self, flat: FlatGraph,
-                 chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS):
+                 chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
+                 decisions: dict | None = None):
         self.flat = flat
         self.profiler = flat.profiler
         self.chunk_outputs = chunk_outputs
+
+        # per-filter vectorization decisions: node index -> (params, reason).
+        # Passed in from the plan cache on a hit (skips extraction/probing);
+        # populated here on a miss so the caller can cache them.
+        self._decisions_given = decisions is not None
+        self.decisions: dict = decisions if decisions is not None else {}
+        #: node index -> why that node runs through FallbackStep
+        self.fallback_reasons: dict[int, str] = {}
+
+        # schedule-trace hooks installed by plan_executor_for (cache path)
+        self._trace_lookup = None  # n_outputs -> recorded trace | None
+        self._trace_sink = None  # (n_outputs, trace) -> None
+        self._trace: list | None = None  # events recorded this run
+        self._ran = False
+        self._replayed = False
 
         # channel registry: every distinct Channel gets a ring and an index
         self._chan_ids: dict[int, int] = {}
@@ -257,7 +287,7 @@ class PlanExecutor:
             if isinstance(node.stream, ListSource):
                 sn.remaining = len(node.stream.values)
             self.sim_nodes.append(sn)
-            self.steps.append(self._make_step(node, in_ids, out_ids))
+            self.steps.append(self._make_step(i, node, in_ids, out_ids))
 
         self.sources = [sn for sn in self.sim_nodes if not sn.in_ids]
         self.consumers = [sn for sn in self.sim_nodes if sn.in_ids]
@@ -284,8 +314,9 @@ class PlanExecutor:
         self._saw_init_fire = False
 
     # -- step construction ------------------------------------------------
-    def _make_step(self, node, in_ids, out_ids) -> K.Step:
-        from ..frequency.filters import Decimator
+    def _make_step(self, index, node, in_ids, out_ids) -> K.Step:
+        from ..frequency.filters import (Decimator, NaiveFreqFilter,
+                                         OptimizedFreqFilter)
 
         def rin(j=0):
             return self.rings[in_ids[j]] if in_ids else _NULL_CHANNEL
@@ -305,11 +336,17 @@ class PlanExecutor:
                                         list(node.joiner.weights))
         s = node.stream
         if node.kind == "filter":
-            params = _linear_matmul_params(s)
+            if self._decisions_given:
+                params, reason = self.decisions.get(
+                    index, (None, "no cached decision"))
+            else:
+                params, reason = _vectorize_decision(s)
+                self.decisions[index] = (params, reason)
             if params is not None:
                 ln, counts = params
                 return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek,
                                     ln.pop, ln.push, counts, self.profiler)
+            self.fallback_reasons[index] = reason
             return K.FallbackStep(node, rin(), rout())
         # primitives
         if isinstance(s, LinearFilter):
@@ -319,6 +356,10 @@ class PlanExecutor:
             return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek, ln.pop,
                                 ln.push, counts, self.profiler,
                                 filter_name=s.name)
+        if isinstance(s, NaiveFreqFilter):
+            return K.NaiveFreqStep(rin(), rout(), s, self.profiler)
+        if isinstance(s, OptimizedFreqFilter):
+            return K.OptimizedFreqStep(rin(), rout(), s, self.profiler)
         if isinstance(s, Collector):
             return K.CollectorStep(rin(), node.runner.collected)
         if isinstance(s, ListSource):
@@ -331,6 +372,8 @@ class PlanExecutor:
             return K.IdentityStep(rin(), rout())
         if isinstance(s, Decimator):
             return K.DecimatorStep(rin(), rout(), s.o, s.u)
+        self.fallback_reasons[index] = (
+            f"no batched kernel for primitive type {type(s).__name__}")
         return K.FallbackStep(node, rin(), rout())
 
     # -- integer rate simulation ------------------------------------------
@@ -429,10 +472,13 @@ class PlanExecutor:
     # -- batched flush -----------------------------------------------------
     def _flush(self) -> None:
         pending = self._pending
+        trace = self._trace
         for i, step in enumerate(self.steps):
             n = pending[i]
             if n:
                 step.execute(n)
+                if trace is not None:
+                    trace.append((i, n))
                 pending[i] = 0
         self._pending_outputs = 0
 
@@ -482,9 +528,37 @@ class PlanExecutor:
         self._pending_outputs += gain * k
         self._passes += k
 
+    # -- cached-trace replay ------------------------------------------------
+    def _run_trace(self, trace, n_outputs: int) -> list[float]:
+        """Execute a previously recorded flush sequence, skipping the rate
+        simulation entirely.  Valid only on a fresh executor (the trace was
+        recorded from the same initial state)."""
+        self._ran = True
+        self._replayed = True
+        steps = self.steps
+        for i, n in trace:
+            steps[i].execute(n)
+        if self._collected is not None:
+            return self._collected[:n_outputs]
+        out_ring = self.rings[self._out_chan]
+        return [out_ring.pop() for _ in range(n_outputs)]
+
     # -- public API ---------------------------------------------------------
     def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
         """Batched equivalent of :meth:`FlatGraph.run`."""
+        if self._replayed:
+            raise InterpError(
+                "plan executor already consumed by a cached-trace replay; "
+                "build a fresh executor to run again")
+        if not self._ran:
+            if self._trace_lookup is not None:
+                trace = self._trace_lookup(n_outputs)
+                if trace is not None:
+                    return self._run_trace(trace, n_outputs)
+            if self._trace_sink is not None:
+                self._trace = []
+        recording = self._trace is not None
+        self._ran = True
         while self._produced() < n_outputs:
             self._passes += 1
             if self._passes > max_passes:
@@ -504,6 +578,9 @@ class PlanExecutor:
                     f"deadlock: no source progress, "
                     f"{self._produced()}/{n_outputs} outputs")
         self._flush()
+        if recording:
+            self._trace_sink(n_outputs, self._trace)
+            self._trace = None
         if self._collected is not None:
             return self._collected[:n_outputs]
         out_ring = self.rings[self._out_chan]
@@ -517,14 +594,117 @@ class PlanExecutor:
 
 
 def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
-                      chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS):
+                      chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
+                      optimize: str = "none", cache=None):
     """Compile ``stream`` into a :class:`PlanExecutor`.
+
+    The full pipeline: rewrite the graph per ``optimize``
+    (:func:`~repro.exec.optimize.optimize_stream`), then plan the
+    rewritten graph.  Planning artifacts — the rewrite itself, the bailout
+    verdict, per-filter vectorization decisions, and recorded schedule
+    traces — are cached in ``cache`` (default: the process-wide
+    :data:`~repro.exec.cache.PLAN_CACHE`), keyed by the graph's content
+    fingerprint; pass ``cache=False`` to plan from scratch.
 
     Falls back to the scalar compiled :class:`FlatGraph` (same ``run``
     interface) when the graph cannot be batched — see
     :func:`plan_bailout_reason`.
     """
-    flat = FlatGraph(stream, profiler, backend="compiled")
-    if plan_bailout_reason(stream, flat) is not None:
+    if cache is None:
+        cache = PLAN_CACHE
+    if cache is False:
+        opt = optimize_stream(stream, optimize)
+        flat = FlatGraph(opt, profiler, backend="compiled")
+        if plan_bailout_reason(opt, flat) is not None:
+            return flat
+        return PlanExecutor(flat, chunk_outputs=chunk_outputs)
+
+    entry = cache.entry_for(stream, optimize)
+    if entry.optimized is None:
+        entry.optimized = optimize_stream(stream, optimize)
+    flat = FlatGraph(entry.optimized, profiler, backend="compiled")
+    if entry.bailout is _UNSET:
+        entry.bailout = plan_bailout_reason(entry.optimized, flat)
+    if entry.bailout is not None:
         return flat
-    return PlanExecutor(flat, chunk_outputs=chunk_outputs)
+    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                            decisions=entry.decisions)
+    if entry.decisions is None:
+        entry.decisions = executor.decisions
+    traces = entry.traces
+    executor._trace_lookup = lambda n: traces.get((chunk_outputs, n))
+    executor._trace_sink = (
+        lambda n, t: traces.setdefault((chunk_outputs, n), t))
+    return executor
+
+
+# ---------------------------------------------------------------------------
+# Plan introspection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StepReport:
+    """How one flattened node is realized inside a plan."""
+
+    index: int
+    name: str
+    node_kind: str  # 'filter' | 'primitive' | 'splitter' | 'joiner'
+    step_kind: str  # Step.kind of the chosen kernel
+    reason: str | None  # set iff the node runs through FallbackStep
+
+
+@dataclass
+class PlanReport:
+    """Which kernels a plan chose, and why nodes fell back to scalar.
+
+    Fallback-heavy graphs (Radar: stateful sources, nonlinear magnitude
+    and detector stages) are slow for reasons invisible in the output;
+    this report makes them diagnosable.  Render with ``str(report)`` or
+    inspect :attr:`steps` / :attr:`fallbacks` programmatically.
+    """
+
+    program: str
+    optimize: str
+    bailout: str | None
+    steps: list[StepReport] = field(default_factory=list)
+
+    @property
+    def fallbacks(self) -> list[StepReport]:
+        return [s for s in self.steps if s.step_kind == "fallback"]
+
+    def __str__(self) -> str:
+        title = f"plan report: {self.program} (optimize={self.optimize})"
+        lines = [title, "=" * len(title)]
+        if self.bailout is not None:
+            lines.append(f"whole-graph bailout to compiled: {self.bailout}")
+            return "\n".join(lines)
+        name_w = max([len(s.name) for s in self.steps] + [4]) + 2
+        kind_w = 12
+        lines.append("node".ljust(name_w) + "step".ljust(kind_w)
+                     + "fallback reason")
+        lines.append("-" * (name_w + kind_w + 15))
+        for s in self.steps:
+            lines.append(s.name.ljust(name_w) + s.step_kind.ljust(kind_w)
+                         + (s.reason or ""))
+        n_fb = len(self.fallbacks)
+        lines.append(f"{n_fb}/{len(self.steps)} nodes fall back to scalar "
+                     "firing")
+        return "\n".join(lines)
+
+
+def plan_report(stream: Stream, optimize: str = "none",
+                chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS) -> PlanReport:
+    """Explain how ``stream`` would execute under the plan backend."""
+    opt = optimize_stream(stream, optimize)
+    flat = FlatGraph(opt, NullProfiler(), backend="compiled")
+    bailout = plan_bailout_reason(opt, flat)
+    rep = PlanReport(program=getattr(stream, "name", "?"), optimize=optimize,
+                     bailout=bailout)
+    if bailout is not None:
+        return rep
+    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs)
+    for i, (node, step) in enumerate(zip(flat.nodes, executor.steps)):
+        rep.steps.append(StepReport(i, node.name, node.kind, step.kind,
+                                    executor.fallback_reasons.get(i)))
+    return rep

@@ -130,6 +130,18 @@ class RingBuffer:
         self._buf[self._tail:self._tail + n] = values
         self._tail += n
 
+    def alloc_push(self, n: int) -> np.ndarray:
+        """Append ``n`` uninitialized items; return a writable view over them.
+
+        Batched kernels fill the view in place, saving the intermediate
+        array + copy of ``push_array``.  The view aliases the buffer, so it
+        must be fully written before any further ring operation.
+        """
+        self._reserve(n)
+        view = self._buf[self._tail:self._tail + n]
+        self._tail += n
+        return view
+
     def snapshot(self) -> list[float]:
         """Current contents (for debugging/tests)."""
         return self._buf[self._head:self._tail].tolist()

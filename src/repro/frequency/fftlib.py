@@ -186,3 +186,15 @@ class FrequencyKernel:
         X = np.fft.rfft(x, n=self.n)
         Y = X[:, None] * self.H
         return np.fft.irfft(Y, n=self.n, axis=0)
+
+    def convolve_batch(self, blocks: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`convolve_block` over a ``(k, block_len)`` stack.
+
+        Returns a ``(k, n, u)`` array; row ``i`` equals
+        ``convolve_block(blocks[i])``.  Used by the plan backend's batched
+        frequency steps: one rfft/irfft call covers every firing in the
+        batch.
+        """
+        X = np.fft.rfft(blocks, n=self.n, axis=1)  # (k, n//2+1)
+        Y = X[:, :, None] * self.H[None, :, :]  # (k, n//2+1, u)
+        return np.fft.irfft(Y, n=self.n, axis=1)  # (k, n, u)

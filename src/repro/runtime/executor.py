@@ -304,31 +304,45 @@ class FlatGraph:
 
 def run_graph(stream: Stream, n_outputs: int,
               profiler: Profiler | None = None,
-              backend: str = "compiled") -> list[float]:
-    """Run a complete (void->void or void->float) program graph."""
+              backend: str = "compiled",
+              optimize: str = "none") -> list[float]:
+    """Run a complete (void->void or void->float) program graph.
+
+    ``optimize`` rewrites the graph with the paper's optimization passes
+    first (``none`` | ``linear`` | ``freq`` | ``auto`` — see
+    :func:`repro.exec.optimize.optimize_stream`); under the ``plan``
+    backend the rewrite, the compiled plan, and the rate-simulation
+    schedule are all cached across calls by graph content.
+    """
     if backend == "plan":
         from ..exec import plan_executor_for  # deferred: exec imports us
-        return plan_executor_for(stream, profiler).run(n_outputs)
+        return plan_executor_for(stream, profiler,
+                                 optimize=optimize).run(n_outputs)
+    if optimize != "none":
+        from ..exec.optimize import optimize_stream
+        stream = optimize_stream(stream, optimize)
     return FlatGraph(stream, profiler, backend).run(n_outputs)
 
 
 def run_stream(stream: Stream, inputs, n_outputs: int,
                profiler: Profiler | None = None,
-               backend: str = "compiled") -> list[float]:
+               backend: str = "compiled",
+               optimize: str = "none") -> list[float]:
     """Run a float->float ``stream`` on ``inputs``; collect ``n_outputs``."""
     program = Pipeline([ListSource(inputs), stream, Collector()],
                        name="harness")
-    return run_graph(program, n_outputs, profiler, backend)
+    return run_graph(program, n_outputs, profiler, backend, optimize)
 
 
 def count_ops(stream: Stream, n_outputs: int, inputs=None,
-              backend: str = "compiled") -> Profiler:
+              backend: str = "compiled",
+              optimize: str = "none") -> Profiler:
     """Run and return the profiler (FLOP counts) for ``n_outputs`` outputs."""
     profiler = Profiler()
     if inputs is None:
-        run_graph(stream, n_outputs, profiler, backend)
+        run_graph(stream, n_outputs, profiler, backend, optimize)
     else:
-        run_stream(stream, inputs, n_outputs, profiler, backend)
+        run_stream(stream, inputs, n_outputs, profiler, backend, optimize)
     return profiler
 
 

@@ -1,13 +1,15 @@
 """Automatic optimization selection (dynamic programming, thesis §4.3)."""
 
-from .costs import (decimator_cost, direct_cost, frequency_block_flops,
-                    frequency_cost)
+from .costs import (DEFAULT_COST_BATCH, batched_direct_cost,
+                    batched_frequency_cost, decimator_cost, direct_cost,
+                    frequency_block_flops, frequency_cost)
 from .dp import (Config, OptimizationSelector, SelectionResult,
                  select_optimizations)
 
 __all__ = [
     "direct_cost", "frequency_cost", "decimator_cost",
     "frequency_block_flops",
+    "batched_direct_cost", "batched_frequency_cost", "DEFAULT_COST_BATCH",
     "Config", "OptimizationSelector", "SelectionResult",
     "select_optimizations",
 ]

@@ -63,3 +63,47 @@ def frequency_cost(node: LinearNode, fft_size: int | None = None) -> float:
     return (FIRING_OVERHEAD + 2.0 * node.push
             + node.pop * per_input
             + decimator_cost(node))
+
+
+# ---------------------------------------------------------------------------
+# Batched cost model (the plan backend's execution reality)
+# ---------------------------------------------------------------------------
+#
+# The thesis model prices *scalar* firings: a 185-op call overhead per
+# firing and per-push bookkeeping dominate small filters, which is why the
+# DP can prefer leaving tiny filters alone.  The plan backend executes B
+# firings per kernel dispatch, so those overheads amortize by 1/B and the
+# arithmetic itself changes character: the direct implementation becomes a
+# dense (B, e) @ (e, u) BLAS product (zero-skipping no longer applies),
+# and a frequency block's FFT setup is shared across the whole batch while
+# the decimator degenerates to a strided slice.
+
+#: Default batch size the batched cost model amortizes per-firing
+#: overheads over (a conservative stand-in for plan chunk sizes, which
+#: are typically much larger).
+DEFAULT_COST_BATCH = 1024
+
+
+def batched_direct_cost(node: LinearNode,
+                        batch: int = DEFAULT_COST_BATCH) -> float:
+    """Per-firing cost of the plan backend's batched dense matmul."""
+    return (FIRING_OVERHEAD / batch
+            + 2.0 * node.peek * node.push)  # dense multiply-accumulate
+
+
+#: Relative per-FLOP cost of the batched FFT path vs the dense BLAS
+#: matmul: rfft -> pointwise complex product -> irfft streams several
+#: large complex temporaries, so its effective throughput per counted
+#: FLOP is a small factor worse than one fused GEMM.
+FFT_THROUGHPUT_PENALTY = 2.0
+
+
+def batched_frequency_cost(node: LinearNode,
+                           batch: int = DEFAULT_COST_BATCH,
+                           fft_size: int | None = None) -> float:
+    """Per-firing cost of the plan backend's batched FFT convolution."""
+    per_input = frequency_block_flops(node.peek, node.push, fft_size)
+    return (FIRING_OVERHEAD / batch
+            + node.pop * per_input * FFT_THROUGHPUT_PENALTY
+            # batched decimator: one strided copy over the discarded items
+            + (node.pop - 1) * node.push)

@@ -37,7 +37,8 @@ from ..linear.filters import LinearFilter
 from ..linear.node import LinearNode
 from ..linear.pipeline_comb import combine_pipeline_pair
 from ..linear.splitjoin_comb import combine_splitjoin
-from .costs import direct_cost, frequency_cost
+from .costs import (DEFAULT_COST_BATCH, batched_direct_cost,
+                    batched_frequency_cost, direct_cost, frequency_cost)
 
 
 @dataclass
@@ -61,11 +62,22 @@ class OptimizationSelector:
 
     def __init__(self, program: Stream, lmap: LinearityMap | None = None,
                  max_matrix_elems: int = 4_000_000,
-                 min_freq_peek: int = 2):
+                 min_freq_peek: int = 2, cost_model: str = "thesis",
+                 batch: int = DEFAULT_COST_BATCH):
         self.program = program
         self.lmap = lmap if lmap is not None else analyze(program)
         self.max_matrix_elems = max_matrix_elems
         self.min_freq_peek = min_freq_peek
+        if cost_model == "thesis":
+            self._direct_cost = direct_cost
+            self._freq_cost = frequency_cost
+        elif cost_model == "batched":
+            self._direct_cost = lambda n: batched_direct_cost(n, batch)
+            self._freq_cost = lambda n: batched_frequency_cost(n, batch)
+        else:
+            raise ValueError(f"unknown cost model {cost_model!r} "
+                             "(expected 'thesis' or 'batched')")
+        self.cost_model = cost_model
         self._memo: dict = {}
         self._region_nodes: dict = {}
         self._out_items: dict[int, float] = {}
@@ -136,7 +148,7 @@ class OptimizationSelector:
                           label: str) -> list[Config]:
         configs = []
         firings = self._firings(items_out, node.push)
-        configs.append(Config(firings * direct_cost(node),
+        configs.append(Config(firings * self._direct_cost(node),
                               LinearFilter(node, name=f"Linear[{label}]"),
                               "linear"))
         if self._feedback_depth > 0:
@@ -146,7 +158,7 @@ class OptimizationSelector:
             try:
                 freq_stream = make_frequency_stream(
                     node, name=f"Freq[{label}]")
-                configs.append(Config(firings * frequency_cost(node),
+                configs.append(Config(firings * self._freq_cost(node),
                                       freq_stream, "freq"))
             except StreamGraphError:
                 pass
@@ -168,7 +180,8 @@ class OptimizationSelector:
                 result = Config(0.0, stream, "none")
             else:
                 candidates = [Config(
-                    self._firings(items_out, node.push) * direct_cost(node),
+                    self._firings(items_out, node.push)
+                    * self._direct_cost(node),
                     stream, "none")]
                 candidates += self._collapse_configs(node, items_out,
                                                      stream.name)
@@ -230,7 +243,7 @@ class OptimizationSelector:
                                             right.stream)
             else:
                 stream = self._cut_splitjoin(container, lo, pivot, hi,
-                                             left.stream, right.stream)
+                                             left, right)
             candidates.append(Config(cost, stream, "cut"))
 
         result = min(candidates, key=lambda c: c.cost)
@@ -251,34 +264,59 @@ class OptimizationSelector:
 
     @staticmethod
     def _cut_splitjoin(container: SplitJoin, lo: int, pivot: int,
-                       hi: int, left: Stream, right: Stream) -> SplitJoin:
-        """Nest the range as two groups with summed splitter/joiner weights.
+                       hi: int, left: Config, right: Config) -> SplitJoin:
+        """Realize the two groups of a cut with summed splitter/joiner
+        weights, re-flattening nested cuts.
 
-        Each realized group already encodes its internal routing (a deeper
-        cut yields a nested splitjoin; a collapse yields a leaf whose
-        matrix absorbed the sliced splitter and joiner), so the groups
-        plug in directly.
+        Each realized group already encodes its internal routing (a
+        collapse yields a leaf whose matrix absorbed the sliced splitter
+        and joiner), so the groups plug in directly.  A group that is
+        itself a *cut* of this container is spliced back into one flat
+        splitjoin: one outer round pulls exactly one inner round, so the
+        flat roundrobin emits the identical item sequence — and the
+        executor materializes one splitter/joiner instead of a binary
+        tree of them (per-item copies the batched backend would pay for).
         """
+        dup = isinstance(container.splitter, Duplicate)
         w = container.joiner.weights
-        joiner = RoundRobin((sum(w[lo:pivot]), sum(w[pivot:hi])))
-        if isinstance(container.splitter, Duplicate):
-            splitter: Duplicate | RoundRobin = Duplicate()
-        else:
-            v = container.splitter.weights
-            splitter = RoundRobin((sum(v[lo:pivot]), sum(v[pivot:hi])))
-        return SplitJoin(splitter, [left, right], joiner,
+        v = None if dup else container.splitter.weights
+        children: list[Stream] = []
+        join_w: list[int] = []
+        split_w: list[int] = []
+        for cfg, (a, b) in ((left, (lo, pivot)), (right, (pivot, hi))):
+            part = cfg.stream
+            if cfg.choice == "cut" and isinstance(part, SplitJoin):
+                children.extend(part.children)
+                join_w.extend(part.joiner.weights)
+                if not dup:
+                    split_w.extend(part.splitter.weights)
+            else:
+                children.append(part)
+                join_w.append(sum(w[a:b]))
+                if not dup:
+                    split_w.append(sum(v[a:b]))
+        splitter: Duplicate | RoundRobin = (
+            Duplicate() if dup else RoundRobin(tuple(split_w)))
+        return SplitJoin(splitter, children, RoundRobin(tuple(join_w)),
                          name=container.name)
 
 
 def select_optimizations(program: Stream,
                          lmap: LinearityMap | None = None,
-                         max_matrix_elems: int = 4_000_000) \
+                         max_matrix_elems: int = 4_000_000,
+                         cost_model: str = "thesis",
+                         batch: int = DEFAULT_COST_BATCH) \
         -> SelectionResult:
     """Run automatic optimization selection on a whole program.
 
-    Returns the rebuilt program realizing the minimal-cost configuration.
+    ``cost_model="thesis"`` prices scalar firings (§4.3.3);
+    ``cost_model="batched"`` prices the plan backend's batched execution
+    (dense BLAS matmuls, batch-amortized FFT setup) and is what
+    ``optimize="auto"`` uses.  Returns the rebuilt program realizing the
+    minimal-cost configuration.
     """
-    selector = OptimizationSelector(program, lmap, max_matrix_elems)
+    selector = OptimizationSelector(program, lmap, max_matrix_elems,
+                                    cost_model=cost_model, batch=batch)
     best = selector.best(program)
     return SelectionResult(stream=best.stream, cost=best.cost,
                            decisions=dict(selector._memo))

@@ -3,19 +3,26 @@
 Generates random IR programs (straight-line code, loops, branches, local
 arrays, tape operations) and checks all three execution backends —
 ``interp``, ``compiled``, and the vectorized ``plan`` — agree on outputs
-*and* FLOP counts, and that whenever extraction reports a linear node,
-the node's predictions match actual execution.
+*and* FLOP counts, that the *optimizing* plan pipeline
+(``optimize="linear"/"freq"/"auto"``) preserves outputs on arbitrary
+programs (linear ones get rewritten, nonlinear ones pass through), that
+feedback-loop graphs bail out cleanly under every optimize mode, and
+that whenever extraction reports a linear node, the node's predictions
+match actual execution.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.streams import Filter
+from repro.exec import OPTIMIZE_MODES, plan_bailout_reason
+from repro.graph.streams import FeedbackLoop, Filter, Pipeline, RoundRobin
+from repro.ir import FilterBuilder
 from repro.ir import nodes as N
 from repro.linear import extract_filter
 from repro.profiling import Profiler
-from repro.runtime import run_stream
+from repro.runtime import Collector, ListSource, run_stream
 
 
 class _Gen:
@@ -96,6 +103,78 @@ def test_backends_agree_on_random_programs(seed, input_seed):
             profilers["interp"].counts.flops, backend
         assert profilers[backend].counts.mults == \
             profilers["interp"].counts.mults, backend
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), input_seed=st.integers(0, 1000))
+def test_optimized_plan_matches_on_random_programs(seed, input_seed):
+    """interp vs compiled vs every optimize mode of the plan pipeline.
+
+    The rewrites change FLOP counts by design, so only output values are
+    compared (to FFT rounding tolerance); nonlinear programs must pass
+    through every mode untouched.
+    """
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.normal(size=make_random_filter(seed).peek + 30).tolist()
+    n_out = 8 * make_random_filter(seed).push
+    expected = run_stream(make_random_filter(seed), inputs, n_out,
+                          backend="interp")
+    compiled = run_stream(make_random_filter(seed), inputs, n_out,
+                          backend="compiled")
+    np.testing.assert_allclose(compiled, expected, atol=1e-9)
+    for mode in OPTIMIZE_MODES:
+        got = run_stream(make_random_filter(seed), inputs, n_out,
+                         backend="plan", optimize=mode)
+        np.testing.assert_allclose(got, expected, atol=1e-7,
+                                   err_msg=f"optimize={mode}")
+
+
+# ---------------------------------------------------------------------------
+# Feedback loops: every optimize mode must bail out cleanly
+# ---------------------------------------------------------------------------
+
+
+def make_random_feedback(seed: int) -> FeedbackLoop:
+    """A schedulable feedback loop around a random 2x2 linear body.
+
+    Rates are fixed (body peek/pop/push 2, loop 1:1, rr(1,1) on both
+    ends) so the cycle always schedules; only coefficients vary.
+    """
+    rng = np.random.default_rng(seed)
+    a, b, c, d, g = (round(float(x), 3)
+                     for x in rng.uniform(-0.9, 0.9, size=5))
+    f = FilterBuilder(f"fbbody{seed}", peek=2, pop=2, push=2)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        y = f.local("y", f.pop_expr())
+        f.push(a * x + b * y)
+        f.push(c * x + d * y)
+    body = f.build()
+    lf = FilterBuilder(f"fbloop{seed}", peek=1, pop=1, push=1)
+    with lf.work():
+        lf.push(g * lf.pop_expr())
+    return FeedbackLoop(body=body, loop=lf.build(),
+                        joiner=RoundRobin((1, 1)),
+                        splitter=RoundRobin((1, 1)),
+                        enqueued=[round(float(rng.uniform(-1, 1)), 3)])
+
+
+@pytest.mark.parametrize("mode", OPTIMIZE_MODES)
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_feedback_graphs_bail_out_under_every_optimize_mode(seed, mode):
+    """Feedback graphs cannot batch; every optimize mode must fall back
+    to the scalar compiled executor with identical outputs."""
+    rng = np.random.default_rng(seed + 1)
+    inputs = rng.normal(size=40).tolist()
+    program = Pipeline([ListSource(inputs), make_random_feedback(seed),
+                        Collector()], name="fb-harness")
+    assert plan_bailout_reason(program) is not None
+    expected = run_stream(make_random_feedback(seed), inputs, 12,
+                          backend="compiled")
+    got = run_stream(make_random_feedback(seed), inputs, 12,
+                     backend="plan", optimize=mode)
+    np.testing.assert_allclose(got, expected, atol=1e-8,
+                               err_msg=f"optimize={mode}")
 
 
 @settings(max_examples=60, deadline=None)

@@ -203,6 +203,92 @@ def test_linear_filters_get_matmul_steps():
     assert any(isinstance(s, FallbackStep) for s in ex.steps)  # ramp source
 
 
+def test_frequency_filters_get_batched_fft_steps():
+    """Freq-rewritten graphs run OptimizedFreqStep, not FallbackStep."""
+    from repro.exec.kernels import OptimizedFreqStep
+    stream = build_config(small("FIR"), "freq")
+    ex = plan_executor_for(stream, cache=False)
+    assert any(isinstance(s, OptimizedFreqStep) for s in ex.steps)
+
+
+def test_naive_freq_filter_gets_batched_step():
+    from repro.exec.kernels import NaiveFreqStep
+    from repro.frequency import maximal_frequency_replacement
+    stream = maximal_frequency_replacement(small("FIR"), strategy="naive")
+    ex = plan_executor_for(stream, cache=False)
+    assert any(isinstance(s, NaiveFreqStep) for s in ex.steps)
+    p_c, p_p = Profiler(), Profiler()
+    compiled = run_graph(stream, 96, p_c)
+    planned = run_graph(
+        maximal_frequency_replacement(small("FIR"), strategy="naive"),
+        96, p_p, backend="plan")
+    np.testing.assert_allclose(planned, compiled, atol=1e-8)
+    assert_counts_equal(p_c, p_p, "naive-freq")
+
+
+def test_freq_step_partials_survive_chunk_flushes():
+    """OptimizedFreqStep carries partial sums across flush boundaries."""
+    stream = build_config(small("FIR"), "freq")
+    flat = FlatGraph(stream, Profiler(), backend="compiled")
+    ex = PlanExecutor(flat, chunk_outputs=16)  # many flushes
+    out = ex.run(400)
+    expected = run_graph(build_config(small("FIR"), "freq"), 400)
+    np.testing.assert_allclose(out, expected, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# The optimizing pipeline (optimize=)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["none", "linear", "freq", "auto"])
+@pytest.mark.parametrize("name", ["FIR", "FilterBank", "Radar", "Vocoder"])
+def test_optimize_modes_preserve_outputs(name, mode):
+    expected = run_graph(small(name), N_OUT[name], backend="compiled")
+    got = run_graph(small(name), N_OUT[name], backend="plan", optimize=mode)
+    np.testing.assert_allclose(got, expected, atol=1e-7,
+                               err_msg=f"{name}/{mode}")
+
+
+def test_optimize_auto_flops_match_selection_dp():
+    """The auto plan executes exactly the DP's predicted implementation."""
+    from repro.selection import select_optimizations
+    p_plan, p_pred = Profiler(), Profiler()
+    run_graph(small("FilterBank"), 96, p_plan, backend="plan",
+              optimize="auto")
+    predicted = select_optimizations(small("FilterBank"),
+                                     cost_model="batched").stream
+    run_graph(predicted, 96, p_pred, backend="compiled")
+    assert_counts_equal(p_plan, p_pred, "auto-vs-dp")
+
+
+def test_optimize_rejects_unknown_mode():
+    from repro.exec import optimize_stream
+    with pytest.raises(ValueError, match="unknown optimize mode"):
+        optimize_stream(small("FIR"), "bogus")
+
+
+def test_plan_report_names_fallbacks_with_reasons():
+    from repro.exec import plan_report
+    rep = plan_report(small("Radar"))
+    assert rep.bailout is None
+    assert rep.fallbacks
+    reasons = {s.name: s.reason for s in rep.fallbacks}
+    assert any("mutable state" in r for r in reasons.values())
+    assert any("data-dependent control flow" in r for r in reasons.values())
+    text = str(rep)
+    assert "fallback" in text and "InputGenerate0" in text
+
+
+def test_plan_report_on_bailout_graph():
+    from repro.exec import plan_report
+    loop = make_feedback_program()
+    prog = Pipeline([ListSource([1, 2, 3, 4]), loop, Collector()])
+    rep = plan_report(prog)
+    assert rep.bailout is not None and "feedbackloop" in rep.bailout
+    assert "bailout" in str(rep)
+
+
 def test_nonlinear_filters_fall_back():
     f = FilterBuilder("Square", peek=1, pop=1, push=1)
     with f.work():
@@ -284,12 +370,40 @@ def test_bench_cli_single_backend(capsys):
 
 
 def test_bench_cli_compare_mode(capsys):
+    """--compare emits the full backend x optimize matrix, one record
+    per cell, plus wall-clock speedup summaries."""
     assert bench_main(["--app", "fir", "--compare",
                        "--outputs", "512"]) == 0
     record = json.loads(capsys.readouterr().out.strip())
     assert record["flops_equal"] is True
     assert record["speedup"] > 0
-    assert record["compiled"]["flops"] == record["plan"]["flops"]
+    assert record["speedup_auto"] > 0 and record["auto_vs_plan"] > 0
+    cells = {(c["backend"], c["optimize"]): c for c in record["cells"]}
+    from repro.exec import OPTIMIZE_MODES
+    assert set(cells) == {(b, m) for b in ("compiled", "plan")
+                          for m in OPTIMIZE_MODES}
+    # FLOP parity within each optimize mode across backends; the auto
+    # cell realizes the DP's predicted implementation on both backends
+    for mode in OPTIMIZE_MODES:
+        assert cells[("compiled", mode)]["flops"] == \
+            cells[("plan", mode)]["flops"], mode
+    assert all(c["seconds"] > 0 for c in record["cells"])
+
+
+def test_bench_cli_optimize_flag(capsys):
+    assert bench_main(["--app", "fir", "--backend", "plan",
+                       "--optimize", "auto", "--outputs", "256"]) == 0
+    record = json.loads(capsys.readouterr().out.strip())
+    assert record["optimize"] == "auto"
+    assert record["flops"] > 0
+
+
+def test_bench_cli_plan_report(capsys):
+    assert bench_main(["--app", "radar", "--plan-report"]) == 0
+    text = capsys.readouterr().out
+    assert "plan report: Radar" in text
+    assert "fallback" in text
+    assert "mutable state fields" in text  # the stateful InputGenerate
 
 
 def test_build_app_case_insensitive():

@@ -1,0 +1,163 @@
+"""Plan caching: fingerprints, reuse, invalidation, trace replay.
+
+The contract: repeated ``run_graph`` calls on the same (or
+content-identical) graph reuse the cached plan — no re-extraction, no
+re-simulation — while any in-place mutation of the graph changes the
+fingerprint and cleanly invalidates the entry, so results always reflect
+the current coefficients.
+"""
+
+import numpy as np
+import pytest
+
+from repro import exec as rexec
+from repro.apps import fir
+from repro.exec import (PLAN_CACHE, PlanCache, PlanExecutor,
+                        clear_plan_cache, plan_cache_stats,
+                        plan_executor_for, stream_fingerprint)
+from repro.exec import planner as planner_mod
+from repro.errors import InterpError
+from repro.profiling import Profiler
+from repro.runtime import run_graph
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+# ---------------------------------------------------------------------------
+# Reuse
+# ---------------------------------------------------------------------------
+
+
+def test_second_run_reuses_cached_plan(monkeypatch):
+    """Two consecutive run_graph calls: planning work happens once."""
+    calls = {"n": 0}
+    real = planner_mod._vectorize_decision
+
+    def counting(filt):
+        calls["n"] += 1
+        return real(filt)
+
+    monkeypatch.setattr(planner_mod, "_vectorize_decision", counting)
+    program = fir.build(taps=32)
+    first = run_graph(program, 100, backend="plan")
+    probed = calls["n"]
+    assert probed > 0
+    second = run_graph(program, 100, backend="plan")
+    assert calls["n"] == probed  # no re-extraction on the hit
+    assert second == first
+    stats = plan_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_content_identical_rebuild_hits_cache():
+    """A freshly built graph with the same coefficients shares the plan."""
+    run_graph(fir.build(taps=32), 64, backend="plan")
+    before = plan_cache_stats()
+    run_graph(fir.build(taps=32), 64, backend="plan")
+    after = plan_cache_stats()
+    assert after["hits"] == before["hits"] + 1
+    assert after["entries"] == before["entries"]
+
+
+def test_cache_entries_keyed_by_optimize_mode():
+    program = fir.build(taps=32)
+    run_graph(program, 64, backend="plan")
+    run_graph(program, 64, backend="plan", optimize="linear")
+    assert plan_cache_stats()["entries"] == 2
+
+
+def test_trace_replay_matches_simulated_run():
+    """Same n_outputs replays the recorded schedule; a new n_outputs
+    re-simulates — outputs and FLOP counts identical either way."""
+    program = fir.build(taps=32)
+    p1, p2, p3 = Profiler(), Profiler(), Profiler()
+    first = run_graph(program, 120, p1, backend="plan")
+    replayed = run_graph(program, 120, p2, backend="plan")
+    assert replayed == first
+    assert p2.counts.flops == p1.counts.flops
+    longer = run_graph(program, 300, p3, backend="plan")
+    assert longer[:120] == first
+    expected = run_graph(fir.build(taps=32), 300, backend="compiled")
+    np.testing.assert_allclose(longer, expected, atol=1e-9)
+
+
+def test_replayed_executor_cannot_be_rerun():
+    program = fir.build(taps=32)
+    run_graph(program, 50, backend="plan")  # records the trace
+    executor = plan_executor_for(program)
+    assert isinstance(executor, PlanExecutor)
+    executor.run(50)  # replays
+    with pytest.raises(InterpError, match="replay"):
+        executor.run(60)
+
+
+# ---------------------------------------------------------------------------
+# Invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_mutated_graph_invalidates_and_recomputes():
+    """In-place coefficient mutation changes the fingerprint; the next
+    run re-plans and its outputs reflect the new coefficients."""
+    program = fir.build(taps=16)
+    stale = run_graph(program, 64, backend="plan")
+    assert plan_cache_stats()["misses"] == 1
+    # mutate the low-pass filter's taps in place
+    from repro.graph.streams import Filter, walk
+    filt = next(s for s in walk(program)
+                if isinstance(s, Filter) and "h" in s.fields)
+    filt.fields["h"][0] += 1.0
+    fresh = run_graph(program, 64, backend="plan")
+    assert plan_cache_stats()["misses"] == 2
+    assert fresh != stale
+    expected = run_graph(program, 64, backend="compiled")
+    np.testing.assert_allclose(fresh, expected, atol=1e-9)
+
+
+def test_fingerprint_sensitive_to_structure_and_values():
+    base = stream_fingerprint(fir.build(taps=16))
+    assert stream_fingerprint(fir.build(taps=16)) == base
+    assert stream_fingerprint(fir.build(taps=17)) != base
+    mutated = fir.build(taps=16)
+    from repro.graph.streams import Filter, walk
+    filt = next(s for s in walk(mutated)
+                if isinstance(s, Filter) and "h" in s.fields)
+    filt.fields["h"][3] *= 2.0
+    assert stream_fingerprint(mutated) != base
+
+
+# ---------------------------------------------------------------------------
+# Cache mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_lru_eviction_bounds_entries():
+    cache = PlanCache(max_entries=2)
+    for taps in (8, 12, 16):
+        cache.entry_for(fir.build(taps=taps), "none")
+    assert len(cache) == 2
+    # taps=8 was evicted; re-requesting it is a miss
+    cache.entry_for(fir.build(taps=8), "none")
+    assert cache.misses == 4 and cache.hits == 0
+
+
+def test_cache_false_bypasses_cache():
+    program = fir.build(taps=16)
+    a = plan_executor_for(program, cache=False).run(64)
+    b = plan_executor_for(program, cache=False).run(64)
+    assert a == b
+    assert plan_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_profilers_not_shared_between_cached_runs():
+    """Cached artifacts are immutable; each run profiles independently."""
+    program = fir.build(taps=16)
+    p1, p2 = Profiler(), Profiler()
+    run_graph(program, 64, p1, backend="plan")
+    run_graph(program, 64, p2, backend="plan")
+    assert p1.counts.flops == p2.counts.flops > 0
