@@ -1,7 +1,9 @@
-"""The nine benchmark applications of the thesis' evaluation (§5.1)."""
+"""The nine benchmark applications of the thesis' evaluation (§5.1),
+plus two feedback-bearing apps (Echo, VocoderEcho) exercising the plan
+backend's feedback islands."""
 
-from . import (dtoa, filterbank, fir, fmradio, oversampler, radar, ratec,
-               targetdetect, vocoder)
+from . import (dtoa, echo, filterbank, fir, fmradio, oversampler, radar,
+               ratec, targetdetect, vocoder)
 
 #: Registry used by the benchmark harness: name -> build() function.
 BENCHMARKS = {
@@ -14,11 +16,20 @@ BENCHMARKS = {
     vocoder.NAME: vocoder.build,
     oversampler.NAME: oversampler.build,
     dtoa.NAME: dtoa.build,
+    echo.NAME: echo.build,
+    vocoder.NAME_FEEDBACK: vocoder.build_feedback,
 }
 
-#: Paper ordering for tables/figures.
+#: Paper ordering for tables/figures (the feedback apps are additions
+#: of this reproduction, so they stay out of the thesis figures).
 BENCHMARK_ORDER = ["FIR", "RateConvert", "TargetDetect", "FMRadio", "Radar",
                    "FilterBank", "Vocoder", "Oversampler", "DToA"]
+
+#: Apps whose graphs contain a FeedbackLoop: the plan backend runs them
+#: through feedback islands, which preserve output values exactly but
+#: not tail-of-run firing counts (FLOP profiles may differ slightly
+#: from the scalar backends on the final partial iteration).
+FEEDBACK_APPS = frozenset({echo.NAME, vocoder.NAME_FEEDBACK})
 
 
 def resolve_app(name: str) -> str:
@@ -41,6 +52,6 @@ def build_app(name: str, **params):
     return BENCHMARKS[key](**params), key
 
 
-__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "build_app", "resolve_app",
-           "fir", "ratec", "targetdetect", "fmradio", "radar", "filterbank",
-           "vocoder", "oversampler", "dtoa"]
+__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "FEEDBACK_APPS", "build_app",
+           "resolve_app", "fir", "ratec", "targetdetect", "fmradio",
+           "radar", "filterbank", "vocoder", "oversampler", "dtoa", "echo"]

@@ -1,0 +1,73 @@
+"""Echo benchmark: an IIR comb filter realized as a FeedbackLoop.
+
+``y[n] = x[n] + gain * y[n - delay]`` — the textbook feedback echo
+(StreamIt's ``EchoEffect``): the loop joiner interleaves one input
+sample with one fed-back sample, the body mixes them and duplicates the
+result toward both the output and the feedback path, and the loop path
+applies the damping gain.  ``delay`` zeros are enqueued on the back
+edge, which is also the plan backend's lookahead budget: the feedback
+island advances up to ``delay`` iterations per drain round, each as one
+batched matrix product.
+
+The front low-pass conditioner sits *outside* the loop on purpose — it
+is the benchmark's witness that hybrid islanding keeps acyclic regions
+fully batched while the cycle runs behind its island facade.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.streams import FeedbackLoop, Filter, Pipeline, RoundRobin
+from ..ir import FilterBuilder
+from .common import low_pass_filter, printer, ramp_source
+
+NAME = "Echo"
+
+DEFAULT_DELAY = 1024
+DEFAULT_GAIN = 0.6
+
+
+def echo_add(name: str = "EchoAdd") -> Filter:
+    """Mix one input with one feedback sample; duplicate the result
+    (first copy to the output tape, second onto the feedback path)."""
+    f = FilterBuilder(name, peek=2, pop=2, push=2)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        fb = f.local("fb", f.pop_expr())
+        y = f.local("y", x + fb)
+        f.push(y)
+        f.push(y)
+    return f.build()
+
+
+def echo_damp(gain: float, name: str = "EchoDamp") -> Filter:
+    """The feedback path's attenuation: push(gain * pop)."""
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    g = f.const("g", gain)
+    with f.work():
+        f.push(g * f.pop_expr())
+    return f.build()
+
+
+def echo_loop(delay: int = DEFAULT_DELAY, gain: float = DEFAULT_GAIN,
+              name: str = "EchoLoop") -> FeedbackLoop:
+    """The feedback construct itself (float -> float)."""
+    return FeedbackLoop(
+        body=echo_add(),
+        loop=echo_damp(gain),
+        joiner=RoundRobin((1, 1)),
+        splitter=RoundRobin((1, 1)),
+        enqueued=[0.0] * delay,
+        name=name)
+
+
+def build(delay: int = DEFAULT_DELAY, gain: float = DEFAULT_GAIN,
+          taps: int = 64) -> Pipeline:
+    """FloatSource -> LowPassFilter(taps) -> EchoLoop(delay) -> Printer."""
+    return Pipeline([
+        ramp_source(),
+        low_pass_filter(1.0, math.pi / 3, taps),
+        echo_loop(delay, gain),
+        printer(),
+    ], name="EchoProgram")

@@ -4,6 +4,12 @@ A pitch-detection branch (center clipper + autocorrelation peak picker,
 both nonlinear) runs in parallel with a four-channel filter bank of
 band-pass filters and decimators (all linear).  The joiner interleaves
 one pitch value with four subband values.
+
+:func:`build_feedback` is the feedback variant (benchmark name
+``VocoderEcho``): the conditioned input passes through an IIR echo
+`FeedbackLoop` before analysis, exercising the plan backend's hybrid
+islanding on a real multi-stage program — the splitjoin and filter bank
+stay batched while the cycle runs as a feedback island.
 """
 
 from __future__ import annotations
@@ -111,3 +117,28 @@ def build(window: int = 100, decimation: int = 50, n_filters: int = 4,
         main,
         printer(),
     ], name="ChannelVocoder")
+
+
+NAME_FEEDBACK = "VocoderEcho"
+
+
+def build_feedback(window: int = 100, decimation: int = 50,
+                   n_filters: int = 4, taps: int = 64,
+                   echo_delay: int = 256,
+                   echo_gain: float = 0.35) -> Pipeline:
+    """The vocoder with an IIR echo feedback stage after conditioning."""
+    from .echo import echo_loop
+
+    main = SplitJoin(
+        Duplicate(),
+        [pitch_detector(window, decimation),
+         vocoder_filter_bank(n_filters, decimation, taps)],
+        RoundRobin((1, n_filters)),
+        name="MainSplitjoin")
+    return Pipeline([
+        data_source(),
+        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
+        echo_loop(echo_delay, echo_gain, name="VocoderEchoLoop"),
+        main,
+        printer(),
+    ], name="ChannelVocoderEcho")

@@ -49,6 +49,8 @@ DEFAULT_OUTPUTS = {
     "Vocoder": 600,
     "Oversampler": 15000,
     "DToA": 2600,
+    "Echo": 20000,
+    "VocoderEcho": 600,
 }
 
 CONFIGS = ("original", "linear", "linear_nc", "freq", "freq_nc", "autosel",
@@ -203,15 +205,17 @@ def main(argv=None) -> int:
                     "result (FLOPs, mults, wall-clock).")
     parser.add_argument("--app", required=True,
                         help="app name, case-insensitive (fir, radar, ...)")
-    parser.add_argument("--backend", default="plan",
-                        choices=["interp", "compiled", "plan"])
+    parser.add_argument("--backend", default=None,
+                        choices=["interp", "compiled", "plan"],
+                        help="execution backend (default: plan)")
     parser.add_argument("--outputs", type=int, default=None,
                         help="outputs to produce (default: the app's "
                              "paper-sized run)")
     parser.add_argument("--config", default="original", choices=CONFIGS,
                         help="optimization configuration to apply")
-    parser.add_argument("--optimize", default="none", choices=OPTIMIZE_MODES,
-                        help="pre-plan rewrite mode passed to run_graph")
+    parser.add_argument("--optimize", default=None, choices=OPTIMIZE_MODES,
+                        help="pre-plan rewrite mode passed to run_graph "
+                             "(default: none)")
     parser.add_argument("--compare", action="store_true",
                         help="measure the full backend x optimize matrix "
                              "and report speedups")
@@ -222,6 +226,14 @@ def main(argv=None) -> int:
 
     if args.outputs is not None and args.outputs < 1:
         parser.error("--outputs must be a positive integer")
+    if args.compare and (args.backend is not None
+                         or args.optimize is not None):
+        # --compare sweeps its own backend x optimize matrix; silently
+        # dropping an explicit flag would misreport what was measured
+        parser.error("--compare measures the full backend x optimize "
+                     "matrix; it conflicts with --backend/--optimize")
+    backend = args.backend if args.backend is not None else "plan"
+    optimize = args.optimize if args.optimize is not None else "none"
     try:
         app_name = resolve_app(args.app)
     except KeyError as exc:
@@ -232,7 +244,7 @@ def main(argv=None) -> int:
     if args.plan_report:
         from .exec import plan_report
         program = build_config(BENCHMARKS[app_name](), args.config)
-        print(plan_report(program, optimize=args.optimize))
+        print(plan_report(program, optimize=optimize))
         return 0
 
     if args.compare:
@@ -265,9 +277,9 @@ def main(argv=None) -> int:
         }
     else:
         m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
-                    backend=args.backend, optimize=args.optimize)
-        result = _measurement_record(app_name, args.config, args.backend, m,
-                                     optimize=args.optimize)
+                    backend=backend, optimize=optimize)
+        result = _measurement_record(app_name, args.config, backend, m,
+                                     optimize=optimize)
     print(json.dumps(result))
     return 0
 

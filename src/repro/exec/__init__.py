@@ -17,9 +17,10 @@ and scalar fallbacks.
 from .cache import (PLAN_CACHE, PlanCache, clear_plan_cache,
                     plan_cache_stats, stream_fingerprint)
 from .optimize import OPTIMIZE_MODES, optimize_stream
-from .planner import (DEFAULT_CHUNK_OUTPUTS, PlanExecutor, PlanReport,
-                      StepReport, plan_bailout_reason, plan_executor_for,
-                      plan_report)
+from .planner import (DEFAULT_CHUNK_OUTPUTS, IslandRates, IslandReport,
+                      PlanExecutor, PlanReport, StepReport,
+                      plan_bailout_reason, plan_executor_for, plan_report,
+                      probe_island)
 from .ring import RingBuffer
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "PLAN_CACHE", "PlanCache", "plan_cache_stats", "clear_plan_cache",
     "stream_fingerprint",
     "PlanReport", "StepReport", "plan_report",
+    "IslandRates", "IslandReport", "probe_island",
 ]

@@ -12,7 +12,11 @@ against :class:`~repro.exec.ring.RingBuffer` channels:
   block transfers;
 * :class:`FallbackStep` fires the node's existing scalar runner (compiled
   work function or primitive runner) ``n`` times — the escape hatch for
-  non-linear or stateful filters, with exact FLOP-count parity.
+  non-linear or stateful filters, with exact FLOP-count parity;
+* :class:`FeedbackStep` executes a whole feedback island — the flattened
+  cycle of one FeedbackLoop — data-driven behind a fixed-rate facade,
+  its members firing through their own batched kernels with lookahead
+  bounded by the loop's delay ring.
 
 FLOP accounting: every step reports exactly the operations the scalar
 backends would have counted for the same firings, so profiles are
@@ -204,6 +208,124 @@ class FallbackStep(Step):
         ch_in, ch_out = self.ring_in, self.ring_out
         for _ in range(n):
             fire(ch_in, ch_out)
+
+
+def feasible_firings(haves, needs, pops) -> int:
+    """Max consecutive steady firings the per-input occupancies admit.
+
+    The single source of truth for the batch-size formula: the planner's
+    rate simulator, the island probe, and the island drain all call this,
+    so a certified island executes exactly the schedule that was probed.
+    """
+    n = None
+    for have, need, o in zip(haves, needs, pops):
+        if have < need:
+            return 0
+        if o > 0:
+            k = (have - need) // o + 1
+            if n is None or k < n:
+                n = k
+    return n if n is not None else 0
+
+
+class IslandMember:
+    """One node of a feedback island: its kernel plus firing-rate data.
+
+    ``feasible`` mirrors the scalar executor's ``can_fire`` but returns
+    the *largest* batch the current ring occupancies admit, so a loop
+    with ``delay`` enqueued items advances up to ``delay`` iterations per
+    drain round through one batched kernel call each.
+    """
+
+    __slots__ = ("step", "in_rings", "needs", "pops", "has_init",
+                 "init_needs", "fired")
+
+    def __init__(self, step: Step, in_rings, needs, pops,
+                 has_init: bool = False, init_needs=()):
+        self.step = step
+        self.in_rings = in_rings
+        self.needs = needs
+        self.pops = pops
+        self.has_init = has_init
+        self.init_needs = list(init_needs)
+        self.fired = False
+
+    def feasible(self) -> int:
+        return feasible_firings((len(r) for r in self.in_rings),
+                                self.needs, self.pops)
+
+
+class FeedbackStep(Step):
+    """Executes a feedback island: the flattened cycle of one
+    FeedbackLoop (joiner, body, splitter, loop path — nested loops
+    included) behind a fixed-rate facade the acyclic planner can batch
+    around.
+
+    ``execute(n)`` admits exactly the externals the ``n`` island firings
+    are entitled to (``init_pop`` once, then ``pop`` each) through a
+    private *gate* ring, then fires members data-driven until quiescent.
+    Members run their ordinary batched kernels — a linear loop body is
+    one matmul over every iteration the delay ring's lookahead allows —
+    so only the cycle's true sequential dependency is paid per round.
+    The gate is what makes batching upstream safe: producers may flush
+    arbitrarily large blocks into ``ring_in`` without the island racing
+    ahead of its simulated schedule.
+    """
+
+    kind = "feedback"
+
+    #: Drain-round ceiling; a healthy island consumes ≥1 external per
+    #: cycle iteration, so this only trips on planner bugs.
+    MAX_ROUNDS = 100_000_000
+
+    def __init__(self, name: str, ring_in, gate, members: list[IslandMember],
+                 pop: int, push: int, init_pop: int | None = None,
+                 init_push: int | None = None):
+        self.name = name
+        self.ring_in = ring_in
+        self.gate = gate
+        self.members = members
+        self.pop = pop
+        self.push = push
+        self.init_pop = init_pop
+        self.init_push = init_push
+        self._fired_init = False
+
+    def execute(self, n: int) -> None:
+        take = 0
+        if self.init_pop is not None and not self._fired_init:
+            take += self.init_pop
+            n -= 1
+        self._fired_init = True
+        take += n * self.pop
+        if take:
+            self.gate.push_array(self.ring_in.pop_block_array(take))
+        # ring-backed mirror of probe_island's drain loop: init gating
+        # and batch sizing must stay identical or the certified rates
+        # diverge from what actually executes
+        rounds = 0
+        progress = True
+        while progress:
+            rounds += 1
+            if rounds > self.MAX_ROUNDS:
+                raise InterpError(
+                    f"feedback island {self.name!r}: drain did not "
+                    "quiesce (planner bug)")
+            progress = False
+            for m in self.members:
+                if m.has_init and not m.fired:
+                    ok = all(len(r) >= need for r, need
+                             in zip(m.in_rings, m.init_needs))
+                    if not ok:
+                        continue
+                    m.step.execute(1)
+                    m.fired = True
+                    progress = True
+                k = m.feasible()
+                if k:
+                    m.step.execute(k)
+                    m.fired = True
+                    progress = True
 
 
 class DuplicateSplitStep(Step):

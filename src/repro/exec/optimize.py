@@ -16,6 +16,12 @@ instead of the graph as written:
   per-firing overheads over plan-sized batches and prices the direct
   implementation as the dense BLAS product the plan backend actually runs.
 
+All rewrites descend into ``FeedbackLoop`` bodies: leaves inside a cycle
+are always replaceable, and multi-filter pipeline runs collapse when the
+combination is *rate-preserving* (lookahead-free children firing once
+each per combined firing), which cannot shrink the cycle's delay budget;
+frequency blocks change granularity and are never placed inside a cycle.
+
 All four rewrites preserve observable outputs; FLOP counts change by
 design (that is the point of the optimizations).
 """

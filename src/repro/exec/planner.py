@@ -25,14 +25,27 @@ pass producers fire before consumers, so cumulative counts at any pass
 boundary are a feasible prefix schedule.  Runs larger than
 ``chunk_outputs`` flush in chunks to bound buffer memory.
 
-The planner *bails out* to the scalar compiled executor for graphs it
-cannot batch safely: feedback loops (the flattened graph is cyclic, so no
-topological sweep exists), nodes that consume nothing yet have inputs
-(unbounded drain), and unknown primitive sources whose exhaustion
-behavior the rate simulator cannot model.  Individual *filters* that are
-non-linear, stateful, branching, or carry prework simply run through
+**Feedback loops** execute as *islands*: each outermost ``FeedbackLoop``
+flattens into a contiguous node slice (recorded by
+:class:`~repro.runtime.executor.FlatGraph`) that the planner collapses
+into one :class:`~repro.exec.kernels.FeedbackStep` whose external rates
+are measured by an integer *island probe* (:func:`probe_island`) — the
+rest of the graph stays acyclic and batches exactly as before.  Inside
+the island, members fire data-driven through their ordinary batched
+kernels, with lookahead bounded by the loop's delay ring, so a linear
+loop body still advances ``delay`` iterations per matmul.
+
+The planner *bails out* to the scalar compiled executor only for graphs
+it cannot batch safely: nodes that consume nothing yet have inputs
+(unbounded drain), unknown primitive sources whose exhaustion behavior
+the rate simulator cannot model, and feedback islands whose external
+rates the probe cannot certify (sources or collectors inside the cycle,
+no external input/output, or a schedule that never reaches a periodic
+regime).  Individual *filters* that are non-linear, stateful, branching,
+or carry prework simply run through
 :class:`~repro.exec.kernels.FallbackStep` inside the plan —
-:func:`plan_report` lists which nodes fell back and why.
+:func:`plan_report` lists which nodes fell back and why, and names each
+feedback island with its member kernels.
 
 :func:`plan_executor_for` wraps the whole pipeline: the ``optimize=``
 graph rewrite (:mod:`repro.exec.optimize`) runs first, and every
@@ -47,8 +60,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import InterpError
-from ..graph.streams import Duplicate, Filter, Stream, has_feedback
+from ..errors import InterpError, SchedulingError, StreamGraphError
+from ..graph.scheduler import steady_state
+from ..graph.streams import Duplicate, Filter, Stream
 from ..ir import nodes as N
 from ..ir.interp import Interpreter
 from ..linear.extraction import extract_filter
@@ -122,6 +136,148 @@ def _vectorize_decision(filt: Filter):
 
 
 # ---------------------------------------------------------------------------
+# Feedback islands: external-rate probing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IslandRates:
+    """Measured external behavior of one feedback island.
+
+    After an optional prologue firing (``init_pop`` externals in,
+    ``init_push`` outputs out — covering enqueued-value transients,
+    prework, and peek lookahead build-up), every firing consumes ``pop``
+    externals and produces ``push`` outputs, returning the cycle's
+    internal channel state to the same occupancies.
+    """
+
+    pop: int
+    push: int
+    init_pop: int
+    init_push: int
+
+    @property
+    def has_init(self) -> bool:
+        return (self.init_pop, self.init_push) != (0, 0)
+
+
+#: Extra periodic units tried when the greedy schedule's cycle is a
+#: multiple of the balance-equation steady state.
+_PROBE_PERIODS = 4
+
+
+def probe_island(flat: FlatGraph, region) -> tuple[IslandRates | None, str]:
+    """Measure a feedback island's external rates by integer simulation.
+
+    Feeds externals into the island one at a time, greedily draining the
+    cycle after each (the occupancy-only transcription of the scalar
+    executor's data-driven loop — confluence makes the quiescent state
+    schedule-independent), and looks for the periodic regime where
+    ``pop`` more externals always yield ``push`` more outputs with
+    identical channel occupancies.  Returns ``(rates, "")`` or
+    ``(None, reason)`` when the island has no certifiable rate facade.
+    """
+    nodes = flat.nodes[region.start:region.stop]
+    try:
+        ss = steady_state(region.stream)
+    except (SchedulingError, StreamGraphError) as exc:
+        return None, f"cycle is unschedulable: {exc}"
+    if ss.pop <= 0:
+        return None, ("consumes no external input (self-sustaining "
+                      "cycle cannot be paced)")
+    if ss.push <= 0:
+        return None, "produces no external output"
+    for node in nodes:
+        if not node.inputs:
+            return None, (f"node {node.name} has no inputs: a source "
+                          "inside a cycle fires unboundedly")
+        if isinstance(node.stream, Collector):
+            return None, (f"contains sink {node.name}: per-item "
+                          "collection cannot cross the island boundary")
+
+    # channel registry local to the probe (ids, initial occupancies)
+    chan_ids: dict[int, int] = {}
+    occ: list[int] = []
+
+    def cid(ch):
+        key = id(ch)
+        idx = chan_ids.get(key)
+        if idx is None:
+            idx = len(occ)
+            chan_ids[key] = idx
+            occ.append(len(ch))  # enqueued values pre-fill the back edge
+        return idx
+
+    ext_in = cid(nodes[0].inputs[0])  # the loop joiner's external tape
+    split_node = next(n for n in nodes
+                      if n.kind == "splitter"
+                      and n.splitter is region.stream.splitter)
+    ext_out = cid(split_node.outputs[0])
+
+    recs = []
+    for node in nodes:
+        in_ids = [cid(ch) for ch in node.inputs]
+        out_ids = [cid(ch) for ch in node.outputs]
+        needs, pops, pushes = _steady_rates(node)
+        has_init, init_needs, init_pops, init_pushes = _init_rates(node)
+        recs.append(_SimNode(len(recs), in_ids, out_ids, needs, pops,
+                             pushes, has_init, init_needs, init_pops,
+                             init_pushes))
+
+    def drain():
+        # occupancy-only mirror of FeedbackStep's drain loop: any change
+        # to the init gating or batch sizing there must land here too,
+        # or the probe certifies a schedule the step will not execute
+        progress = True
+        while progress:
+            progress = False
+            for sn in recs:
+                if sn.has_init and not sn.fired:
+                    if not all(occ[c] >= need for c, need
+                               in zip(sn.in_ids, sn.init_needs)):
+                        continue
+                    for c, o in zip(sn.in_ids, sn.init_pops):
+                        occ[c] -= o
+                    for c, u in zip(sn.out_ids, sn.init_pushes):
+                        occ[c] += u
+                    sn.fired = True
+                    progress = True
+                n = K.feasible_firings((occ[c] for c in sn.in_ids),
+                                       sn.needs, sn.pops)
+                if n:
+                    for c, o in zip(sn.in_ids, sn.pops):
+                        occ[c] -= o * n
+                    for c, u in zip(sn.out_ids, sn.pushes):
+                        occ[c] += u * n
+                    sn.fired = True
+                    progress = True
+
+    def snapshot():
+        state = tuple(v for i, v in enumerate(occ) if i != ext_out)
+        return state + tuple(sn.fired for sn in recs if sn.has_init)
+
+    c_lim = 4 * ss.pop + sum(occ) + sum(sum(sn.needs) for sn in recs) + 32
+    c_max = c_lim + _PROBE_PERIODS * ss.pop
+    drain()
+    snaps = [(snapshot(), occ[ext_out])]
+    for c in range(1, c_max + 1):
+        occ[ext_in] += 1
+        drain()
+        snaps.append((snapshot(), occ[ext_out]))
+        for m in range(1, _PROBE_PERIODS + 1):
+            pop = m * ss.pop
+            if c < pop:
+                break
+            state, outs = snaps[c - pop]
+            if state == snaps[c][0] and \
+                    snaps[c][1] - outs == m * ss.push:
+                return IslandRates(pop=pop, push=m * ss.push,
+                                   init_pop=c - pop, init_push=outs), ""
+    return None, ("schedule never reaches a periodic regime within "
+                  f"{c_max} externals (is the delay ring long enough?)")
+
+
+# ---------------------------------------------------------------------------
 # Bailout detection
 # ---------------------------------------------------------------------------
 
@@ -129,23 +285,36 @@ _KNOWN_SOURCES = (ListSource, FunctionSource, ConstantSourceFilter)
 
 
 def plan_bailout_reason(stream: Stream,
-                        flat: FlatGraph | None = None) -> str | None:
-    """Why ``stream`` cannot be compiled to a plan (None = plannable)."""
-    if has_feedback(stream):
-        return (f"{stream.name}: contains a feedbackloop, so the "
-                "flattened graph is cyclic and no topological batch "
-                "order exists")
+                        flat: FlatGraph | None = None,
+                        island_rates: dict | None = None) -> str | None:
+    """Why ``stream`` cannot be compiled to a plan (None = plannable).
+
+    Pass a dict as ``island_rates`` to receive each certified feedback
+    island's probed :class:`IslandRates` (keyed by region start index),
+    so the caller can hand them to :class:`PlanExecutor` without a
+    second probe.
+    """
     if flat is None:
         flat = FlatGraph(stream, NullProfiler(), backend="compiled")
-    for node in flat.nodes:
+    in_island = set()
+    for region in flat.feedback_regions:
+        in_island.update(range(region.start, region.stop))
+    for i, node in enumerate(flat.nodes):
         if node.inputs and sum(_steady_rates(node)[1]) == 0:
             return (f"node {node.name} has inputs but pops nothing: "
                     "batch size is unbounded")
-        if not node.inputs and node.kind == "primitive" and \
+        if not node.inputs and i not in in_island and \
+                node.kind == "primitive" and \
                 not isinstance(node.stream, _KNOWN_SOURCES):
             return (f"source {node.name}: unknown primitive type "
                     f"{type(node.stream).__name__}, exhaustion behavior "
                     "not statically known")
+    for region in flat.feedback_regions:
+        rates, reason = probe_island(flat, region)
+        if rates is None:
+            return f"feedback island {region.stream.name}: {reason}"
+        if island_rates is not None:
+            island_rates[region.start] = rates
     return None
 
 
@@ -239,7 +408,8 @@ class PlanExecutor:
 
     def __init__(self, flat: FlatGraph,
                  chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
-                 decisions: dict | None = None):
+                 decisions: dict | None = None,
+                 island_rates: dict | None = None):
         self.flat = flat
         self.profiler = flat.profiler
         self.chunk_outputs = chunk_outputs
@@ -249,6 +419,10 @@ class PlanExecutor:
         # populated here on a miss so the caller can cache them.
         self._decisions_given = decisions is not None
         self.decisions: dict = decisions if decisions is not None else {}
+        #: feedback-region start index -> IslandRates; passed in from the
+        #: plan cache (or plan_bailout_reason) to skip re-probing
+        self.island_rates: dict = (island_rates if island_rates is not None
+                                   else {})
         #: node index -> why that node runs through FallbackStep
         self.fallback_reasons: dict[int, str] = {}
 
@@ -259,7 +433,9 @@ class PlanExecutor:
         self._ran = False
         self._replayed = False
 
-        # channel registry: every distinct Channel gets a ring and an index
+        # channel registry: every distinct Channel gets a ring and an
+        # index; rings inherit the channel's current contents (a feedback
+        # back edge starts holding the loop's enqueued values)
         self._chan_ids: dict[int, int] = {}
         self.rings: list[RingBuffer] = []
 
@@ -269,25 +445,99 @@ class PlanExecutor:
             if idx is None:
                 idx = len(self.rings)
                 self._chan_ids[key] = idx
-                self.rings.append(RingBuffer(ch.name))
+                self.rings.append(RingBuffer(ch.name,
+                                             prefill=ch.snapshot()))
             return idx
 
         self._out_chan = ring_of(flat.output_channel)
         ring_of(flat.input_channel)
 
-        self.sim_nodes: list[_SimNode] = []
-        self.steps: list[K.Step] = []
+        # pass 1: per flat node — ring wiring, rates, and the batched step
+        raw_in_ids: list[list[int]] = []
+        raw_steps: list[K.Step] = []
+        raw_rates: list[tuple] = []
+        island_start = {r.start: r for r in flat.feedback_regions}
+        island_gates: dict[int, int] = {}  # region start -> gate ring id
         for i, node in enumerate(flat.nodes):
             in_ids = [ring_of(ch) for ch in node.inputs]
             out_ids = [ring_of(ch) for ch in node.outputs]
-            needs, pops, pushes = _steady_rates(node)
-            has_init, init_needs, init_pops, init_pushes = _init_rates(node)
-            sn = _SimNode(i, in_ids, out_ids, needs, pops, pushes,
-                          has_init, init_needs, init_pops, init_pushes)
-            if isinstance(node.stream, ListSource):
-                sn.remaining = len(node.stream.values)
+            if i in island_start:
+                # the loop joiner reads externals through a private gate
+                # ring so the island cannot outrun its simulated schedule
+                gate = len(self.rings)
+                self.rings.append(RingBuffer(f"{node.name}.gate"))
+                island_gates[i] = gate
+                in_ids = [gate] + in_ids[1:]
+            raw_in_ids.append(in_ids)
+            raw_rates.append((_steady_rates(node), _init_rates(node),
+                              out_ids))
+            raw_steps.append(self._make_step(i, node, in_ids, out_ids))
+
+        # pass 2: assemble the acyclic outer schedule, collapsing each
+        # feedback region into a single FeedbackStep facade
+        self.sim_nodes: list[_SimNode] = []
+        self.steps: list[K.Step] = []
+        #: per outer position: the flat node, or the FeedbackRegion
+        self.outer_entries: list = []
+        self.islands: list[tuple] = []  # (region, IslandRates, FeedbackStep)
+        outer_of_flat: dict[int, int] = {}
+        i = 0
+        while i < len(flat.nodes):
+            region = island_start.get(i)
+            if region is None:
+                node = flat.nodes[i]
+                (needs, pops, pushes), \
+                    (has_init, init_needs, init_pops, init_pushes), \
+                    out_ids = raw_rates[i]
+                sn = _SimNode(len(self.sim_nodes), raw_in_ids[i], out_ids,
+                              needs, pops, pushes, has_init, init_needs,
+                              init_pops, init_pushes)
+                if isinstance(node.stream, ListSource):
+                    sn.remaining = len(node.stream.values)
+                outer_of_flat[i] = len(self.sim_nodes)
+                self.sim_nodes.append(sn)
+                self.steps.append(raw_steps[i])
+                self.outer_entries.append(node)
+                i += 1
+                continue
+            rates = self.island_rates.get(region.start)
+            if rates is None:
+                rates, reason = probe_island(flat, region)
+                if rates is None:
+                    raise InterpError(
+                        f"feedback island {region.stream.name}: {reason} "
+                        "(check plan_bailout_reason before planning)")
+                self.island_rates[region.start] = rates
+            members = []
+            for j in range(region.start, region.stop):
+                (needs, pops, _pushes), \
+                    (has_init, init_needs, _ip, _iu), _o = raw_rates[j]
+                members.append(K.IslandMember(
+                    raw_steps[j],
+                    [self.rings[r] for r in raw_in_ids[j]],
+                    needs, pops, has_init, init_needs))
+            join_node = flat.nodes[region.start]
+            split_node = next(
+                n for n in flat.nodes[region.start:region.stop]
+                if n.kind == "splitter"
+                and n.splitter is region.stream.splitter)
+            ext_in = ring_of(join_node.inputs[0])
+            ext_out = ring_of(split_node.outputs[0])
+            step = K.FeedbackStep(
+                region.stream.name, self.rings[ext_in],
+                self.rings[island_gates[region.start]], members,
+                rates.pop, rates.push,
+                init_pop=rates.init_pop if rates.has_init else None,
+                init_push=rates.init_push if rates.has_init else None)
+            sn = _SimNode(len(self.sim_nodes), [ext_in], [ext_out],
+                          [rates.pop], [rates.pop], [rates.push],
+                          rates.has_init, [rates.init_pop],
+                          [rates.init_pop], [rates.init_push])
             self.sim_nodes.append(sn)
-            self.steps.append(self._make_step(i, node, in_ids, out_ids))
+            self.steps.append(step)
+            self.outer_entries.append(region)
+            self.islands.append((region, rates, step))
+            i = region.stop
 
         self.sources = [sn for sn in self.sim_nodes if not sn.in_ids]
         self.consumers = [sn for sn in self.sim_nodes if sn.in_ids]
@@ -297,17 +547,18 @@ class PlanExecutor:
         self._sink_index: int | None = None
         if flat.collectors:
             coll = flat.collectors[0]
+            flat_idx = next(i for i, n in enumerate(flat.nodes)
+                            if n is coll)
             self._collected = coll.runner.collected
-            self._sink_index = next(i for i, n in enumerate(flat.nodes)
-                                    if n is coll)
+            self._sink_index = outer_of_flat[flat_idx]
         else:
             for sn in self.sim_nodes:
                 if self._out_chan in sn.out_ids:
                     self._sink_index = sn.index
         self._sink_fires = 0  # cumulative collector firings (sim)
 
-        # persistent simulator state
-        self._occ = [0] * len(self.rings)
+        # persistent simulator state (pre-filled rings start occupied)
+        self._occ = [len(r) for r in self.rings]
         self._pending = [0] * len(self.sim_nodes)
         self._pending_outputs = 0
         self._passes = 0
@@ -376,6 +627,11 @@ class PlanExecutor:
             f"no batched kernel for primitive type {type(s).__name__}")
         return K.FallbackStep(node, rin(), rout())
 
+    def islands_member_step(self, region, flat_index: int) -> K.Step:
+        """The kernel executing flat node ``flat_index`` inside ``region``."""
+        _, _, fstep = next(t for t in self.islands if t[0] is region)
+        return fstep.members[flat_index - region.start].step
+
     # -- integer rate simulation ------------------------------------------
     def _produced(self) -> int:
         if self._collected is not None:
@@ -405,16 +661,8 @@ class PlanExecutor:
     def _feasible_steady(self, sn: _SimNode) -> int:
         """Max consecutive steady firings given current occupancies."""
         occ = self._occ
-        n = None
-        for cid, need, o in zip(sn.in_ids, sn.needs, sn.pops):
-            have = occ[cid]
-            if have < need:
-                return 0
-            if o > 0:
-                k = (have - need) // o + 1
-                if n is None or k < n:
-                    n = k
-        return n if n is not None else 0
+        return K.feasible_firings((occ[cid] for cid in sn.in_ids),
+                                  sn.needs, sn.pops)
 
     def _sweep(self, n_outputs: int) -> None:
         """One drain sweep, transcribing FlatGraph.run's inner loop.
@@ -615,22 +863,31 @@ def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
     if cache is False:
         opt = optimize_stream(stream, optimize)
         flat = FlatGraph(opt, profiler, backend="compiled")
-        if plan_bailout_reason(opt, flat) is not None:
+        rates: dict = {}
+        if plan_bailout_reason(opt, flat, island_rates=rates) is not None:
             return flat
-        return PlanExecutor(flat, chunk_outputs=chunk_outputs)
+        return PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                            island_rates=rates)
 
     entry = cache.entry_for(stream, optimize)
     if entry.optimized is None:
         entry.optimized = optimize_stream(stream, optimize)
     flat = FlatGraph(entry.optimized, profiler, backend="compiled")
     if entry.bailout is _UNSET:
-        entry.bailout = plan_bailout_reason(entry.optimized, flat)
+        rates = {}
+        entry.bailout = plan_bailout_reason(entry.optimized, flat,
+                                            island_rates=rates)
+        if entry.bailout is None:
+            entry.islands = rates
     if entry.bailout is not None:
         return flat
     executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            decisions=entry.decisions)
+                            decisions=entry.decisions,
+                            island_rates=entry.islands)
     if entry.decisions is None:
         entry.decisions = executor.decisions
+    if entry.islands is None:
+        entry.islands = executor.island_rates
     traces = entry.traces
     executor._trace_lookup = lambda n: traces.get((chunk_outputs, n))
     executor._trace_sink = (
@@ -655,19 +912,45 @@ class StepReport:
 
 
 @dataclass
+class IslandReport:
+    """One feedback island: its rate facade and member kernels."""
+
+    name: str
+    delay: int
+    rates: IslandRates
+    steps: list[StepReport] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        head = (f"feedback island {self.name}: delay={self.delay}, "
+                f"pop/push per firing={self.rates.pop}/{self.rates.push}")
+        if self.rates.has_init:
+            head += (f", prologue={self.rates.init_pop}"
+                     f"/{self.rates.init_push}")
+        lines = [head]
+        for s in self.steps:
+            lines.append(f"  {s.name.ljust(24)}{s.step_kind.ljust(12)}"
+                         + (s.reason or ""))
+        return "\n".join(lines)
+
+
+@dataclass
 class PlanReport:
     """Which kernels a plan chose, and why nodes fell back to scalar.
 
     Fallback-heavy graphs (Radar: stateful sources, nonlinear magnitude
     and detector stages) are slow for reasons invisible in the output;
     this report makes them diagnosable.  Render with ``str(report)`` or
-    inspect :attr:`steps` / :attr:`fallbacks` programmatically.
+    inspect :attr:`steps` / :attr:`fallbacks` / :attr:`islands`
+    programmatically; each feedback island appears as one ``feedback``
+    row in the main table plus an island section listing its member
+    kernels.
     """
 
     program: str
     optimize: str
     bailout: str | None
     steps: list[StepReport] = field(default_factory=list)
+    islands: list[IslandReport] = field(default_factory=list)
 
     @property
     def fallbacks(self) -> list[StepReport]:
@@ -690,21 +973,48 @@ class PlanReport:
         n_fb = len(self.fallbacks)
         lines.append(f"{n_fb}/{len(self.steps)} nodes fall back to scalar "
                      "firing")
+        for isl in self.islands:
+            lines.append(str(isl))
         return "\n".join(lines)
 
 
 def plan_report(stream: Stream, optimize: str = "none",
                 chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS) -> PlanReport:
     """Explain how ``stream`` would execute under the plan backend."""
+    from ..runtime.executor import FeedbackRegion
+
     opt = optimize_stream(stream, optimize)
     flat = FlatGraph(opt, NullProfiler(), backend="compiled")
-    bailout = plan_bailout_reason(opt, flat)
+    probed: dict = {}
+    bailout = plan_bailout_reason(opt, flat, island_rates=probed)
     rep = PlanReport(program=getattr(stream, "name", "?"), optimize=optimize,
                      bailout=bailout)
     if bailout is not None:
         return rep
-    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs)
-    for i, (node, step) in enumerate(zip(flat.nodes, executor.steps)):
-        rep.steps.append(StepReport(i, node.name, node.kind, step.kind,
-                                    executor.fallback_reasons.get(i)))
+    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                            island_rates=probed)
+    flat_index = {id(n): i for i, n in enumerate(flat.nodes)}
+    for pos, (entry, step) in enumerate(zip(executor.outer_entries,
+                                            executor.steps)):
+        if isinstance(entry, FeedbackRegion):
+            _, rates, _ = next(t for t in executor.islands
+                               if t[0] is entry)
+            n_members = entry.stop - entry.start
+            rep.steps.append(StepReport(
+                pos, f"{entry.stream.name} [feedback island: "
+                     f"{n_members} nodes, delay {entry.stream.delay}]",
+                "feedback", "feedback", None))
+            isl = IslandReport(entry.stream.name, entry.stream.delay,
+                               rates)
+            for j in range(entry.start, entry.stop):
+                node = flat.nodes[j]
+                mstep = executor.islands_member_step(entry, j)
+                isl.steps.append(StepReport(
+                    j, node.name, node.kind, mstep.kind,
+                    executor.fallback_reasons.get(j)))
+            rep.islands.append(isl)
+        else:
+            rep.steps.append(StepReport(
+                pos, entry.name, entry.kind, step.kind,
+                executor.fallback_reasons.get(flat_index[id(entry)])))
     return rep

@@ -29,11 +29,22 @@ class RingBuffer:
 
     __slots__ = ("_buf", "_head", "_tail", "name")
 
-    def __init__(self, name: str = "", capacity: int = _MIN_CAPACITY):
+    def __init__(self, name: str = "", capacity: int = _MIN_CAPACITY,
+                 prefill=None):
+        """``prefill`` seeds the ring with initial items — the cyclic
+        back edge of a feedback loop starts life holding the loop's
+        ``enqueued`` values, exactly like the scalar executor's channel.
+        """
+        if prefill is not None:
+            prefill = np.asarray(prefill, dtype=np.float64)
+            capacity = max(capacity, len(prefill))
         self._buf = np.empty(max(capacity, _MIN_CAPACITY), dtype=np.float64)
         self._head = 0
         self._tail = 0
         self.name = name
+        if prefill is not None and len(prefill):
+            self._buf[:len(prefill)] = prefill
+            self._tail = len(prefill)
 
     def __len__(self) -> int:
         return self._tail - self._head

@@ -223,6 +223,16 @@ class FeedbackLoop(Stream):
     def children(self) -> tuple[Stream, Stream]:
         return (self.body, self.loop)
 
+    @property
+    def delay(self) -> int:
+        """Items enqueued on the feedback path before the first firing.
+
+        This is the loop's lookahead budget: the planner can advance the
+        cycle up to ``delay`` feedback items per batched pass before the
+        next pass depends on values produced by the current one.
+        """
+        return len(self.enqueued)
+
     def pretty(self, indent: int = 0) -> str:
         pad = "  " * indent
         lines = [pad + f"feedbackloop {self.name} {{ join {self.joiner};"]

@@ -99,6 +99,15 @@ def analyze(stream: Stream, max_matrix_elems: int = 4_000_000) -> LinearityMap:
     return lmap
 
 
+def _rate_preserving_run(nodes: list[LinearNode]) -> bool:
+    """True when collapsing this pipeline run cannot deadlock a cycle:
+    lookahead-free children (peek == pop) firing once each per combined
+    firing (adjacent push == pop) leave the input demand unchanged."""
+    if any(n.peek != n.pop for n in nodes):
+        return False
+    return all(a.push == b.pop for a, b in zip(nodes, nodes[1:]))
+
+
 def _replace(s: Stream, lmap: LinearityMap, backend: str,
              make_leaf, in_feedback: bool = False,
              combine: bool = True) -> Stream:
@@ -121,7 +130,10 @@ def _replace(s: Stream, lmap: LinearityMap, backend: str,
         def flush_run():
             if not run:
                 return
-            if len(run) == 1 or in_feedback or not combine:
+            collapse = combine and len(run) > 1 and (
+                not in_feedback
+                or _rate_preserving_run([lmap.node_for(c) for c in run]))
+            if not collapse:
                 new_children.extend(
                     _replace(c, lmap, backend, make_leaf, in_feedback,
                              combine)

@@ -14,9 +14,11 @@ Three execution backends exist:
 * ``plan``    — the vectorized steady-state engine (:mod:`repro.exec`):
   batches many firings per node, running linear filters as NumPy matrix
   products over ndarray ring buffers.  Output values (to 1e-9) and FLOP
-  counts are identical to the scalar backends; graphs the planner cannot
-  batch (feedback loops, unknown primitive sources) silently fall back
-  to ``compiled``.
+  counts are identical to the scalar backends; feedback loops run as
+  batched *islands* (value-identical; tail-of-run firing counts may
+  differ by one loop iteration), and the rare graphs the planner cannot
+  batch at all (unknown primitive sources, unprobeable cycles) silently
+  fall back to ``compiled``.
 """
 
 from __future__ import annotations
@@ -151,6 +153,21 @@ class _NullChannelType(Channel):
 _NULL_CHANNEL = _NullChannelType("void")
 
 
+@dataclass
+class FeedbackRegion:
+    """The contiguous ``nodes[start:stop]`` slice one FeedbackLoop
+    flattened into: joiner, body nodes, splitter, loop-path nodes.
+
+    The slice is what the plan backend turns into a feedback *island*;
+    everything the cycle touches (including nested loops) lives inside
+    it, so the rest of the flattened graph stays acyclic.
+    """
+
+    stream: FeedbackLoop
+    start: int
+    stop: int
+
+
 class FlatGraph:
     """A flattened stream graph ready for execution."""
 
@@ -160,6 +177,9 @@ class FlatGraph:
         self.profiler = profiler if profiler is not None else NullProfiler()
         self.backend = backend
         self.nodes: list[_Node] = []
+        #: outermost FeedbackLoop slices, in flattening order
+        self.feedback_regions: list[FeedbackRegion] = []
+        self._feedback_depth = 0
         self._channel_counter = 0
         self.input_channel = Channel("graph-in")
         self.output_channel = Channel("graph-out")
@@ -223,6 +243,8 @@ class FlatGraph:
             self.nodes.append(join_node)
             return out
         if isinstance(stream, FeedbackLoop):
+            start = len(self.nodes)
+            self._feedback_depth += 1
             loop_to_join = self._new_channel()
             for v in stream.enqueued:
                 loop_to_join.push(v)
@@ -244,6 +266,10 @@ class FlatGraph:
             for node in self.nodes:
                 node.outputs = [loop_to_join if ch is loop_out else ch
                                 for ch in node.outputs]
+            self._feedback_depth -= 1
+            if self._feedback_depth == 0:
+                self.feedback_regions.append(
+                    FeedbackRegion(stream, start, len(self.nodes)))
             return out
         raise TypeError(f"cannot flatten {stream!r}")
 

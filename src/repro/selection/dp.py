@@ -204,6 +204,24 @@ class OptimizationSelector:
         self._memo[key] = result
         return result
 
+    def _rate_preserving_range(self, container, lo: int, hi: int) -> bool:
+        """True when collapsing children[lo:hi] cannot deadlock a cycle.
+
+        Sufficient condition: a pipeline chain of lookahead-free children
+        (peek == pop) firing exactly once each per combined firing
+        (adjacent push == pop), so the collapsed leaf needs exactly the
+        items the first child needed — the cycle's delay budget is
+        untouched.
+        """
+        if not isinstance(container, Pipeline):
+            return False
+        nodes = [self.lmap.node_for(c) for c in container.children[lo:hi]]
+        if any(n is None for n in nodes):
+            return False
+        if any(n.peek != n.pop for n in nodes):
+            return False
+        return all(a.push == b.pop for a, b in zip(nodes, nodes[1:]))
+
     def _range_items_out(self, container, lo: int, hi: int) -> float:
         if isinstance(container, Pipeline):
             return self._out_items.get(id(container.children[hi - 1]), 0.0)
@@ -225,9 +243,15 @@ class OptimizationSelector:
         candidates: list[Config] = []
 
         # collapse the whole range (LINEAR / FREQ); multi-child collapse
-        # coarsens granularity, so it is skipped inside feedback cycles
-        node = None if self._feedback_depth > 0 \
-            else self._node_for_range(container, lo, hi)
+        # usually coarsens granularity, so inside feedback cycles it is
+        # allowed only when the combined unit demands no more buffered
+        # input than the original finest-grained firing did
+        if self._feedback_depth > 0:
+            node = (self._node_for_range(container, lo, hi)
+                    if self._rate_preserving_range(container, lo, hi)
+                    else None)
+        else:
+            node = self._node_for_range(container, lo, hi)
         if node is not None:
             items_out = self._range_items_out(container, lo, hi)
             label = f"{container.name}[{lo}:{hi}]"

@@ -23,6 +23,9 @@ SMALL_PARAMS = {
     "Vocoder": dict(window=16, decimation=8, n_filters=3, taps=12),
     "Oversampler": dict(stages=3, taps=16),
     "DToA": dict(stages=2, taps=12, out_taps=24),
+    "Echo": dict(delay=24, gain=0.5, taps=16),
+    "VocoderEcho": dict(window=16, decimation=8, n_filters=3, taps=12,
+                        echo_delay=16),
 }
 
 N_OUT = {name: 32 for name in SMALL_PARAMS}

@@ -96,6 +96,19 @@ def test_leaf_only_lmap_drops_containers():
             assert lmap.is_linear(f)
 
 
+def test_compare_conflicts_with_backend_and_optimize_flags():
+    """--compare sweeps its own backend x optimize matrix; explicit
+    flags must error instead of being silently dropped."""
+    from repro.bench import main as bench_main
+
+    for extra in (["--backend", "plan"], ["--optimize", "auto"],
+                  ["--backend", "compiled", "--optimize", "linear"]):
+        with pytest.raises(SystemExit) as exc:
+            bench_main(["--app", "fir", "--compare", "--outputs", "64"]
+                       + extra)
+        assert exc.value.code == 2  # argparse usage error
+
+
 def test_rate_changer_configs_equivalent():
     prog = Pipeline([
         FunctionSource(lambda n: float(n % 7), "src"),

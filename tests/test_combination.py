@@ -203,3 +203,89 @@ def test_property_pipeline_combination_equivalence(e1, u1, e2, o2, u2, seed):
     got = combined.reference_run(x, firings=firings)
     n = min(len(got), len(expected))
     np.testing.assert_allclose(got[:n], expected[:n], atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# In-loop combination: rate-preserving pipeline runs collapse inside
+# feedback cycles; lookahead-bearing runs do not
+# ---------------------------------------------------------------------------
+
+
+def _mix2(name, a, b, c, d):
+    from repro.ir import FilterBuilder
+
+    f = FilterBuilder(name, peek=2, pop=2, push=2)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        y = f.local("y", f.pop_expr())
+        f.push(a * x + b * y)
+        f.push(c * x + d * y)
+    return f.build()
+
+
+def _damp(gain=0.5):
+    from repro.ir import FilterBuilder
+
+    f = FilterBuilder("damp", peek=1, pop=1, push=1)
+    g = f.const("g", gain)
+    with f.work():
+        f.push(g * f.pop_expr())
+    return f.build()
+
+
+def _loop_with_body(body):
+    from repro.graph.streams import FeedbackLoop, RoundRobin
+
+    return FeedbackLoop(body=body, loop=_damp(),
+                        joiner=RoundRobin((1, 1)),
+                        splitter=RoundRobin((1, 1)),
+                        enqueued=[0.0, 0.0], name="fb")
+
+
+def test_rate_preserving_chain_collapses_inside_feedback():
+    """peek==pop children with matching rates combine into one leaf even
+    inside a cycle — the collapsed unit demands no extra buffered input,
+    so the delay budget is untouched."""
+    from repro.graph.streams import Pipeline, walk
+    from repro.linear import LinearFilter, maximal_linear_replacement
+    from repro.runtime import run_stream
+    from repro.selection import select_optimizations
+
+    def make():
+        return _loop_with_body(Pipeline(
+            [_mix2("m1", .1, .2, .3, .4), _mix2("m2", .5, -.1, .2, .3)],
+            name="chain"))
+
+    replaced = maximal_linear_replacement(make())
+    assert isinstance(replaced.body, LinearFilter)
+    selected = select_optimizations(make()).stream
+    assert isinstance(selected.body, LinearFilter)
+    inputs = [float(i % 5) for i in range(40)]
+    base = run_stream(make(), inputs, 20)
+    for rewritten in (maximal_linear_replacement(make()),
+                      select_optimizations(make()).stream):
+        got = run_stream(rewritten, inputs, 20)
+        np.testing.assert_allclose(got, base, atol=1e-9)
+
+
+def test_lookahead_chain_stays_uncollapsed_inside_feedback():
+    """A peeking child (peek > pop) makes the combined unit demand more
+    buffered input than the original — collapsing it inside a cycle
+    could deadlock, so it must not happen."""
+    from repro.graph.streams import Pipeline
+    from repro.ir import FilterBuilder
+    from repro.linear import LinearFilter, maximal_linear_replacement
+
+    f = FilterBuilder("peeker", peek=3, pop=2, push=2)
+    with f.work():
+        f.push(f.peek(0) + 0.5 * f.peek(2))
+        f.push(f.peek(1))
+        f.pop()
+        f.pop()
+    body = Pipeline([f.build(), _mix2("m", .1, .2, .3, .4)],
+                    name="peek-chain")
+    replaced = maximal_linear_replacement(_loop_with_body(body))
+    # leaves are individually replaced, but the run is not combined
+    assert not isinstance(replaced.body, LinearFilter)
+    assert all(isinstance(c, LinearFilter)
+               for c in replaced.body.children)

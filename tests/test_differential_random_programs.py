@@ -6,9 +6,11 @@ arrays, tape operations) and checks all three execution backends —
 *and* FLOP counts, that the *optimizing* plan pipeline
 (``optimize="linear"/"freq"/"auto"``) preserves outputs on arbitrary
 programs (linear ones get rewritten, nonlinear ones pass through), that
-feedback-loop graphs bail out cleanly under every optimize mode, and
-that whenever extraction reports a linear node, the node's predictions
-match actual execution.
+feedback-loop graphs execute as plan islands with exact value parity
+under every optimize mode (linear, nonlinear, and pipeline-chain loop
+bodies; randomized delays and enqueued values), and that whenever
+extraction reports a linear node, the node's predictions match actual
+execution.
 """
 
 import numpy as np
@@ -130,51 +132,90 @@ def test_optimized_plan_matches_on_random_programs(seed, input_seed):
 
 
 # ---------------------------------------------------------------------------
-# Feedback loops: every optimize mode must bail out cleanly
+# Feedback loops: plan executes them as islands, value-identical
 # ---------------------------------------------------------------------------
 
 
 def make_random_feedback(seed: int) -> FeedbackLoop:
-    """A schedulable feedback loop around a random 2x2 linear body.
+    """A schedulable feedback loop with randomized body, delay, and
+    enqueued values.
 
     Rates are fixed (body peek/pop/push 2, loop 1:1, rr(1,1) on both
-    ends) so the cycle always schedules; only coefficients vary.
+    ends) so the cycle always schedules.  Coefficients, the delay-ring
+    length, and the body's *shape* vary: seeds rotate between a single
+    linear 2x2 mix, a nonlinear body (quadratic term — the island must
+    run it through the scalar fallback kernel), and a two-stage linear
+    pipeline body (exercising the in-loop rate-preserving collapse of
+    the optimize rewrites).
     """
     rng = np.random.default_rng(seed)
     a, b, c, d, g = (round(float(x), 3)
                      for x in rng.uniform(-0.9, 0.9, size=5))
+    shape = seed % 3
     f = FilterBuilder(f"fbbody{seed}", peek=2, pop=2, push=2)
     with f.work():
         x = f.local("x", f.pop_expr())
         y = f.local("y", f.pop_expr())
-        f.push(a * x + b * y)
-        f.push(c * x + d * y)
+        if shape == 1:  # nonlinear: island falls back to scalar firing
+            f.push(a * x + b * x * y)
+            f.push(c * x + d * y)
+        else:
+            f.push(a * x + b * y)
+            f.push(c * x + d * y)
     body = f.build()
+    if shape == 2:  # linear chain: collapsible inside the cycle
+        s = FilterBuilder(f"fbscale{seed}", peek=2, pop=2, push=2)
+        with s.work():
+            u = s.local("u", s.pop_expr())
+            v = s.local("v", s.pop_expr())
+            s.push(u + v)
+            s.push(v - u)
+        body = Pipeline([body, s.build()], name=f"fbchain{seed}")
     lf = FilterBuilder(f"fbloop{seed}", peek=1, pop=1, push=1)
     with lf.work():
         lf.push(g * lf.pop_expr())
+    delay = int(rng.integers(1, 6))
     return FeedbackLoop(body=body, loop=lf.build(),
                         joiner=RoundRobin((1, 1)),
                         splitter=RoundRobin((1, 1)),
-                        enqueued=[round(float(rng.uniform(-1, 1)), 3)])
+                        enqueued=[round(float(v), 3) for v in
+                                  rng.uniform(-1, 1, size=delay)])
 
 
 @pytest.mark.parametrize("mode", OPTIMIZE_MODES)
-@pytest.mark.parametrize("seed", [0, 7, 42])
-def test_feedback_graphs_bail_out_under_every_optimize_mode(seed, mode):
-    """Feedback graphs cannot batch; every optimize mode must fall back
-    to the scalar compiled executor with identical outputs."""
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 42, 43])
+def test_feedback_graphs_run_as_islands_under_every_optimize_mode(seed,
+                                                                  mode):
+    """Feedback graphs plan as islands (no whole-graph bailout) and
+    every optimize mode preserves interp/compiled/plan value parity."""
     rng = np.random.default_rng(seed + 1)
-    inputs = rng.normal(size=40).tolist()
+    inputs = rng.normal(size=60).tolist()
     program = Pipeline([ListSource(inputs), make_random_feedback(seed),
                         Collector()], name="fb-harness")
-    assert plan_bailout_reason(program) is not None
-    expected = run_stream(make_random_feedback(seed), inputs, 12,
+    assert plan_bailout_reason(program) is None
+    expected = run_stream(make_random_feedback(seed), inputs, 25,
+                          backend="interp")
+    compiled = run_stream(make_random_feedback(seed), inputs, 25,
                           backend="compiled")
-    got = run_stream(make_random_feedback(seed), inputs, 12,
+    np.testing.assert_allclose(compiled, expected, atol=1e-9)
+    got = run_stream(make_random_feedback(seed), inputs, 25,
                      backend="plan", optimize=mode)
     np.testing.assert_allclose(got, expected, atol=1e-8,
                                err_msg=f"optimize={mode}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), input_seed=st.integers(0, 1000))
+def test_feedback_value_parity_on_random_programs(seed, input_seed):
+    """Property form: arbitrary coefficients/delays/body shapes keep the
+    plan backend value-identical to the scalar backends."""
+    rng = np.random.default_rng(input_seed)
+    inputs = rng.normal(size=50).tolist()
+    expected = run_stream(make_random_feedback(seed), inputs, 20,
+                          backend="compiled")
+    got = run_stream(make_random_feedback(seed), inputs, 20,
+                     backend="plan")
+    np.testing.assert_allclose(got, expected, atol=1e-9)
 
 
 @settings(max_examples=60, deadline=None)
