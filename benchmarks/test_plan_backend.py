@@ -33,7 +33,7 @@ import numpy as np
 import pytest
 
 from conftest import once, report
-from repro.apps import echo, filterbank, fir, radar, vocoder
+from repro.apps import echo, filterbank, fir, iir, radar, vocoder
 from repro.bench import format_table
 from repro.exec import clear_plan_cache, plan_executor_for
 from repro.profiling import NullProfiler, Profiler
@@ -48,6 +48,7 @@ CASES = [
     ("Vocoder", vocoder.build, 1200),
     ("Echo(1024)", echo.build, 20000),
     ("VocoderEcho", vocoder.build_feedback, 1200),
+    ("IIR", iir.build, 20000),
 ]
 
 #: Feedback rows: value parity is exact, but the island advances the
@@ -95,8 +96,8 @@ def sweep():
             assert p_c.counts.flops == p_p.counts.flops
             # the auto plan's FLOP profile must equal the DP's predicted
             # implementation executed on the scalar backend
-            predicted = select_optimizations(build(),
-                                             cost_model="batched").stream
+            predicted = select_optimizations(build(), cost_model="batched",
+                                             stateful=True).stream
             p_pred = Profiler()
             run_graph(predicted, n_outputs, p_pred, "compiled")
             assert p_a.counts.flops == p_pred.counts.flops
@@ -153,6 +154,14 @@ def test_optimized_plan_beats_cached_plan_on_filterbank(benchmark, sweep):
     once(benchmark)
     _, metrics = sweep
     assert metrics["FilterBank"]["auto"] < metrics["FilterBank"]["plan"]
+
+
+def test_stateful_app_meets_plan_bar(benchmark, sweep):
+    """Acceptance: the stateful-linear IIR cascade advances through
+    lifted StatefulLinearStep kernels — >= 10x over compiled."""
+    once(benchmark)
+    _, metrics = sweep
+    assert metrics["IIR"]["compiled"] / metrics["IIR"]["plan"] >= 10.0
 
 
 def test_feedback_apps_meet_plan_bar(benchmark, sweep):

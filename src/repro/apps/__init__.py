@@ -1,9 +1,10 @@
 """The nine benchmark applications of the thesis' evaluation (§5.1),
 plus two feedback-bearing apps (Echo, VocoderEcho) exercising the plan
-backend's feedback islands."""
+backend's feedback islands and a stateful-linear app (IIR) exercising
+the §7.1 state-space extension."""
 
-from . import (dtoa, echo, filterbank, fir, fmradio, oversampler, radar,
-               ratec, targetdetect, vocoder)
+from . import (dtoa, echo, filterbank, fir, fmradio, iir, oversampler,
+               radar, ratec, targetdetect, vocoder)
 
 #: Registry used by the benchmark harness: name -> build() function.
 BENCHMARKS = {
@@ -18,6 +19,7 @@ BENCHMARKS = {
     dtoa.NAME: dtoa.build,
     echo.NAME: echo.build,
     vocoder.NAME_FEEDBACK: vocoder.build_feedback,
+    iir.NAME: iir.build,
 }
 
 #: Paper ordering for tables/figures (the feedback apps are additions
@@ -54,4 +56,5 @@ def build_app(name: str, **params):
 
 __all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "FEEDBACK_APPS", "build_app",
            "resolve_app", "fir", "ratec", "targetdetect", "fmradio",
-           "radar", "filterbank", "vocoder", "oversampler", "dtoa", "echo"]
+           "radar", "filterbank", "vocoder", "oversampler", "dtoa", "echo",
+           "iir"]

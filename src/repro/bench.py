@@ -51,6 +51,7 @@ DEFAULT_OUTPUTS = {
     "DToA": 2600,
     "Echo": 20000,
     "VocoderEcho": 600,
+    "IIR": 20000,
 }
 
 CONFIGS = ("original", "linear", "linear_nc", "freq", "freq_nc", "autosel",

@@ -82,6 +82,116 @@ class MatmulStep(Step):
                                  filter_name=self.filter_name)
 
 
+#: Target element count of a lifted stateful block operator
+#: (``E x B*u`` ~ ``B^2*o*u``): balances the dense recomputation the
+#: lift pays per firing (~``B*o*u`` extra mul-adds, amortized by BLAS)
+#: against the Python-level per-block loop overhead (~``1/B``).
+_STATEFUL_LIFT_ELEMS = 1 << 14
+
+#: Hard cap on the lifted block length.
+_STATEFUL_MAX_BLOCK = 128
+
+
+def stateful_block_length(pop: int, push: int) -> int:
+    """Lifted block length of :class:`StatefulLinearStep` for a node
+    with the given rates — the single source of truth, also used by the
+    selection cost model to price the per-block state carry."""
+    ou = max(1, pop * push)
+    return max(1, min(_STATEFUL_MAX_BLOCK,
+                      int((_STATEFUL_LIFT_ELEMS / ou) ** 0.5)))
+
+
+class StatefulLinearStep(Step):
+    """Batched stateful-linear kernel: ``n`` firings of ``y = x·Ax +
+    s·As + bx``, ``s' = x·Cx + s·Cs + bs`` as a few block matmuls.
+
+    The state update is a monoid action, so ``B`` firings compose into
+    one *lifted* affine operator (:func:`~repro.linear.state.
+    expand_stateful` — stacked powers of ``Cs`` threaded against the
+    input window).  Execution splits into:
+
+    1. one ``(n/B, E) @ (E, B·u)`` product applying the lifted input map
+       to every block at once (no cross-block dependency),
+    2. one ``(n/B, E) @ (E, k)`` product yielding each block's state
+       *drive*, then a Python-level scan over the ``n/B`` block
+       boundaries (the only true sequential dependency: ``s_{b+1} =
+       drive_b + s_b·Cs_lift``),
+    3. one ``(n/B, k) @ (k, B·u)`` product adding each block's entry
+       state into its outputs.
+
+    So an IIR cascade advances ``B`` iterations per BLAS row instead of
+    one Python-level fire — the same class of win MatmulStep delivers
+    for stateless filters.  FLOP accounting reports the scalar runner's
+    exact per-firing counts times ``n`` (the parity contract), not the
+    lift's recomputation.
+    """
+
+    kind = "stateful"
+
+    def __init__(self, ring_in, ring_out, node, counts: Counts,
+                 profiler: Profiler, filter_name: str | None = None):
+        self.ring_in = ring_in
+        self.ring_out = ring_out
+        self.node = node
+        self.s = node.s0.copy()
+        self.counts = counts
+        self.profiler = profiler
+        self.filter_name = filter_name
+        self.block = stateful_block_length(node.pop, node.push)
+        self._lifted: dict[int, tuple] = {}
+
+    def _lift(self, b: int) -> tuple:
+        pack = self._lifted.get(b)
+        if pack is None:
+            from ..linear.state import expand_stateful
+
+            ex = expand_stateful(self.node, b)
+            # pre-reverse rows like MatmulStep: window rows are
+            # [peek(0)..peek(E-1)], the lifted matrices use x-convention
+            pack = (ex.peek, ex.pop, ex.push,
+                    np.ascontiguousarray(ex.Ax[::-1]),
+                    np.ascontiguousarray(ex.As),
+                    ex.bx,
+                    np.ascontiguousarray(ex.Cx[::-1]),
+                    np.ascontiguousarray(ex.Cs),
+                    ex.bs)
+            self._lifted[b] = pack
+        return pack
+
+    def _run_blocks(self, blocks: int, b: int) -> None:
+        """Execute ``blocks`` consecutive lifted firings of block size
+        ``b`` (one window view, three matmuls, one short scan)."""
+        E, pop, U, Axr, As, bx, Cxr, Cs, bs = self._lift(b)
+        X = self.ring_in.window_view(blocks, pop, E)
+        Y = X @ Axr
+        Y += bx
+        k = len(self.s)
+        if k:
+            drive = X @ Cxr
+            drive += bs
+            S = np.empty((blocks, k))
+            s = self.s
+            for i in range(blocks):
+                S[i] = s
+                s = drive[i] + s @ Cs
+            self.s = s
+            Y += S @ As
+        # push order within a lifted firing is y[U-1] first
+        self.ring_out.push_array(Y[:, ::-1].reshape(-1))
+        self.ring_in.pop_block(blocks * pop)
+
+    def execute(self, n: int) -> None:
+        b = min(self.block, n)
+        full = n // b
+        if full:
+            self._run_blocks(full, b)
+        rest = n - full * b
+        if rest:
+            self._run_blocks(1, rest)
+        self.profiler.add_counts(self.counts, times=n,
+                                 filter_name=self.filter_name)
+
+
 #: Cap on the ``k * n * (u + 1)`` complex workspace of one batched FFT
 #: call; larger batches are processed in slices to bound memory.
 _MAX_FFT_BLOCK_ELEMS = 1 << 21

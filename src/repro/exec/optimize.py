@@ -7,7 +7,9 @@ instead of the graph as written:
 
 * ``none``   — the graph as written;
 * ``linear`` — maximal linear replacement (§4.4): every maximal linear
-  region collapses to one matrix-multiply leaf;
+  region collapses to one matrix-multiply leaf; stateful-linear leaves
+  and runs (§7.1 — IIR sections whose fields update affinely) collapse
+  to state-space ``StatefulLinearFilter`` leaves;
 * ``freq``   — maximal frequency replacement (§5.2): maximal linear
   regions become overlap-save FFT convolutions;
 * ``auto``   — the §4.3 selection DP, run with the *batched* cost model
@@ -41,12 +43,13 @@ def optimize_stream(stream: Stream, mode: str) -> Stream:
     # deferred: the passes pull in linear/frequency/selection machinery
     if mode == "linear":
         from ..linear.combine import maximal_linear_replacement
-        return maximal_linear_replacement(stream)
+        return maximal_linear_replacement(stream, stateful=True)
     if mode == "freq":
         from ..frequency.replacer import maximal_frequency_replacement
         return maximal_frequency_replacement(stream)
     if mode == "auto":
         from ..selection.dp import select_optimizations
-        return select_optimizations(stream, cost_model="batched").stream
+        return select_optimizations(stream, cost_model="batched",
+                                    stateful=True).stream
     raise ValueError(
         f"unknown optimize mode {mode!r} (expected one of {OPTIMIZE_MODES})")

@@ -41,8 +41,10 @@ it cannot batch safely: nodes that consume nothing yet have inputs
 the rate simulator cannot model, and feedback islands whose external
 rates the probe cannot certify (sources or collectors inside the cycle,
 no external input/output, or a schedule that never reaches a periodic
-regime).  Individual *filters* that are non-linear, stateful, branching,
-or carry prework simply run through
+regime).  Stateful filters whose fields update *affinely* (IIR sections,
+DC blockers) extract to state-space nodes and run through the lifted
+:class:`~repro.exec.kernels.StatefulLinearStep`; individual *filters*
+that are genuinely non-linear, branching, or carry prework run through
 :class:`~repro.exec.kernels.FallbackStep` inside the plan —
 :func:`plan_report` lists which nodes fell back and why, and names each
 feedback island with its member kernels.
@@ -65,9 +67,11 @@ from ..graph.scheduler import steady_state
 from ..graph.streams import Duplicate, Filter, Stream
 from ..ir import nodes as N
 from ..ir.interp import Interpreter
-from ..linear.extraction import extract_filter
+from ..linear.extraction import extract_filter, extract_stateful_filter
 from ..linear.filters import ConstantSourceFilter, LinearFilter
 from ..linear.matmul import blas_cost_counts, direct_cost_counts
+from ..linear.state import (StatefulLinearFilter, StatefulLinearNode,
+                            stateful_cost_counts)
 from ..profiling import Counts, NullProfiler, Profiler
 from ..runtime.builtins import (Collector, FunctionSource, Identity,
                                 ListSource)
@@ -94,8 +98,9 @@ def _probe_firing_counts(filt: Filter) -> Counts | None:
     """FLOP counts of one ``work`` firing, measured with the interpreter.
 
     Valid as the per-firing cost of *every* firing when the filter has no
-    data-dependent control flow and no mutable fields (the planner checks
-    both before calling).  Returns None when probing fails.
+    data-dependent control flow (the planner checks before calling):
+    mutable fields change *values* across firings, never the op mix.
+    Returns None when probing fails.
     """
     fields = {k: (v.copy() if isinstance(v, np.ndarray) else v)
               for k, v in filt.fields.items()}
@@ -112,20 +117,28 @@ def _probe_firing_counts(filt: Filter) -> Counts | None:
 
 def _vectorize_decision(filt: Filter):
     """((node, counts), None) when an IR filter can run as a batched
-    matmul, or (None, reason) explaining the scalar fallback."""
+    kernel — a :class:`~repro.linear.node.LinearNode` for the matmul
+    step, a :class:`~repro.linear.state.StatefulLinearNode` for the
+    lifted stateful step — or (None, reason) explaining the fallback."""
     if filt.prework is not None:
         return None, "has prework (first firing differs from steady state)"
-    if filt.mutable_fields:
-        return None, ("mutable state fields: "
-                      f"{', '.join(sorted(filt.mutable_fields))}")
-    if filt.pop <= 0 or filt.push <= 0:
-        return None, "pops or pushes nothing (no batched window/output)"
     if N.has_data_dependent_control(filt.work.body):
         return None, "data-dependent control flow"
-    result = extract_filter(filt)
-    if not result.is_linear:
-        return None, f"not linear: {result.reason or 'unknown'}"
-    node = result.node
+    if filt.mutable_fields:
+        sresult = extract_stateful_filter(filt)
+        if not sresult.is_linear:
+            fields = ", ".join(sorted(filt.mutable_fields))
+            return None, (f"mutable state fields ({fields}) are not "
+                          f"state-space linear: "
+                          f"{sresult.reason or 'unknown'}")
+        node = sresult.node
+    else:
+        if filt.pop <= 0 or filt.push <= 0:
+            return None, "pops or pushes nothing (no batched window/output)"
+        result = extract_filter(filt)
+        if not result.is_linear:
+            return None, f"not linear: {result.reason or 'unknown'}"
+        node = result.node
     if (node.peek, node.pop, node.push) != (filt.peek, filt.pop, filt.push):
         return None, ("extracted node rates disagree with declared "
                       "peek/pop/push")
@@ -595,11 +608,19 @@ class PlanExecutor:
                 self.decisions[index] = (params, reason)
             if params is not None:
                 ln, counts = params
+                if isinstance(ln, StatefulLinearNode):
+                    return K.StatefulLinearStep(rin(), rout(), ln, counts,
+                                                self.profiler)
                 return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek,
                                     ln.pop, ln.push, counts, self.profiler)
             self.fallback_reasons[index] = reason
             return K.FallbackStep(node, rin(), rout())
         # primitives
+        if isinstance(s, StatefulLinearFilter):
+            snode = s.stateful_node
+            return K.StatefulLinearStep(rin(), rout(), snode,
+                                        stateful_cost_counts(snode),
+                                        self.profiler, filter_name=s.name)
         if isinstance(s, LinearFilter):
             ln = s.linear_node
             counts = (blas_cost_counts(ln) if s.backend == "blas"

@@ -186,8 +186,27 @@ def steady_state(stream: Stream) -> SteadyState:
     # include I/O rates in the normalization so they stay integral
     extra = [v for v in (pop, push) if v != 0]
     ints = _normalize(values + extra)
-    scale = Fraction(ints[0], 1) / values[0] if values[0] != 0 else Fraction(1)
-    out = {k: int(v * scale) for k, v in mult.items()}
+    # Rescale against any *nonzero* entry: a zero multiplicity (e.g. a
+    # zero-weight roundrobin branch solved first) carries no scale
+    # information, and dividing by it used to silently truncate every
+    # fractional multiplicity to 0.
+    scale = Fraction(1)
+    for i, v in enumerate(values):
+        if v != 0:
+            scale = Fraction(ints[i], 1) / v
+            break
+    out = {}
+    for k, v in mult.items():
+        scaled = v * scale
+        if scaled.denominator != 1:
+            raise SchedulingError(
+                f"steady state of {stream.name} is not integral: "
+                f"{registry[k].name} would fire {scaled} times")
+        out[k] = int(scaled)
+    for v, what in ((pop * scale, "pop"), (push * scale, "push")):
+        if v.denominator != 1:
+            raise SchedulingError(
+                f"steady state of {stream.name} has fractional {what} {v}")
     return SteadyState(pop=int(pop * scale), push=int(push * scale),
                        mult=out, streams=registry)
 

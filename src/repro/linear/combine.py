@@ -17,25 +17,47 @@ from dataclasses import dataclass, field
 from ..errors import CombinationError
 from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                              PrimitiveFilter, RoundRobin, SplitJoin, Stream)
-from .extraction import extract_filter
+from .extraction import extract_filter, extract_stateful_filter
 from .filters import LinearFilter
 from .node import LinearNode
 from .pipeline_comb import combine_pipeline_pair
 from .splitjoin_comb import combine_splitjoin
+from .state import (StatefulLinearFilter, StatefulLinearNode,
+                    combine_stateful_pipeline, from_stateless)
 
 
 @dataclass
 class LinearityMap:
-    """Maps stream objects (by id) to their linear nodes, with reasons."""
+    """Maps stream objects (by id) to their linear nodes, with reasons.
+
+    ``stateful`` holds the §7.1 state-space nodes of leaves that are not
+    (stateless) linear but whose fields update affinely — IIR sections,
+    DC blockers — so the rewrites can collapse them too.
+    """
 
     nodes: dict[int, LinearNode] = field(default_factory=dict)
     reasons: dict[int, str] = field(default_factory=dict)
+    stateful: dict[int, StatefulLinearNode] = field(default_factory=dict)
 
     def node_for(self, stream: Stream) -> LinearNode | None:
         return self.nodes.get(id(stream))
 
     def is_linear(self, stream: Stream) -> bool:
         return id(stream) in self.nodes
+
+    def stateful_node_for(self, stream: Stream) -> StatefulLinearNode | None:
+        return self.stateful.get(id(stream))
+
+    def is_stateful_linear(self, stream: Stream) -> bool:
+        return id(stream) in self.stateful
+
+    def any_node_for(self, stream: Stream) -> StatefulLinearNode | None:
+        """The stream's state-space node: its stateful node, or its
+        stateless node embedded with ``k = 0``."""
+        node = self.nodes.get(id(stream))
+        if node is not None:
+            return from_stateless(node)
+        return self.stateful.get(id(stream))
 
     def reason_for(self, stream: Stream) -> str | None:
         return self.reasons.get(id(stream))
@@ -57,6 +79,17 @@ def analyze(stream: Stream, max_matrix_elems: int = 4_000_000) -> LinearityMap:
                 lmap.nodes[id(s)] = result.node
             else:
                 lmap.reasons[id(s)] = result.reason or "not linear"
+                # second (state-space) extraction only where it can
+                # succeed: IR filters with persistent fields, primitives
+                # advertising a stateful node — without mutable fields
+                # the stateful extractor fails identically
+                candidate = (s.mutable_fields if isinstance(s, Filter)
+                             else getattr(s, "stateful_node", None)
+                             is not None)
+                if candidate:
+                    sresult = extract_stateful_filter(s)
+                    if sresult.is_linear:
+                        lmap.stateful[id(s)] = sresult.node
             return lmap.nodes.get(id(s))
         if isinstance(s, Pipeline):
             child_nodes = [visit(c) for c in s.children]
@@ -99,7 +132,7 @@ def analyze(stream: Stream, max_matrix_elems: int = 4_000_000) -> LinearityMap:
     return lmap
 
 
-def _rate_preserving_run(nodes: list[LinearNode]) -> bool:
+def _rate_preserving_run(nodes: list) -> bool:
     """True when collapsing this pipeline run cannot deadlock a cycle:
     lookahead-free children (peek == pop) firing once each per combined
     firing (adjacent push == pop) leave the input demand unchanged."""
@@ -108,9 +141,29 @@ def _rate_preserving_run(nodes: list[LinearNode]) -> bool:
     return all(a.push == b.pop for a, b in zip(nodes, nodes[1:]))
 
 
+def combine_stateful_run(lmap: LinearityMap, children: list[Stream],
+                         max_matrix_elems: int = 4_000_000) \
+        -> StatefulLinearNode | None:
+    """State-space node of a pipeline run of stateful/stateless-linear
+    children, or None when combination fails or blows up."""
+    nodes = [lmap.any_node_for(c) for c in children]
+    if any(n is None for n in nodes):
+        return None
+    try:
+        acc = nodes[0]
+        for n in nodes[1:]:
+            acc = combine_stateful_pipeline(acc, n)
+            size = (acc.peek + acc.state_dim) * (acc.push + acc.state_dim)
+            if size > max_matrix_elems:
+                raise CombinationError("combined stateful matrix too large")
+    except (CombinationError, ValueError):
+        return None
+    return acc
+
+
 def _replace(s: Stream, lmap: LinearityMap, backend: str,
              make_leaf, in_feedback: bool = False,
-             combine: bool = True) -> Stream:
+             combine: bool = True, make_stateful_leaf=None) -> Stream:
     node = lmap.node_for(s)
     is_leaf = isinstance(s, (Filter, PrimitiveFilter))
     if node is not None and (combine or is_leaf) and not (
@@ -121,73 +174,97 @@ def _replace(s: Stream, lmap: LinearityMap, backend: str,
         leaf = make_leaf(node, s, in_feedback)
         if leaf is not None:
             return leaf
+    if is_leaf and make_stateful_leaf is not None and \
+            lmap.is_stateful_linear(s):
+        leaf = make_stateful_leaf(lmap.stateful_node_for(s), s, in_feedback)
+        if leaf is not None:
+            return leaf
     if is_leaf:
         return s
+
+    def recurse(child, feedback=in_feedback, comb=combine):
+        return _replace(child, lmap, backend, make_leaf, feedback, comb,
+                        make_stateful_leaf)
+
     if isinstance(s, Pipeline):
         new_children = []
         run: list[Stream] = []
 
+        def run_member(child) -> bool:
+            if lmap.is_linear(child):
+                return True
+            return (make_stateful_leaf is not None
+                    and lmap.is_stateful_linear(child))
+
         def flush_run():
             if not run:
                 return
+            nodes = [lmap.any_node_for(c) for c in run]
+            has_state = any(lmap.is_stateful_linear(c) for c in run)
             collapse = combine and len(run) > 1 and (
-                not in_feedback
-                or _rate_preserving_run([lmap.node_for(c) for c in run]))
-            if not collapse:
-                new_children.extend(
-                    _replace(c, lmap, backend, make_leaf, in_feedback,
-                             combine)
-                    for c in run)
-            else:
-                # collapse the maximal linear run
+                not in_feedback or _rate_preserving_run(nodes))
+            leaf = None
+            if collapse:
                 sub = Pipeline(run, name=f"{s.name}.linear_run")
-                acc = lmap.node_for(run[0])
-                try:
-                    for child in run[1:]:
-                        acc = combine_pipeline_pair(acc, lmap.node_for(child))
-                    leaf = make_leaf(acc, sub, in_feedback)
-                except CombinationError:
-                    leaf = None
-                if leaf is not None:
-                    new_children.append(leaf)
+                if has_state:
+                    snode = combine_stateful_run(lmap, run)
+                    if snode is not None:
+                        leaf = make_stateful_leaf(snode, sub, in_feedback)
                 else:
-                    new_children.extend(
-                        _replace(c, lmap, backend, make_leaf, in_feedback)
-                        for c in run)
+                    acc = lmap.node_for(run[0])
+                    try:
+                        for child in run[1:]:
+                            acc = combine_pipeline_pair(
+                                acc, lmap.node_for(child))
+                        leaf = make_leaf(acc, sub, in_feedback)
+                    except CombinationError:
+                        leaf = None
+            if leaf is not None:
+                new_children.append(leaf)
+            else:
+                new_children.extend(recurse(c) for c in run)
             run.clear()
 
         for child in s.children:
-            if lmap.is_linear(child):
+            if run_member(child):
                 run.append(child)
             else:
                 flush_run()
-                new_children.append(
-                    _replace(child, lmap, backend, make_leaf, in_feedback,
-                             combine))
+                new_children.append(recurse(child))
         flush_run()
         if len(new_children) == 1:
             return new_children[0]
         return Pipeline(new_children, name=s.name)
     if isinstance(s, SplitJoin):
         return SplitJoin(s.splitter,
-                         [_replace(c, lmap, backend, make_leaf, in_feedback,
-                                   combine)
-                          for c in s.children],
+                         [recurse(c) for c in s.children],
                          s.joiner, name=s.name)
     if isinstance(s, FeedbackLoop):
         return FeedbackLoop(
-            _replace(s.body, lmap, backend, make_leaf, True, combine),
-            _replace(s.loop, lmap, backend, make_leaf, True, combine),
+            recurse(s.body, feedback=True),
+            recurse(s.loop, feedback=True),
             s.joiner, s.splitter, s.enqueued, name=s.name)
     raise TypeError(f"unknown stream {s!r}")
 
 
+def make_stateful_linear_leaf(snode: StatefulLinearNode, s: Stream,
+                              in_feedback: bool) -> StatefulLinearFilter:
+    """Default stateful leaf factory for the replacement passes."""
+    return StatefulLinearFilter(snode, name=f"StatefulLinear[{s.name}]")
+
+
 def maximal_linear_replacement(stream: Stream, backend: str = "direct",
                                lmap: LinearityMap | None = None,
-                               combine: bool = True) -> Stream:
+                               combine: bool = True,
+                               stateful: bool = False) -> Stream:
     """Replace every maximal linear region with a single LinearFilter.
 
-    This is the paper's "linear replacement" configuration (§5.2).
+    This is the paper's "linear replacement" configuration (§5.2).  With
+    ``stateful=True`` (the plan pipeline's ``optimize="linear"``), leaves
+    and contiguous pipeline runs that are *state-space* linear collapse
+    to :class:`~repro.linear.state.StatefulLinearFilter` leaves as well —
+    the §7.1 extension; the paper's configurations keep the default so
+    the thesis figures measure exactly the thesis transformations.
     """
     if lmap is None:
         lmap = analyze(stream)
@@ -195,20 +272,25 @@ def maximal_linear_replacement(stream: Stream, backend: str = "direct",
     def make_leaf(node: LinearNode, s: Stream, in_feedback: bool):
         return LinearFilter(node, name=f"Linear[{s.name}]", backend=backend)
 
-    return _replace(stream, lmap, backend, make_leaf, combine=combine)
+    return _replace(stream, lmap, backend, make_leaf, combine=combine,
+                    make_stateful_leaf=(make_stateful_linear_leaf
+                                        if stateful else None))
 
 
 def replace_with(stream: Stream, make_leaf,
                  lmap: LinearityMap | None = None,
-                 combine: bool = True) -> Stream:
+                 combine: bool = True, make_stateful_leaf=None) -> Stream:
     """Generic maximal replacement with a caller-supplied leaf factory.
 
     ``make_leaf(node, stream, in_feedback)`` returns the replacement
     stream or ``None`` to leave the region untouched (used by frequency
     replacement, which declines regions where the transform does not
     apply).  ``in_feedback`` is True inside feedbackloops, where only
-    rate-preserving leaf replacements are safe.
+    rate-preserving leaf replacements are safe.  ``make_stateful_leaf``
+    (optional) receives state-space nodes for stateful-linear leaves and
+    runs; None leaves stateful filters untouched.
     """
     if lmap is None:
         lmap = analyze(stream)
-    return _replace(stream, lmap, "direct", make_leaf, combine=combine)
+    return _replace(stream, lmap, "direct", make_leaf, combine=combine,
+                    make_stateful_leaf=make_stateful_leaf)

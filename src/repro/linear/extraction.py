@@ -29,7 +29,7 @@ import numpy as np
 from ..errors import NonLinearError
 from ..graph.streams import Filter, PrimitiveFilter, Stream
 from ..ir import nodes as N
-from .lattice import BOTTOM, TOP, LinearForm, build_coeff, join, join_env
+from .lattice import BOTTOM, TOP, LinearForm, join, join_env
 from .node import LinearNode
 
 _MAX_SYMBOLIC_ITERS = 1_000_000
@@ -67,6 +67,9 @@ class _Extractor:
         self.peek_rate = wf.peek
         self.pop_rate = wf.pop
         self.push_rate = wf.push
+        #: length of every LinearForm vector; the stateful extractor
+        #: appends one extra component per scalar of persistent state
+        self.vec_dim = wf.peek
         self.iters = 0
 
     # -- helpers -----------------------------------------------------------
@@ -74,7 +77,13 @@ class _Extractor:
         raise NonLinearError(reason)
 
     def const(self, c) -> LinearForm:
-        return LinearForm.constant(c, self.peek_rate)
+        return LinearForm.constant(c, self.vec_dim)
+
+    def _input_coeff(self, pos: int) -> LinearForm:
+        """Coefficient 1 for input item ``peek(pos)`` (x-convention)."""
+        v = np.zeros(self.vec_dim)
+        v[self.peek_rate - 1 - pos] = 1.0
+        return LinearForm(v, 0)
 
     def _field_value(self, name: str):
         """Constant fields fold to their values; mutable fields are ⊤."""
@@ -126,12 +135,12 @@ class _Extractor:
             if not 0 <= pos < self.peek_rate:
                 self.fail(f"peek({idx}) after {st.popcount} pops is outside "
                           f"the declared peek window of {self.peek_rate}")
-            return build_coeff(self.peek_rate, pos)
+            return self._input_coeff(pos)
         if isinstance(e, N.Pop):
             if st.popcount >= self.pop_rate and \
                     st.popcount >= self.peek_rate:
                 self.fail("pop beyond declared rates")
-            lf = build_coeff(self.peek_rate, st.popcount)
+            lf = self._input_coeff(st.popcount)
             st.popcount += 1
             return lf
         if isinstance(e, N.Un):
@@ -234,7 +243,7 @@ class _Extractor:
             if v is TOP:
                 self.fail(f"push #{st.pushcount} is not an affine function "
                           f"of the input")
-            for i in range(self.peek_rate):
+            for i in range(self.vec_dim):
                 st.A[i][col] = v.v[i]
             st.b[col] = v.c
             st.pushcount += 1
@@ -322,7 +331,7 @@ class _Extractor:
                     self.fail("branches push different constants")
                 st.b[col] = joined_b.c if isinstance(joined_b, LinearForm) \
                     else joined_b
-            for i in range(self.peek_rate):
+            for i in range(self.vec_dim):
                 a1, a2 = st.A[i][col], st2.A[i][col]
                 if a1 is BOTTOM and a2 is BOTTOM:
                     continue
@@ -334,34 +343,122 @@ class _Extractor:
             return v
         return self.const(v)
 
+    def _seed_state(self, st: _State) -> None:
+        """Hook: the stateful extractor injects symbolic state here."""
+
     # -- toplevel (Algorithm 1) ---------------------------------------------
-    def run(self) -> LinearNode:
+    def _run_symbolic(self) -> tuple[np.ndarray, np.ndarray, _State]:
+        """Execute work symbolically; ``(vec_dim, u)`` matrix, offsets,
+        and the final state (for the stateful extractor's field rows)."""
         if self.push_rate == 0:
             self.fail("sink filters (push 0) have no linear node")
         if self.pop_rate == 0:
             self.fail("source filters (pop 0) have no linear node")
         st = _State(
             env={},
-            A=[[BOTTOM] * self.push_rate for _ in range(self.peek_rate)],
+            A=[[BOTTOM] * self.push_rate for _ in range(self.vec_dim)],
             b=[BOTTOM] * self.push_rate,
             popcount=0,
             pushcount=0,
         )
+        self._seed_state(st)
         self.exec_block(self.filt.work.body, st)
         if st.pushcount != self.push_rate:
             self.fail(f"work pushed {st.pushcount} of {self.push_rate} items")
-        A = np.zeros((self.peek_rate, self.push_rate))
+        A = np.zeros((self.vec_dim, self.push_rate))
         b = np.zeros(self.push_rate)
         for col in range(self.push_rate):
             if st.b[col] is BOTTOM or st.b[col] is TOP:
                 self.fail(f"output column {col} never written")
             b[col] = st.b[col]
-            for i in range(self.peek_rate):
+            for i in range(self.vec_dim):
                 entry = st.A[i][col]
                 if entry is BOTTOM or entry is TOP:
                     self.fail(f"matrix entry [{i},{col}] unresolved")
                 A[i, col] = entry
+        return A, b, st
+
+    def run(self) -> LinearNode:
+        A, b, _ = self._run_symbolic()
         return LinearNode(A, b, self.peek_rate, self.pop_rate, self.push_rate)
+
+
+class _StatefulExtractor(_Extractor):
+    """Extraction over the extended vector (input window, state).
+
+    Persistent fields are not ⊤ here: each scalar of mutable state is a
+    symbolic component ``s_j`` appended to the linear-form vector, seeded
+    into the environment before execution.  Pushes then yield rows of
+    ``[Ax | As] + bx`` and the fields' final values rows of
+    ``[Cx | Cs] + bs`` — the state-space node of §7.1.
+    """
+
+    def __init__(self, filt: Filter):
+        super().__init__(filt)
+        #: (field name, array length | None for scalars), sorted by name —
+        #: the canonical state ordering of the extracted node
+        self.state_fields: list[tuple[str, int | None]] = []
+        s0: list[float] = []
+        for name in sorted(filt.mutable_fields):
+            init = filt.fields.get(name)
+            if isinstance(init, np.ndarray):
+                if init.ndim != 1:
+                    raise NonLinearError(
+                        f"state array {name!r} is not one-dimensional")
+                self.state_fields.append((name, len(init)))
+                s0.extend(float(v) for v in init)
+            elif isinstance(init, (bool, int, float)):
+                self.state_fields.append((name, None))
+                s0.append(float(init))
+            else:
+                raise NonLinearError(
+                    f"state field {name!r} has no numeric initial value")
+        self.s0 = np.asarray(s0)
+        self.state_dim = len(s0)
+        self.vec_dim = self.peek_rate + self.state_dim
+
+    def _state_coeff(self, slot: int) -> LinearForm:
+        v = np.zeros(self.vec_dim)
+        v[self.peek_rate + slot] = 1.0
+        return LinearForm(v, 0)
+
+    def _seed_state(self, st: _State) -> None:
+        slot = 0
+        for name, size in self.state_fields:
+            if size is None:
+                st.env[name] = self._state_coeff(slot)
+                slot += 1
+            else:
+                st.env[name] = [self._state_coeff(slot + i)
+                                for i in range(size)]
+                slot += size
+
+    def run(self):
+        from .state import StatefulLinearNode
+
+        A, bx, st = self._run_symbolic()  # A stacks [Ax | As] rows
+        e, u, k = self.peek_rate, self.push_rate, self.state_dim
+        Cx = np.zeros((e, k))
+        Cs = np.zeros((k, k))
+        bs = np.zeros(k)
+        slot = 0
+        for name, size in self.state_fields:
+            vals = st.env.get(name)
+            vals = [vals] if size is None else vals
+            if not isinstance(vals, list) or \
+                    (size is not None and len(vals) != size):
+                self.fail(f"state field {name!r} lost its shape")
+            for v in vals:
+                if not isinstance(v, LinearForm):
+                    self.fail(f"state field {name!r} update is not an "
+                              "affine function of the input and state")
+                Cx[:, slot] = v.v[:e]
+                Cs[:, slot] = v.v[e:]
+                bs[slot] = v.c
+                slot += 1
+        return StatefulLinearNode(
+            Ax=A[:e], As=A[e:], bx=bx, Cx=Cx, Cs=Cs, bs=bs,
+            s0=self.s0, peek=e, pop=self.pop_rate, push=u)
 
 
 @dataclass
@@ -374,6 +471,37 @@ class ExtractionResult:
     @property
     def is_linear(self) -> bool:
         return self.node is not None
+
+
+@dataclass
+class StatefulExtractionResult:
+    """Outcome of state-space linear extraction for one filter."""
+
+    node: object | None  # StatefulLinearNode
+    reason: str | None = None
+
+    @property
+    def is_linear(self) -> bool:
+        return self.node is not None
+
+
+def _prework_gate(filt: Filter) -> str | None:
+    """Why prework makes steady-``work`` extraction unsound (None = sound).
+
+    A prework that writes fields leaves steady state differing from the
+    ``init`` values extraction folds as constants; one that pops or
+    pushes shifts the steady tape alignment.  A pure peek-prologue
+    (waiting for lookahead to accumulate) does neither.
+    """
+    if filt.prework is None:
+        return None
+    mutated = sorted(N.assigned_names(filt.prework.body) & set(filt.fields))
+    if mutated:
+        return "prework mutates state fields: " + ", ".join(mutated)
+    if filt.prework.pop or filt.prework.push:
+        return ("prework pops or pushes items (init rates differ from "
+                "steady work)")
+    return None
 
 
 def extract_filter(filt: Stream) -> ExtractionResult:
@@ -389,9 +517,43 @@ def extract_filter(filt: Stream) -> ExtractionResult:
         return ExtractionResult(None, "primitive filter without linear form")
     if not isinstance(filt, Filter):
         return ExtractionResult(None, f"{filt!r} is not a leaf filter")
-    if filt.prework is not None:
-        return ExtractionResult(None, "filters with prework are stateful")
+    reason = _prework_gate(filt)
+    if reason is not None:
+        return ExtractionResult(None, reason)
     try:
         return ExtractionResult(_Extractor(filt).run())
     except NonLinearError as exc:
         return ExtractionResult(None, exc.reason)
+
+
+def extract_stateful_filter(filt: Stream) -> StatefulExtractionResult:
+    """Run state-space linear extraction on a leaf filter.
+
+    Succeeds when every push and every mutable-field update is an affine
+    function of the input window and the prior field values, yielding
+    the filter's :class:`~repro.linear.state.StatefulLinearNode`
+    (``y = x·Ax + s·As + bx``, ``s' = x·Cx + s·Cs + bs``).  Stateless
+    filters extract too (``k = 0``); primitives advertise themselves via
+    a ``stateful_node`` or ``linear_node`` attribute.
+    """
+    from .state import from_stateless
+
+    if isinstance(filt, PrimitiveFilter):
+        snode = getattr(filt, "stateful_node", None)
+        if snode is not None:
+            return StatefulExtractionResult(snode)
+        node = getattr(filt, "linear_node", None)
+        if node is not None:
+            return StatefulExtractionResult(from_stateless(node))
+        return StatefulExtractionResult(
+            None, "primitive filter without (stateful) linear form")
+    if not isinstance(filt, Filter):
+        return StatefulExtractionResult(None,
+                                        f"{filt!r} is not a leaf filter")
+    reason = _prework_gate(filt)
+    if reason is not None:
+        return StatefulExtractionResult(None, reason)
+    try:
+        return StatefulExtractionResult(_StatefulExtractor(filt).run())
+    except NonLinearError as exc:
+        return StatefulExtractionResult(None, exc.reason)

@@ -90,17 +90,6 @@ class LinearForm:
         return f"LF(v={taps}, c={self.c})"
 
 
-def build_coeff(peek: int, pos: int) -> LinearForm:
-    """BuildCoeff (Algorithm 1): coefficient 1 for input index ``pos``.
-
-    The vector is indexed so that ``v[peek - 1 - pos] = 1``, matching the
-    thesis' convention ``x[i] = peek(e-1-i)``.
-    """
-    v = np.zeros(peek)
-    v[peek - 1 - pos] = 1.0
-    return LinearForm(v, 0)
-
-
 def join(a, b):
     """The confluence operator ⊔ on abstract values (branch merge)."""
     if a is BOTTOM:

@@ -15,22 +15,27 @@ Provided here:
   simulator;
 * :func:`from_difference_equation` — build the node for a direct-form
   IIR filter ``y[n] = sum b_k x[n-k] + sum a_k y[n-k]``;
+* :func:`expand_stateful` — Transformation 1 lifted to state: ``n``
+  firings compose into one block operator (the state update is a monoid
+  action, so the lifted matrices stack powers of ``Cs`` against the
+  input window — Hou et al.'s state-monoid composition);
 * :func:`combine_stateful_pipeline` — composition of two stateful nodes
-  in sequence (rates must match 1:1; the general rate-changing case
-  reduces to it via expansion of the stateless parts);
+  in sequence; rate-changing pairs reduce to the matched case via
+  expansion (with recomputation columns when the downstream node peeks
+  ahead, mirroring the stateless combination rules);
+* :func:`stateful_cost_counts` — exact per-firing FLOP counts of the
+  runtime leaf (the backend-independent accounting contract);
 * :class:`StatefulLinearFilter` — a runtime leaf executing the node.
-
-This is deliberately scoped to pop = 1 per firing on the stateless-input
-side — exactly the IIR/feedback use cases the thesis names (control
-systems and IIR filters).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import CombinationError
 from ..graph.streams import PrimitiveFilter
 from ..profiling import Counts
 
@@ -146,37 +151,140 @@ def from_stateless(node) -> StatefulLinearNode:
         s0=np.zeros(0), peek=node.peek, pop=node.pop, push=node.push)
 
 
-def combine_stateful_pipeline(n1: StatefulLinearNode,
-                              n2: StatefulLinearNode) -> StatefulLinearNode:
-    """Compose two rate-matched stateful nodes in sequence.
+def expand_stateful(node: StatefulLinearNode, firings: int,
+                    advance: int | None = None) -> StatefulLinearNode:
+    """Lift ``firings`` consecutive firings into one block operator.
 
-    Requires ``u1 == e2 == o2`` (each firing of Λ1 feeds exactly one
-    firing of Λ2 — the IIR cascade case).  The combined state is the
-    concatenation (s1, s2); Λ2 sees Λ1's output ``y1 = x·Ax1 + s1·As1 +
-    bx1`` as its input window (reversal conventions cancel because both
-    sides use the same ordering).
+    The state update ``s' = x·Cx + s·Cs + bs`` is a monoid action on
+    affine maps, so ``n`` firings compose exactly: the lifted ``As``
+    stacks ``As·Cs^t`` blocks, the lifted ``Ax`` threads the input
+    window through the same powers, and the lifted state update is the
+    ``n``-fold composition.  The expanded node is fully interchangeable
+    with ``firings`` firings of the original.
+
+    ``advance`` (default ``firings``) caps how many firings the *state*
+    (and the pop rate) actually advances: with ``advance < firings`` the
+    trailing firings are recomputation — their outputs are produced from
+    the deterministic state trajectory but re-derived on the next firing
+    (the stateful analogue of the overlap columns stateless expansion
+    introduces), which is what rate-changing pipeline combination needs
+    when the downstream node peeks ahead.
     """
-    if n1.push != n2.peek or n2.peek != n2.pop:
-        raise ValueError(
-            "stateful combination requires u1 == e2 == o2; expand first")
+    if firings < 1:
+        raise ValueError("firings must be positive")
+    if advance is None:
+        advance = firings
+    if not 0 <= advance <= firings:
+        raise ValueError("advance must lie in [0, firings]")
+    e, o, u = node.peek, node.pop, node.push
+    k = node.state_dim
+    E = e + (firings - 1) * o
+    U = firings * u
+    Ax2 = np.zeros((E, U))
+    As2 = np.zeros((k, U))
+    bx2 = np.zeros(U)
+    # affine state trackers: before firing t, s_t = x'·G + s0·H + c
+    G = np.zeros((E, k))
+    H = np.eye(k)
+    c = np.zeros(k)
+    Cx2, Cs2, bs2 = G.copy(), H.copy(), c.copy()  # advance == 0 case
+    for t in range(firings):
+        # firing t reads x' rows [off, off+e): x_t[i] = peek(t*o + e-1-i)
+        off = E - e - t * o
+        cols = slice(U - (t + 1) * u, U - t * u)
+        Ax2[:, cols] = G @ node.As
+        Ax2[off:off + e, cols] += node.Ax
+        As2[:, cols] = H @ node.As
+        bx2[cols] = node.bx + c @ node.As
+        G = G @ node.Cs
+        G[off:off + e, :] += node.Cx
+        H = H @ node.Cs
+        c = c @ node.Cs + node.bs
+        if t + 1 == advance:
+            Cx2, Cs2, bs2 = G.copy(), H.copy(), c.copy()
+    return StatefulLinearNode(
+        Ax=Ax2, As=As2, bx=bx2, Cx=Cx2, Cs=Cs2, bs=bs2, s0=node.s0,
+        peek=E, pop=advance * o, push=U)
+
+
+def _combine_matched(n1: StatefulLinearNode, n2: StatefulLinearNode,
+                     window: int) -> StatefulLinearNode:
+    """Compose with Λ2 reading the oldest ``window`` of Λ1's ``u1``
+    outputs per firing (``window == e2 == o2·(combined firings)``).
+
+    The combined state is the concatenation (s1, s2); Λ2 sees Λ1's
+    output ``y1 = x·Ax1 + s1·As1 + bx1`` as its input window (reversal
+    conventions cancel because both sides use the same ordering).  When
+    ``u1 > window`` the surplus columns are recomputation — they exist
+    only to advance Λ1's state consistently and are sliced away here.
+    """
+    u1 = n1.push
+    lo = u1 - window  # oldest `window` stream items are y1[lo:]
     k1, k2 = n1.state_dim, n2.state_dim
-    u2 = n2.push
-    # y2 = y1·Ax2 + s2·As2 + bx2, with y1 row-vector in x2-convention:
-    # x2 = reverse(outputs) and outputs = reverse(y1-vector) => x2 = y1.
-    Ax = n1.Ax @ n2.Ax
-    As = np.vstack([n1.As @ n2.Ax, n2.As])
-    bx = n1.bx @ n2.Ax + n2.bx
-    # state updates: s1' as before; s2' = y1·Cx2 + s2·Cs2 + bs2
-    Cx = np.hstack([n1.Cx, n1.Ax @ n2.Cx])
+    Axs, Ass, bxs = n1.Ax[:, lo:], n1.As[:, lo:], n1.bx[lo:]
+    Ax = Axs @ n2.Ax
+    As = np.vstack([Ass @ n2.Ax, n2.As])
+    bx = bxs @ n2.Ax + n2.bx
+    # state updates: s1' as in Λ1; s2' = y1·Cx2 + s2·Cs2 + bs2
+    Cx = np.hstack([n1.Cx, Axs @ n2.Cx])
     Cs = np.zeros((k1 + k2, k1 + k2))
     Cs[:k1, :k1] = n1.Cs
-    Cs[:k1, k1:] = n1.As @ n2.Cx
+    Cs[:k1, k1:] = Ass @ n2.Cx
     Cs[k1:, k1:] = n2.Cs
-    bs = np.concatenate([n1.bs, n1.bx @ n2.Cx + n2.bs])
+    bs = np.concatenate([n1.bs, bxs @ n2.Cx + n2.bs])
     return StatefulLinearNode(
         Ax=Ax, As=As, bx=bx, Cx=Cx, Cs=Cs, bs=bs,
         s0=np.concatenate([n1.s0, n2.s0]),
-        peek=n1.peek, pop=n1.pop, push=u2)
+        peek=n1.peek, pop=n1.pop, push=n2.push)
+
+
+def combine_stateful_pipeline(n1: StatefulLinearNode,
+                              n2: StatefulLinearNode) -> StatefulLinearNode:
+    """Compose two stateful nodes in sequence (``Λ1 ; Λ2``).
+
+    Rate-matched pairs (``u1 == e2 == o2``, the IIR-cascade case)
+    compose directly; rate-changing pairs are first expanded to a common
+    block — ``lcm(u1, o2)`` items per combined firing — and when Λ2
+    peeks ahead (``e2 > o2``) Λ1 gains recomputation firings so the
+    lookahead window is covered without over-advancing its state.
+    """
+    if n1.push < 1 or n2.pop < 1:
+        raise CombinationError(
+            "stateful combination requires data flow (u1 >= 1, o2 >= 1)")
+    if n1.push == n2.peek and n2.peek == n2.pop:
+        return _combine_matched(n1, n2, n2.peek)
+    block = math.lcm(n1.push, n2.pop)
+    k1 = block // n1.push  # upstream firings actually advanced
+    k2 = block // n2.pop  # downstream firings per combined firing
+    n2x = expand_stateful(n2, k2)
+    # Λ1 must exhibit e2' outputs per combined firing while only
+    # advancing k1: any surplus firings are recomputation columns.
+    total = max(k1, -(-n2x.peek // n1.push))  # ceil(e2' / u1)
+    n1x = expand_stateful(n1, total, advance=k1)
+    return _combine_matched(n1x, n2x, n2x.peek)
+
+
+def stateful_cost_counts(node: StatefulLinearNode) -> Counts:
+    """Exact float ops of one firing, per output/state component.
+
+    Mirrors :func:`~repro.linear.matmul.direct_cost_counts`'s convention
+    (the interp ground truth for the equivalent scalar expression): each
+    component ``y_j`` / ``s'_j`` costs one multiply per nonzero term, one
+    add per term beyond the first, and one add for a nonzero offset —
+    *not* one add per multiply, which over-counts single-term rows and
+    misses nonzero biases.
+    """
+    c = Counts()
+    for A, B, bias in ((node.Ax, node.As, node.bx),
+                       (node.Cx, node.Cs, node.bs)):
+        for j in range(A.shape[1]):
+            terms = (int(np.count_nonzero(A[:, j]))
+                     + int(np.count_nonzero(B[:, j])))
+            c.fmul += terms
+            c.fadd += max(terms - 1, 0)
+            if bias[j] != 0.0:
+                c.fadd += 1
+    return c
 
 
 class StatefulLinearFilter(PrimitiveFilter):
@@ -192,12 +300,7 @@ class StatefulLinearFilter(PrimitiveFilter):
 
     def make_runner(self, profiler):
         node = self.stateful_node
-        counts = Counts()
-        counts.fmul = (int(np.count_nonzero(node.Ax))
-                       + int(np.count_nonzero(node.As))
-                       + int(np.count_nonzero(node.Cx))
-                       + int(np.count_nonzero(node.Cs)))
-        counts.fadd = counts.fmul  # multiply-accumulate pairs
+        counts = stateful_cost_counts(node)
         name = self.name
 
         class _Runner:

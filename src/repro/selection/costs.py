@@ -107,3 +107,38 @@ def batched_frequency_cost(node: LinearNode,
             + node.pop * per_input * FFT_THROUGHPUT_PENALTY
             # batched decimator: one strided copy over the discarded items
             + (node.pop - 1) * node.push)
+
+
+# ---------------------------------------------------------------------------
+# Stateful (state-space) leaves — §7.1
+# ---------------------------------------------------------------------------
+
+
+def _stateful_nnz(node) -> tuple[int, int]:
+    import numpy as np
+
+    nnz = sum(int(np.count_nonzero(m))
+              for m in (node.Ax, node.As, node.Cx, node.Cs))
+    nnz_b = int(np.count_nonzero(node.bx)) + int(np.count_nonzero(node.bs))
+    return nnz, nnz_b
+
+
+def stateful_direct_cost(node) -> float:
+    """Thesis-style scalar-firing cost of a stateful-linear leaf: the
+    direct formula over the output map *and* the state advance."""
+    nnz, nnz_b = _stateful_nnz(node)
+    return FIRING_OVERHEAD + 2.0 * node.push + nnz_b + 3.0 * nnz
+
+
+def batched_stateful_cost(node, batch: int = DEFAULT_COST_BATCH) -> float:
+    """Per-firing cost of the lifted stateful kernel: the dense case
+    plus the state advance, with the block scan's carry overhead
+    (charged at the block length the kernel will actually use)."""
+    from ..exec.kernels import stateful_block_length  # deferred: no cycle
+
+    k = node.state_dim
+    scan_block = stateful_block_length(node.pop, node.push)
+    return (FIRING_OVERHEAD / batch
+            + FIRING_OVERHEAD / scan_block  # per-block state carry
+            + 2.0 * (node.peek + k) * node.push  # dense output map
+            + 2.0 * (node.peek + k) * k)  # dense state advance

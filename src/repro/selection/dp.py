@@ -32,13 +32,15 @@ from ..frequency.filters import make_frequency_stream
 from ..graph.scheduler import steady_state
 from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                              PrimitiveFilter, RoundRobin, SplitJoin, Stream)
-from ..linear.combine import LinearityMap, analyze
+from ..linear.combine import (LinearityMap, analyze, combine_stateful_run,
+                              make_stateful_linear_leaf)
 from ..linear.filters import LinearFilter
 from ..linear.node import LinearNode
 from ..linear.pipeline_comb import combine_pipeline_pair
 from ..linear.splitjoin_comb import combine_splitjoin
 from .costs import (DEFAULT_COST_BATCH, batched_direct_cost,
-                    batched_frequency_cost, direct_cost, frequency_cost)
+                    batched_frequency_cost, batched_stateful_cost,
+                    direct_cost, frequency_cost, stateful_direct_cost)
 
 
 @dataclass
@@ -63,17 +65,23 @@ class OptimizationSelector:
     def __init__(self, program: Stream, lmap: LinearityMap | None = None,
                  max_matrix_elems: int = 4_000_000,
                  min_freq_peek: int = 2, cost_model: str = "thesis",
-                 batch: int = DEFAULT_COST_BATCH):
+                 batch: int = DEFAULT_COST_BATCH, stateful: bool = False):
         self.program = program
         self.lmap = lmap if lmap is not None else analyze(program)
         self.max_matrix_elems = max_matrix_elems
         self.min_freq_peek = min_freq_peek
+        #: enable the §7.1 stateful-linear rewrite (the plan pipeline's
+        #: optimize="auto"); off by default so the paper's autosel
+        #: configuration measures exactly the thesis transformations
+        self.stateful = stateful
         if cost_model == "thesis":
             self._direct_cost = direct_cost
             self._freq_cost = frequency_cost
+            self._stateful_cost = stateful_direct_cost
         elif cost_model == "batched":
             self._direct_cost = lambda n: batched_direct_cost(n, batch)
             self._freq_cost = lambda n: batched_frequency_cost(n, batch)
+            self._stateful_cost = lambda n: batched_stateful_cost(n, batch)
         else:
             raise ValueError(f"unknown cost model {cost_model!r} "
                              "(expected 'thesis' or 'batched')")
@@ -176,7 +184,20 @@ class OptimizationSelector:
 
         if isinstance(stream, (Filter, PrimitiveFilter)):
             node = self.lmap.node_for(stream)
-            if node is None:
+            snode = (self.lmap.stateful_node_for(stream)
+                     if self.stateful and node is None else None)
+            if node is None and snode is not None:
+                # stateful-linear leaf (§7.1): replace with the explicit
+                # state-space primitive — leaving it in place would cost
+                # the same (the planner auto-extracts the identical
+                # node), so the collapsed leaf stands in directly.
+                cost = (self._firings(items_out, snode.push)
+                        * self._stateful_cost(snode))
+                result = Config(
+                    cost, make_stateful_linear_leaf(
+                        snode, stream, self._feedback_depth > 0),
+                    "stateful")
+            elif node is None:
                 result = Config(0.0, stream, "none")
             else:
                 candidates = [Config(
@@ -215,12 +236,30 @@ class OptimizationSelector:
         """
         if not isinstance(container, Pipeline):
             return False
-        nodes = [self.lmap.node_for(c) for c in container.children[lo:hi]]
+        nodes = [self.lmap.any_node_for(c) for c in container.children[lo:hi]]
         if any(n is None for n in nodes):
             return False
         if any(n.peek != n.pop for n in nodes):
             return False
         return all(a.push == b.pop for a, b in zip(nodes, nodes[1:]))
+
+    def _stateful_node_for_range(self, container, lo: int, hi: int):
+        """State-space node of a Pipeline range with >= 1 stateful-linear
+        child (stateless children embed with k = 0), or None."""
+        key = ("stateful", id(container), lo, hi)
+        if key in self._region_nodes:
+            return self._region_nodes[key]
+        node = None
+        if isinstance(container, Pipeline):
+            children = list(container.children[lo:hi])
+            if any(self.lmap.is_stateful_linear(c) for c in children) and \
+                    all(self.lmap.any_node_for(c) is not None
+                        for c in children):
+                node = combine_stateful_run(
+                    self.lmap, children,
+                    max_matrix_elems=self.max_matrix_elems)
+        self._region_nodes[key] = node
+        return node
 
     def _range_items_out(self, container, lo: int, hi: int) -> float:
         if isinstance(container, Pipeline):
@@ -256,6 +295,22 @@ class OptimizationSelector:
             items_out = self._range_items_out(container, lo, hi)
             label = f"{container.name}[{lo}:{hi}]"
             candidates += self._collapse_configs(node, items_out, label)
+
+        # stateful collapse (§7.1): a run containing IIR-style leaves
+        # combines into one state-space leaf, priced dense + state advance
+        if self.stateful and (self._feedback_depth == 0 or
+                              self._rate_preserving_range(container, lo, hi)):
+            snode = self._stateful_node_for_range(container, lo, hi)
+            if snode is not None:
+                items_out = self._range_items_out(container, lo, hi)
+                sub = Pipeline(container.children[lo:hi],
+                               name=f"{container.name}[{lo}:{hi}]")
+                candidates.append(Config(
+                    self._firings(items_out, snode.push)
+                    * self._stateful_cost(snode),
+                    make_stateful_linear_leaf(snode, sub,
+                                              self._feedback_depth > 0),
+                    "stateful"))
 
         # cuts (NONE): every pivot splits the range in two
         for pivot in range(lo + 1, hi):
@@ -329,18 +384,23 @@ def select_optimizations(program: Stream,
                          lmap: LinearityMap | None = None,
                          max_matrix_elems: int = 4_000_000,
                          cost_model: str = "thesis",
-                         batch: int = DEFAULT_COST_BATCH) \
+                         batch: int = DEFAULT_COST_BATCH,
+                         stateful: bool = False) \
         -> SelectionResult:
     """Run automatic optimization selection on a whole program.
 
     ``cost_model="thesis"`` prices scalar firings (§4.3.3);
     ``cost_model="batched"`` prices the plan backend's batched execution
     (dense BLAS matmuls, batch-amortized FFT setup) and is what
-    ``optimize="auto"`` uses.  Returns the rebuilt program realizing the
+    ``optimize="auto"`` uses.  ``stateful=True`` additionally lets the
+    DP replace stateful-linear leaves and collapse stateful pipeline
+    runs (§7.1) — the plan pipeline enables it, the paper's autosel
+    configuration does not.  Returns the rebuilt program realizing the
     minimal-cost configuration.
     """
     selector = OptimizationSelector(program, lmap, max_matrix_elems,
-                                    cost_model=cost_model, batch=batch)
+                                    cost_model=cost_model, batch=batch,
+                                    stateful=stateful)
     best = selector.best(program)
     return SelectionResult(stream=best.stream, cost=best.cost,
                            decisions=dict(selector._memo))

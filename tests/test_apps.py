@@ -26,6 +26,7 @@ SMALL_PARAMS = {
     "Echo": dict(delay=24, gain=0.5, taps=16),
     "VocoderEcho": dict(window=16, decimation=8, n_filters=3, taps=12,
                         echo_delay=16),
+    "IIR": dict(),
 }
 
 N_OUT = {name: 32 for name in SMALL_PARAMS}

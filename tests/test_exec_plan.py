@@ -38,6 +38,7 @@ SMALL_PARAMS = {
     "Echo": dict(delay=24, gain=0.5, taps=16),
     "VocoderEcho": dict(window=16, decimation=8, n_filters=3, taps=12,
                         echo_delay=16),
+    "IIR": dict(),
 }
 N_OUT = {name: 96 for name in SMALL_PARAMS}
 N_OUT["Radar"] = 32
@@ -319,7 +320,8 @@ def test_optimize_auto_flops_match_selection_dp():
     run_graph(small("FilterBank"), 96, p_plan, backend="plan",
               optimize="auto")
     predicted = select_optimizations(small("FilterBank"),
-                                     cost_model="batched").stream
+                                     cost_model="batched",
+                                     stateful=True).stream
     run_graph(predicted, 96, p_pred, backend="compiled")
     assert_counts_equal(p_plan, p_pred, "auto-vs-dp")
 

@@ -88,12 +88,33 @@ class TestStatefulComposition:
         got = combined.simulate(x, 39)
         np.testing.assert_allclose(got, expected, atol=1e-10)
 
-    def test_cascade_rejects_rate_mismatch(self):
+    def test_cascade_handles_rate_mismatch_via_expansion(self):
+        """Rate-changing pairs now combine by expansion: an expander
+        (1 -> 2) feeding an IIR composes into one (pop 1, push 2) node."""
         n1 = from_stateless(
-            LinearNode.from_coefficients([[1.0], [2.0]], [0, 0], pop=1))
+            LinearNode.from_coefficients([[1.0], [2.0]], [0.5, 0.0], pop=1))
         n2 = from_difference_equation([1.0], [0.5])
-        with pytest.raises(ValueError):
-            combine_stateful_pipeline(n1, n2)
+        combined = combine_stateful_pipeline(n1, n2)
+        assert (combined.peek, combined.pop, combined.push) == (1, 1, 2)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=32)
+        mid = n1.simulate(x, 32)
+        np.testing.assert_allclose(combined.simulate(x, 32),
+                                   n2.simulate(mid, 64), atol=1e-10)
+
+    def test_cascade_downstream_lookahead(self):
+        """Λ2 peeking ahead (e2 > o2) combines via recomputation firings
+        of Λ1, without over-advancing Λ1's state."""
+        n1 = from_difference_equation([1.0, 0.3], [0.4])
+        n2 = from_stateless(LinearNode.from_coefficients(
+            [[1.0, -1.0, 0.5]], [0.0], pop=1))
+        combined = combine_stateful_pipeline(n1, n2)
+        assert (combined.peek, combined.pop, combined.push) == (3, 1, 1)
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=48)
+        mid = n1.simulate(x, 46)
+        np.testing.assert_allclose(combined.simulate(x, 30),
+                                   n2.simulate(mid, 30), atol=1e-10)
 
     def test_cascade_state_dim_concatenates(self):
         n1 = from_difference_equation([1.0, 0.1], [0.2])  # k=1
