@@ -59,12 +59,13 @@ FEEDBACK_CASES = {"Echo(1024)", "VocoderEcho"}
 
 def _time_backend(build, n_outputs, backend, optimize="none", repeats=3):
     """Best-of-k wall clock, so one noisy sample can't fail CI."""
-    run_graph(build(), min(n_outputs, 256), NullProfiler(), backend,
-              optimize)  # warmup (also warms the plan cache)
+    run_graph(build(), min(n_outputs, 256), NullProfiler(), backend=backend,
+              optimize=optimize)  # warmup (also warms the plan cache)
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        run_graph(build(), n_outputs, NullProfiler(), backend, optimize)
+        run_graph(build(), n_outputs, NullProfiler(), backend=backend,
+                  optimize=optimize)
         best = min(best, time.perf_counter() - t0)
     return best
 
@@ -87,9 +88,10 @@ def sweep():
     metrics = {}
     for name, build, n_outputs in CASES:
         p_c, p_p, p_a = Profiler(), Profiler(), Profiler()
-        out_c = run_graph(build(), n_outputs, p_c, "compiled")
-        out_p = run_graph(build(), n_outputs, p_p, "plan")
-        out_a = run_graph(build(), n_outputs, p_a, "plan", optimize="auto")
+        out_c = run_graph(build(), n_outputs, p_c, backend="compiled")
+        out_p = run_graph(build(), n_outputs, p_p, backend="plan")
+        out_a = run_graph(build(), n_outputs, p_a, backend="plan",
+                          optimize="auto")
         np.testing.assert_allclose(out_p, out_c, atol=1e-9)
         np.testing.assert_allclose(out_a, out_c, atol=1e-7)
         if name not in FEEDBACK_CASES:
@@ -99,7 +101,7 @@ def sweep():
             predicted = select_optimizations(build(), cost_model="batched",
                                              stateful=True).stream
             p_pred = Profiler()
-            run_graph(predicted, n_outputs, p_pred, "compiled")
+            run_graph(predicted, n_outputs, p_pred, backend="compiled")
             assert p_a.counts.flops == p_pred.counts.flops
         t_c = _time_backend(build, n_outputs, "compiled")
         t_cold = _time_cold_plan(build, n_outputs)

@@ -7,36 +7,49 @@ structural combination of linear filters, frequency-domain replacement,
 cross-firing redundancy elimination, and dynamic-programming optimization
 selection.
 
-Quickstart::
+Quickstart — compile once, stream forever::
 
-    from repro import graph, linear, runtime
+    import repro
     from repro.apps import fir
 
-    program = fir.build()                       # FIR pipeline
-    optimized = linear.maximal_linear_replacement(program)
-    outputs = runtime.run_graph(optimized, 100)
+    session = repro.compile(fir.build(), optimize="auto")
+    block = session.run(4096)        # np.ndarray; resumable
+    more = session.run(4096)         # continues the stream
+    print(session.profile.counts.flops)
+
+Float->float graphs become *push* sessions fed incrementally::
+
+    fir256 = repro.compile(low_pass_filter(1.0, math.pi / 3, 256))
+    for chunk in chunks:
+        out = fir256.push(chunk)     # ndarray-native end to end
 
 Three execution backends share one FLOP-accounting contract (identical
 counts, outputs equal to 1e-9):
 
 * ``backend="interp"``   — reference tree-walking interpreter;
-* ``backend="compiled"`` — generated Python per filter (default);
-* ``backend="plan"``     — vectorized steady-state engine
-  (:mod:`repro.exec`): batches firings, runs linear filters as NumPy
-  matrix products.  Programs with feedback loops (cyclic flattened
-  graphs) or unknown primitive sources transparently fall back to
-  ``compiled``; within a plan, non-linear/stateful/branching filters run
-  through the compiled scalar fallback.
+* ``backend="compiled"`` — generated Python per filter;
+* ``backend="plan"``     — vectorized steady-state engine (the session
+  default; :mod:`repro.exec`): batches firings, runs linear filters as
+  NumPy matrix products.  Graphs the planner cannot batch (unknown
+  primitive sources, unprobeable cycles) transparently fall back to
+  ``compiled``; within a plan, non-linear/branching filters run through
+  the compiled scalar fallback.
+
+``runtime.run_graph`` / ``run_stream`` / ``count_ops`` remain as thin
+one-shot wrappers over a session (``backend="compiled"`` default,
+``list[float]`` results — pass ``as_array=True`` for ndarrays).
 
 Benchmark CLI::
 
     python -m repro.bench --app fir --backend plan --outputs 10000
     python -m repro.bench --app filterbank --compare   # compiled vs plan
+    python -m repro.bench --app fir --chunked          # push-session mode
 """
 
-from . import errors, exec, graph, ir, linear, runtime
+from . import errors, exec, graph, ir, linear, runtime, session
+from .session import StreamSession, compile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["errors", "exec", "graph", "ir", "linear", "runtime",
-           "__version__"]
+           "session", "StreamSession", "compile", "__version__"]

@@ -34,6 +34,41 @@ BENCHMARK_ORDER = ["FIR", "RateConvert", "TargetDetect", "FMRadio", "Radar",
 FEEDBACK_APPS = frozenset({echo.NAME, vocoder.NAME_FEEDBACK})
 
 
+def split_app(program):
+    """Split a benchmark program into ``(source, body)``.
+
+    Every benchmark is a top-level Pipeline ``[source, ...body...,
+    Collector]``; the *body* is the float->float part a
+    :class:`~repro.session.StreamSession` push harness drives directly
+    (for Radar the "source" is its whole zero-weight splitjoin source
+    bank, whose interleaved output feeds the body).  Raises
+    ``ValueError`` for programs without that shape.
+    """
+    from ..graph.streams import Pipeline
+    from ..runtime.builtins import Collector
+
+    children = getattr(program, "children", None)
+    if not children or len(children) < 3 or \
+            not isinstance(children[-1], Collector):
+        raise ValueError(
+            f"{getattr(program, 'name', program)!r} is not a "
+            "source/body/Collector pipeline")
+    name = getattr(program, "name", "app")
+    body = Pipeline(list(children[1:-1]), name=f"{name}.body")
+    return children[0], body
+
+
+def source_values(source, n: int) -> list[float]:
+    """The first ``n`` values a benchmark source produces (harness input
+    for push-session tests and ``bench --chunked``)."""
+    from ..graph.streams import Pipeline
+    from ..runtime.builtins import Collector
+    from ..runtime.executor import run_graph
+
+    probe = Pipeline([source, Collector()], name="source-probe")
+    return run_graph(probe, n, backend="compiled")
+
+
 def resolve_app(name: str) -> str:
     """Canonical registry key for a (case-insensitive) app name."""
     by_lower = {k.lower(): k for k in BENCHMARKS}
@@ -55,6 +90,6 @@ def build_app(name: str, **params):
 
 
 __all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "FEEDBACK_APPS", "build_app",
-           "resolve_app", "fir", "ratec", "targetdetect", "fmradio",
-           "radar", "filterbank", "vocoder", "oversampler", "dtoa", "echo",
-           "iir"]
+           "resolve_app", "split_app", "source_values", "fir", "ratec",
+           "targetdetect", "fmradio", "radar", "filterbank", "vocoder",
+           "oversampler", "dtoa", "echo", "iir"]

@@ -19,16 +19,18 @@ from .cache import (PLAN_CACHE, PlanCache, clear_plan_cache,
 from .optimize import OPTIMIZE_MODES, optimize_stream
 from .planner import (DEFAULT_CHUNK_OUTPUTS, IslandRates, IslandReport,
                       PlanExecutor, PlanReport, StepReport,
+                      compiled_plan_for, executor_from_entry,
                       plan_bailout_reason, plan_executor_for, plan_report,
-                      probe_island)
+                      probe_island, report_for_executor)
 from .ring import RingBuffer
 
 __all__ = [
     "PlanExecutor", "RingBuffer", "plan_executor_for",
+    "compiled_plan_for", "executor_from_entry",
     "plan_bailout_reason", "DEFAULT_CHUNK_OUTPUTS",
     "OPTIMIZE_MODES", "optimize_stream",
     "PLAN_CACHE", "PlanCache", "plan_cache_stats", "clear_plan_cache",
     "stream_fingerprint",
-    "PlanReport", "StepReport", "plan_report",
+    "PlanReport", "StepReport", "plan_report", "report_for_executor",
     "IslandRates", "IslandReport", "probe_island",
 ]

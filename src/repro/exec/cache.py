@@ -273,11 +273,18 @@ class _Fingerprinter:
         from ..frequency.filters import Decimator, _FreqBase
         from ..linear.filters import ConstantSourceFilter, LinearFilter
         from ..linear.state import StatefulLinearFilter
-        from ..runtime.builtins import (Collector, FunctionSource, Identity,
-                                        ListSource)
+        from ..runtime.builtins import (ChunkSource, Collector,
+                                        FunctionSource, Identity, ListSource)
 
         self._u(s.peek, s.pop, s.push, s.init_peek, s.init_pop, s.init_push)
-        if isinstance(s, ListSource):
+        if isinstance(s, ChunkSource):
+            # a push session's feed ring is consumed in place: two
+            # content-identical graphs diverge as soon as either runs,
+            # so the plan must never be shared (the session that built
+            # it still amortizes it across its own pushes)
+            self._u("chunk-src", id(s))
+            self.single_use = True
+        elif isinstance(s, ListSource):
             self._array(np.asarray(s.values, dtype=float))
         elif isinstance(s, ConstantSourceFilter):
             self._array(s.values)
@@ -385,7 +392,9 @@ class PlanEntry:
     decisions: dict | None = None
     #: feedback-region start index -> IslandRates (probe results)
     islands: dict | None = None
-    #: (chunk_outputs, n_outputs) -> [(step_index, firings), ...]
+    #: (chunk_outputs, n_outputs) ->
+    #:   ([(step_index, firings), ...], simulator end-state snapshot);
+    #: the snapshot lets a replayed executor resume live simulation
     traces: _TraceStore = field(default_factory=_TraceStore)
 
 

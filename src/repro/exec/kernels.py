@@ -491,12 +491,19 @@ class RoundRobinJoinStep(Step):
 class CollectorStep(Step):
     kind = "collector"
 
-    def __init__(self, ring_in, collected: list):
+    def __init__(self, ring_in, collected):
         self.ring_in = ring_in
         self.collected = collected
+        # ArrayCollector sinks collect into a FloatVec: append the block
+        # as an ndarray instead of boxing every sample through tolist()
+        self._extend = getattr(collected, "extend_array", None)
 
     def execute(self, n: int) -> None:
-        self.collected.extend(self.ring_in.pop_block_array(n).tolist())
+        block = self.ring_in.pop_block_array(n)
+        if self._extend is not None:
+            self._extend(block)
+        else:
+            self.collected.extend(block.tolist())
 
 
 class ListSourceStep(Step):
@@ -512,6 +519,23 @@ class ListSourceStep(Step):
             raise InterpError("plan fired exhausted ListSource")
         self.ring_out.push_array(self.values[self.pos:self.pos + n])
         self.pos += n
+
+
+class ChunkSourceStep(Step):
+    """Block transfer out of a :class:`~repro.runtime.builtins.
+    ChunkSource`'s ring — the ndarray-native feed of a push session."""
+
+    kind = "chunk-source"
+
+    def __init__(self, ring_out, source):
+        self.ring_out = ring_out
+        self.source = source
+
+    def execute(self, n: int) -> None:
+        buffer = self.source.buffer
+        if n > len(buffer):
+            raise InterpError("plan fired exhausted ChunkSource")
+        self.ring_out.push_array(buffer.pop_block_array(n))
 
 
 class FunctionSourceStep(Step):

@@ -49,15 +49,23 @@ that are genuinely non-linear, branching, or carry prework run through
 :func:`plan_report` lists which nodes fell back and why, and names each
 feedback island with its member kernels.
 
-:func:`plan_executor_for` wraps the whole pipeline: the ``optimize=``
-graph rewrite (:mod:`repro.exec.optimize`) runs first, and every
-planning artifact — rewrite, bailout verdict, per-filter vectorization
-decisions, recorded schedule traces — is cached across runs by graph
-content (:mod:`repro.exec.cache`).
+:func:`plan_executor_for` / :func:`compiled_plan_for` wrap the whole
+pipeline: the ``optimize=`` graph rewrite (:mod:`repro.exec.optimize`)
+runs first, and every planning artifact — rewrite, bailout verdict,
+per-filter vectorization decisions, recorded schedule traces — is
+cached across runs by graph content (:mod:`repro.exec.cache`).
+
+The executor is **resumable**: simulator state (occupancies, pending
+counts, source budgets) persists across :meth:`PlanExecutor.advance`
+calls, recorded traces carry a simulator end-state snapshot so even a
+replayed run can continue live, and :meth:`PlanExecutor.
+drain_available` drives a push session's fed input to quiescence —
+this is what backs ``repro.compile(...)`` sessions.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -73,8 +81,8 @@ from ..linear.matmul import blas_cost_counts, direct_cost_counts
 from ..linear.state import (StatefulLinearFilter, StatefulLinearNode,
                             stateful_cost_counts)
 from ..profiling import Counts, NullProfiler, Profiler
-from ..runtime.builtins import (Collector, FunctionSource, Identity,
-                                ListSource)
+from ..runtime.builtins import (ChunkSource, Collector, FunctionSource,
+                                Identity, ListSource)
 from ..runtime.channels import Channel
 from ..runtime.executor import _NULL_CHANNEL, FlatGraph
 from . import kernels as K
@@ -294,7 +302,8 @@ def probe_island(flat: FlatGraph, region) -> tuple[IslandRates | None, str]:
 # Bailout detection
 # ---------------------------------------------------------------------------
 
-_KNOWN_SOURCES = (ListSource, FunctionSource, ConstantSourceFilter)
+_KNOWN_SOURCES = (ListSource, FunctionSource, ConstantSourceFilter,
+                  ChunkSource)
 
 
 def plan_bailout_reason(stream: Stream,
@@ -440,11 +449,10 @@ class PlanExecutor:
         self.fallback_reasons: dict[int, str] = {}
 
         # schedule-trace hooks installed by plan_executor_for (cache path)
-        self._trace_lookup = None  # n_outputs -> recorded trace | None
-        self._trace_sink = None  # (n_outputs, trace) -> None
+        self._trace_lookup = None  # target -> (trace, snapshot) | None
+        self._trace_sink = None  # (target, (trace, snapshot)) -> None
         self._trace: list | None = None  # events recorded this run
         self._ran = False
-        self._replayed = False
 
         # channel registry: every distinct Channel gets a ring and an
         # index; rings inherit the channel's current contents (a feedback
@@ -464,6 +472,11 @@ class PlanExecutor:
 
         self._out_chan = ring_of(flat.output_channel)
         ring_of(flat.input_channel)
+
+        #: (ChunkSource, _SimNode) pairs whose ``remaining`` is refreshed
+        #: from the source ring before every drive (push sessions feed
+        #: the ring between calls)
+        self._chunk_sources: list[tuple] = []
 
         # pass 1: per flat node — ring wiring, rates, and the batched step
         raw_in_ids: list[list[int]] = []
@@ -507,6 +520,9 @@ class PlanExecutor:
                               init_pops, init_pushes)
                 if isinstance(node.stream, ListSource):
                     sn.remaining = len(node.stream.values)
+                elif isinstance(node.stream, ChunkSource):
+                    sn.remaining = node.stream.available
+                    self._chunk_sources.append((node.stream, sn))
                 outer_of_flat[i] = len(self.sim_nodes)
                 self.sim_nodes.append(sn)
                 self.steps.append(raw_steps[i])
@@ -576,6 +592,9 @@ class PlanExecutor:
         self._pending_outputs = 0
         self._passes = 0
         self._saw_init_fire = False
+        # resumable-session cursors (see advance/drain_available)
+        self._returned = 0  # outputs handed out to the caller
+        self._out_popped = 0  # items popped off the graph output ring
 
     # -- step construction ------------------------------------------------
     def _make_step(self, index, node, in_ids, out_ids) -> K.Step:
@@ -634,6 +653,8 @@ class PlanExecutor:
             return K.OptimizedFreqStep(rin(), rout(), s, self.profiler)
         if isinstance(s, Collector):
             return K.CollectorStep(rin(), node.runner.collected)
+        if isinstance(s, ChunkSource):
+            return K.ChunkSourceStep(rout(), s)
         if isinstance(s, ListSource):
             return K.ListSourceStep(rout(), s.values)
         if isinstance(s, FunctionSource):
@@ -655,9 +676,12 @@ class PlanExecutor:
 
     # -- integer rate simulation ------------------------------------------
     def _produced(self) -> int:
+        """Total sink outputs since construction (including ones already
+        taken by the caller — the out ring's pops are tracked so the
+        count stays cumulative across session advances)."""
         if self._collected is not None:
             return self._sink_fires
-        return self._occ[self._out_chan]
+        return self._out_popped + self._occ[self._out_chan]
 
     def _sim_fire(self, sn: _SimNode, n: int, init: bool) -> None:
         occ = self._occ
@@ -719,7 +743,7 @@ class PlanExecutor:
                 gain = (1 if self._collected is not None
                         else (sn.pushes[sn.out_ids.index(self._out_chan)]
                               if self._out_chan in sn.out_ids else 0))
-                if gain > 0:
+                if gain > 0 and not math.isinf(n_outputs):
                     deficit = n_outputs - self._produced()
                     cap = -(-deficit // gain)  # ceil
                     if n >= cap:
@@ -752,35 +776,70 @@ class PlanExecutor:
         self._pending_outputs = 0
 
     # -- steady-regime extrapolation ---------------------------------------
-    def _extrapolate(self, occ_before, pending_before, n_outputs) -> None:
-        """Replay the pass just simulated K more times in O(nodes).
 
-        Valid only when the pass left every channel occupancy unchanged
-        (period-1 steady regime): the sweep is a deterministic function of
-        occupancies and phases, so the next pass must fire the exact same
-        vector.  K is capped so the sink stays strictly below
-        ``n_outputs`` (the final passes run through the literal simulator,
-        preserving the scalar executor's early-stop firing counts) and so
-        no finite source runs dry mid-replay.
+    #: Longest pass-boundary occupancy cycle the extrapolator looks for.
+    #: Multirate graphs reach a steady regime whose boundary occupancies
+    #: repeat with period p >= 1 (FIR: 1, FilterBank: 3, decimating
+    #: cascades: up to their interleave factor); transients never match,
+    #: so the scan cost is only paid during warmup.
+    EXTRAPOLATION_PERIOD_LIMIT = 64
+
+    def _extrapolate(self, history, n_outputs) -> bool:
+        """Replay the last simulated window of passes K more times in
+        O(nodes).
+
+        ``history`` holds (occupancy, pending) snapshots at recent pass
+        starts.  When the current occupancy vector matches the one ``p``
+        passes ago — and no init firing invalidated the window (the
+        caller clears history on those) — the intervening firings form
+        one steady unit: the sweep is a deterministic function of
+        occupancies and phases, so the next ``p`` passes must repeat it
+        exactly.  K is capped so the sink stays strictly below
+        ``n_outputs`` (the final passes run through the literal
+        simulator, preserving the scalar executor's early-stop firing
+        counts) and so no finite source runs dry mid-replay.  Returns
+        True when a replay was applied (the caller resets its history:
+        the window boundary moved).
         """
-        if self._saw_init_fire or self._occ != occ_before:
-            return
-        fires = [a - b for a, b in zip(self._pending, pending_before)]
         if self._sink_index is None:
-            return
-        if self._collected is not None:
+            return False
+        occ_now = self._occ
+        out = None if self._collected is not None else self._out_chan
+        if out is not None:
+            # the graph output ring is terminal (no node consumes it):
+            # it grows monotonically, so exclude it from the match and
+            # read the window's sink gain off its growth instead
+            occ_now = occ_now[:]
+            occ_now[out] = 0
+        fires = None
+        period = 0
+        gain = 0
+        for p in range(1, len(history) + 1):
+            occ_p, pending_p = history[-p]
+            if out is not None:
+                gain = self._occ[out] - occ_p[out]
+                occ_p = occ_p[:]
+                occ_p[out] = 0
+            if occ_p == occ_now:
+                fires = [a - b for a, b in zip(self._pending, pending_p)]
+                period = p
+                break
+        if fires is None:
+            return False
+        if out is None:
             gain = fires[self._sink_index]
-        else:
-            gain = self._occ[self._out_chan] - occ_before[self._out_chan]
         if gain <= 0:
-            return
-        k = (n_outputs - self._produced() - 1) // gain
-        k = min(k, -(-self.chunk_outputs // gain))  # bound chunk memory
+            return False
+        if math.isinf(n_outputs):  # greedy drain: no sink target
+            k = -(-self.chunk_outputs // gain)
+        else:
+            k = (n_outputs - self._produced() - 1) // gain
+            k = min(k, -(-self.chunk_outputs // gain))  # bound chunk memory
         for sn in self.sources:
             if sn.remaining is not None and fires[sn.index] > 0:
                 k = min(k, sn.remaining // fires[sn.index])
         if k <= 0:
-            return
+            return False
         for sn in self.sim_nodes:
             f = fires[sn.index]
             if not f:
@@ -793,68 +852,196 @@ class PlanExecutor:
             if sn.remaining is not None:
                 sn.remaining -= f * k
         if self._collected is not None:
-            self._sink_fires += fires[self._sink_index] * k
+            self._sink_fires += gain * k
         self._pending_outputs += gain * k
-        self._passes += k
+        self._passes += k * period
+        return True
 
     # -- cached-trace replay ------------------------------------------------
-    def _run_trace(self, trace, n_outputs: int) -> list[float]:
+    def _sim_snapshot(self) -> tuple:
+        """Simulator-only state alongside a recorded trace, so a replayed
+        executor can resume live simulation afterwards.  Step-internal
+        state (ring contents, stateful carries, FFT partials, island
+        phases) needs no snapshot: the replay executes the real steps."""
+        return (self._occ[:],
+                [sn.remaining for sn in self.sim_nodes],
+                [sn.fired for sn in self.sim_nodes],
+                self._sink_fires, self._passes)
+
+    def _install_snapshot(self, snap: tuple) -> None:
+        occ, remaining, fired, sink_fires, passes = snap
+        self._occ = occ[:]
+        for sn, r, f in zip(self.sim_nodes, remaining, fired):
+            sn.remaining = r
+            sn.fired = f
+        self._sink_fires = sink_fires
+        self._passes = passes
+
+    def _replay(self, rec) -> None:
         """Execute a previously recorded flush sequence, skipping the rate
-        simulation entirely.  Valid only on a fresh executor (the trace was
-        recorded from the same initial state)."""
+        simulation, then install the recorded simulator end-state so the
+        executor stays resumable.  Valid only from the initial state (the
+        trace was recorded from a cold executor)."""
+        trace, snapshot = rec
         self._ran = True
-        self._replayed = True
         steps = self.steps
         for i, n in trace:
             steps[i].execute(n)
-        if self._collected is not None:
-            return self._collected[:n_outputs]
-        out_ring = self.rings[self._out_chan]
-        return [out_ring.pop() for _ in range(n_outputs)]
+        self._install_snapshot(snapshot)
 
-    # -- public API ---------------------------------------------------------
-    def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
-        """Batched equivalent of :meth:`FlatGraph.run`."""
-        if self._replayed:
-            raise InterpError(
-                "plan executor already consumed by a cached-trace replay; "
-                "build a fresh executor to run again")
+    # -- reentrant drive loop -----------------------------------------------
+    def _refresh_chunk_sources(self) -> None:
+        for src, sn in self._chunk_sources:
+            sn.remaining = src.available
+
+    def _drive(self, target: int, max_passes: int) -> None:
+        """Simulate + flush until the sink holds ``target`` total outputs.
+
+        Drain-first transcription of :meth:`FlatGraph._drive`: leftover
+        occupancy from a previous advance is swept before any source
+        fires, which is what keeps incremental firing counts identical
+        to a single cold run of the same total.
+        """
+        self._refresh_chunk_sources()
+        if self._produced() >= target:
+            return
         if not self._ran:
             if self._trace_lookup is not None:
-                trace = self._trace_lookup(n_outputs)
-                if trace is not None:
-                    return self._run_trace(trace, n_outputs)
+                rec = self._trace_lookup(target)
+                if rec is not None:
+                    self._replay(rec)
+                    return
             if self._trace_sink is not None:
                 self._trace = []
         recording = self._trace is not None
         self._ran = True
-        while self._produced() < n_outputs:
+        self._sweep(target)
+        passes = 0  # per-call runaway guard; self._passes is lifetime
+        #: (occ, pending) snapshots at recent pass starts — the
+        #: extrapolator's search window for a periodic steady regime.
+        #: Cleared whenever the deltas stop being a replayable unit
+        #: (init firings, flushes, an applied replay).
+        history: list[tuple] = []
+        while self._produced() < target:
+            passes += 1
             self._passes += 1
-            if self._passes > max_passes:
+            if passes > max_passes:
                 raise InterpError("executor pass limit exceeded")
-            occ_before = self._occ[:]
-            pending_before = self._pending[:]
+            history.append((self._occ[:], self._pending[:]))
+            if len(history) > self.EXTRAPOLATION_PERIOD_LIMIT:
+                history.pop(0)
             self._saw_init_fire = False
             progress = self._sim_sources()
-            self._sweep(n_outputs)
-            if progress and self._produced() < n_outputs:
-                self._extrapolate(occ_before, pending_before, n_outputs)
+            self._sweep(target)
+            if self._saw_init_fire:
+                history.clear()
+            elif progress and self._produced() < target:
+                if self._extrapolate(history, target):
+                    history.clear()
             if self._pending_outputs >= self.chunk_outputs:
                 self._flush()
-            if not progress and self._produced() < n_outputs:
+                history.clear()
+            if not progress and self._produced() < target:
                 self._flush()
                 raise InterpError(
                     f"deadlock: no source progress, "
-                    f"{self._produced()}/{n_outputs} outputs")
+                    f"{self._produced()}/{target} outputs")
         self._flush()
         if recording:
-            self._trace_sink(n_outputs, self._trace)
+            self._trace_sink(target, (self._trace, self._sim_snapshot()))
             self._trace = None
+
+    def _take(self, n: int):
+        """The next ``n`` already-produced outputs past the cursor."""
         if self._collected is not None:
-            return self._collected[:n_outputs]
-        out_ring = self.rings[self._out_chan]
-        self._occ[self._out_chan] -= n_outputs
-        return [out_ring.pop() for _ in range(n_outputs)]
+            out = self._collected[self._returned:self._returned + n]
+        else:
+            out_ring = self.rings[self._out_chan]
+            out = out_ring.pop_block_array(n)
+            self._occ[self._out_chan] -= n
+            self._out_popped += n
+        self._returned += n
+        return out
+
+    # -- public API ---------------------------------------------------------
+    def advance(self, n: int, max_passes: int = 10_000_000):
+        """Produce and return the *next* ``n`` outputs (resumable).
+
+        Consecutive calls continue the stream: ring occupancy, stateful
+        carries, feedback-island phases, and source positions persist,
+        and total firing counts after ``advance(k1); advance(k2)`` equal
+        one cold run of ``k1 + k2`` outputs.
+        """
+        self._drive(self._returned + n, max_passes)
+        return self._take(n)
+
+    def _sim_sources_block(self) -> bool:
+        """Greedy-mode source pass: finite sources fire *all* remaining
+        items at once.  Only valid when draining to quiescence — SDF
+        confluence makes the quiescent totals independent of feed
+        granularity, so block feeding changes no firing count — and it
+        makes the greedy drain O(nodes) per push instead of one
+        simulated pass per fed item."""
+        progress = False
+        for sn in self.sources:
+            if self._in_init_phase(sn):
+                if sn.remaining is not None:
+                    if sn.remaining <= 0:
+                        continue
+                    sn.remaining -= 1
+                self._sim_fire(sn, 1, init=True)
+                progress = True
+                continue
+            if sn.remaining is None:
+                k = 1  # unbounded source: keep the pass-paced behavior
+            else:
+                k = sn.remaining
+                if k <= 0:
+                    continue
+                sn.remaining = 0
+            self._sim_fire(sn, k, init=False)
+            progress = True
+        return progress
+
+    def drain_available(self, max_passes: int = 10_000_000):
+        """Greedily fire everything the fed input admits; return the new
+        outputs.  Used by ``StreamSession.push``: no output target, no
+        deadlock — the drive stops when the finite sources run dry and
+        the graph is quiescent."""
+        self._refresh_chunk_sources()
+        self._ran = True
+        target = math.inf
+        self._sweep(target)
+        passes = 0
+        while True:
+            passes += 1
+            self._passes += 1
+            if passes > max_passes:
+                raise InterpError("executor pass limit exceeded")
+            self._saw_init_fire = False
+            if not self._sim_sources_block():
+                break
+            self._sweep(target)
+            if self._pending_outputs >= self.chunk_outputs:
+                self._flush()
+        self._flush()
+        return self._take(self._produced() - self._returned)
+
+    def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
+        """Batched equivalent of :meth:`FlatGraph.run` (same legacy
+        semantics: absolute target with a Collector sink — repeated runs
+        extend and re-return the prefix — consumed output channel
+        otherwise; the session cursor follows either way)."""
+        if self._collected is not None:
+            self._drive(n_outputs, max_passes)
+            if n_outputs > self._returned:
+                self._returned = n_outputs
+            out = self._collected[:n_outputs]
+            return out if isinstance(out, list) else list(out)
+        out = self.advance(n_outputs, max_passes)
+        if isinstance(out, np.ndarray):
+            return out.tolist()
+        return out if isinstance(out, list) else list(out)
 
 
 # ---------------------------------------------------------------------------
@@ -862,10 +1049,10 @@ class PlanExecutor:
 # ---------------------------------------------------------------------------
 
 
-def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
+def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
-                      optimize: str = "none", cache=None):
-    """Compile ``stream`` into a :class:`PlanExecutor`.
+                      optimize: str = "none", cache=None, traces=True):
+    """Compile ``stream``; return ``(executor, entry)``.
 
     The full pipeline: rewrite the graph per ``optimize``
     (:func:`~repro.exec.optimize.optimize_stream`), then plan the
@@ -873,11 +1060,15 @@ def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
     verdict, per-filter vectorization decisions, and recorded schedule
     traces — are cached in ``cache`` (default: the process-wide
     :data:`~repro.exec.cache.PLAN_CACHE`), keyed by the graph's content
-    fingerprint; pass ``cache=False`` to plan from scratch.
+    fingerprint; pass ``cache=False`` to plan from scratch (``entry`` is
+    then None).  Probing happens at most once per entry — repeated
+    compiles of a cached graph never re-extract or re-probe.
 
-    Falls back to the scalar compiled :class:`FlatGraph` (same ``run``
-    interface) when the graph cannot be batched — see
-    :func:`plan_bailout_reason`.
+    ``executor`` is the scalar compiled :class:`FlatGraph` (same
+    ``run``/``advance`` interface) when the graph cannot be batched —
+    see :func:`plan_bailout_reason`; the verdict is on ``entry.bailout``.
+    ``traces=False`` skips installing schedule-trace record/replay hooks
+    (push sessions, whose input arrives incrementally, use this).
     """
     if cache is None:
         cache = PLAN_CACHE
@@ -886,9 +1077,9 @@ def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
         flat = FlatGraph(opt, profiler, backend="compiled")
         rates: dict = {}
         if plan_bailout_reason(opt, flat, island_rates=rates) is not None:
-            return flat
+            return flat, None
         return PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            island_rates=rates)
+                            island_rates=rates), None
 
     entry = cache.entry_for(stream, optimize)
     if entry.optimized is None:
@@ -901,7 +1092,7 @@ def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
         if entry.bailout is None:
             entry.islands = rates
     if entry.bailout is not None:
-        return flat
+        return flat, entry
     executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
                             decisions=entry.decisions,
                             island_rates=entry.islands)
@@ -909,10 +1100,45 @@ def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
         entry.decisions = executor.decisions
     if entry.islands is None:
         entry.islands = executor.island_rates
-    traces = entry.traces
-    executor._trace_lookup = lambda n: traces.get((chunk_outputs, n))
-    executor._trace_sink = (
-        lambda n, t: traces.setdefault((chunk_outputs, n), t))
+    if traces:
+        store = entry.traces
+        executor._trace_lookup = lambda n: store.get((chunk_outputs, n))
+        executor._trace_sink = (
+            lambda n, t: store.setdefault((chunk_outputs, n), t))
+    return executor, entry
+
+
+def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
+                      chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
+                      optimize: str = "none", cache=None):
+    """Compile ``stream`` into a :class:`PlanExecutor` — see
+    :func:`compiled_plan_for` (this drops the cache entry)."""
+    return compiled_plan_for(stream, profiler, chunk_outputs=chunk_outputs,
+                             optimize=optimize, cache=cache)[0]
+
+
+def executor_from_entry(entry, profiler: Profiler | None = None,
+                        chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
+                        traces: bool = True):
+    """Fresh executor over an already-compiled :class:`~repro.exec.cache.
+    PlanEntry` — no fingerprinting, no probing, no cache lookup.
+
+    ``StreamSession.reset`` rebuilds execution state through this, so a
+    session keeps its pinned plan even if the graph's fields were
+    mutated in place after compilation.  Returns the scalar
+    :class:`FlatGraph` when the entry's verdict was a bailout.
+    """
+    flat = FlatGraph(entry.optimized, profiler, backend="compiled")
+    if entry.bailout is not None:
+        return flat
+    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                            decisions=entry.decisions,
+                            island_rates=entry.islands)
+    if traces:
+        store = entry.traces
+        executor._trace_lookup = lambda n: store.get((chunk_outputs, n))
+        executor._trace_sink = (
+            lambda n, t: store.setdefault((chunk_outputs, n), t))
     return executor
 
 
@@ -999,21 +1225,18 @@ class PlanReport:
         return "\n".join(lines)
 
 
-def plan_report(stream: Stream, optimize: str = "none",
-                chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS) -> PlanReport:
-    """Explain how ``stream`` would execute under the plan backend."""
+def report_for_executor(executor: PlanExecutor, program: str,
+                        optimize: str = "none") -> PlanReport:
+    """Build a :class:`PlanReport` from an already-compiled executor.
+
+    Used by ``StreamSession.report()`` so reporting on a live session
+    re-probes nothing; :func:`plan_report` builds a throwaway executor
+    and routes through here.
+    """
     from ..runtime.executor import FeedbackRegion
 
-    opt = optimize_stream(stream, optimize)
-    flat = FlatGraph(opt, NullProfiler(), backend="compiled")
-    probed: dict = {}
-    bailout = plan_bailout_reason(opt, flat, island_rates=probed)
-    rep = PlanReport(program=getattr(stream, "name", "?"), optimize=optimize,
-                     bailout=bailout)
-    if bailout is not None:
-        return rep
-    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            island_rates=probed)
+    flat = executor.flat
+    rep = PlanReport(program=program, optimize=optimize, bailout=None)
     flat_index = {id(n): i for i, n in enumerate(flat.nodes)}
     for pos, (entry, step) in enumerate(zip(executor.outer_entries,
                                             executor.steps)):
@@ -1039,3 +1262,19 @@ def plan_report(stream: Stream, optimize: str = "none",
                 pos, entry.name, entry.kind, step.kind,
                 executor.fallback_reasons.get(flat_index[id(entry)])))
     return rep
+
+
+def plan_report(stream: Stream, optimize: str = "none",
+                chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS) -> PlanReport:
+    """Explain how ``stream`` would execute under the plan backend."""
+    opt = optimize_stream(stream, optimize)
+    flat = FlatGraph(opt, NullProfiler(), backend="compiled")
+    probed: dict = {}
+    bailout = plan_bailout_reason(opt, flat, island_rates=probed)
+    if bailout is not None:
+        return PlanReport(program=getattr(stream, "name", "?"),
+                          optimize=optimize, bailout=bailout)
+    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                            island_rates=probed)
+    return report_for_executor(executor, getattr(stream, "name", "?"),
+                               optimize)

@@ -61,22 +61,38 @@ class Interpreter:
     def __init__(self, fields: dict, profiler: Profiler):
         self.fields = fields
         self.profiler = profiler
+        self._ch_in = None
+        self._ch_out = None
+        self._popped = 0
+        self._pushed = 0
 
     # ------------------------------------------------------------------
     def run(self, wf: N.WorkFunction, ch_in, ch_out) -> None:
-        """Execute one firing of ``wf``: read from ch_in, write to ch_out."""
+        """Execute one firing of ``wf``: read from ch_in, write to ch_out.
+
+        Reentrant: per-firing tape state is saved and restored, so a
+        probe firing (e.g. the planner's FLOP-count probe while a paused
+        session holds this runner mid-stream) cannot corrupt an
+        in-flight firing's pop/push accounting.
+        """
+        frame = (self._ch_in, self._ch_out, self._popped, self._pushed)
         env: dict[str, object] = {}
         self._ch_in = ch_in
         self._ch_out = ch_out
         self._popped = 0
         self._pushed = 0
-        self._exec_block(wf.body, env)
-        if self._popped != wf.pop:
-            raise InterpError(
-                f"work popped {self._popped} items, declared pop {wf.pop}")
-        if self._pushed != wf.push:
-            raise InterpError(
-                f"work pushed {self._pushed} items, declared push {wf.push}")
+        try:
+            self._exec_block(wf.body, env)
+            if self._popped != wf.pop:
+                raise InterpError(
+                    f"work popped {self._popped} items, "
+                    f"declared pop {wf.pop}")
+            if self._pushed != wf.push:
+                raise InterpError(
+                    f"work pushed {self._pushed} items, "
+                    f"declared push {wf.push}")
+        finally:
+            self._ch_in, self._ch_out, self._popped, self._pushed = frame
 
     # ------------------------------------------------------------------
     def _exec_block(self, stmts, env):

@@ -9,6 +9,8 @@ from __future__ import annotations
 from itertools import count
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..graph.streams import PrimitiveFilter
 
 
@@ -43,6 +45,68 @@ class ListSource(PrimitiveFilter):
         runner = _Runner()
         runner.remaining = lambda: len(values)
         return runner
+
+
+class ChunkSource(PrimitiveFilter):
+    """Pushes values fed incrementally as ndarray chunks.
+
+    The input side of a :class:`~repro.session.StreamSession` push
+    harness: ``feed`` appends a chunk to the internal ring, firings
+    consume it one item at a time (scalar backends) or in blocks
+    (:class:`~repro.exec.kernels.ChunkSourceStep`).  Like
+    :class:`ListSource`, running dry raises ``IndexError`` from the
+    scalar runner, which the executor treats as "finite source
+    exhausted"; the plan backend models the same bound through the rate
+    simulator's ``remaining`` counter.
+
+    Because the ring is consumed in place, a graph containing a
+    ChunkSource is fingerprinted *single-use* by the plan cache: the
+    compiled session amortizes its own plan, but content-identical
+    rebuilds never share it.
+    """
+
+    pop = 0
+    peek = 0
+    push = 1
+
+    def __init__(self, name: str = "ChunkSource"):
+        from ..exec.ring import RingBuffer  # deferred: exec imports us
+        self.buffer = RingBuffer(f"{name}.buffer")
+        self.fed = 0  #: total items ever fed
+        self.name = name
+
+    def feed(self, values) -> int:
+        """Append a chunk; returns the number of items added."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        self.buffer.push_array(arr)
+        self.fed += len(arr)
+        return len(arr)
+
+    @property
+    def available(self) -> int:
+        """Items fed but not yet consumed by firings."""
+        return len(self.buffer)
+
+    @property
+    def consumed(self) -> int:
+        """Items the graph has actually consumed so far."""
+        return self.fed - len(self.buffer)
+
+    def clear(self) -> None:
+        """Drop unconsumed items and reset the fed counter."""
+        self.buffer.pop_block(len(self.buffer))
+        self.fed = 0
+
+    def make_runner(self, profiler):
+        buffer = self.buffer
+
+        class _Runner:
+            def fire(self, ch_in, ch_out):
+                if not len(buffer):
+                    raise IndexError("ChunkSource exhausted")
+                ch_out.push(buffer.pop())
+
+        return _Runner()
 
 
 class FunctionSource(PrimitiveFilter):
@@ -85,6 +149,32 @@ class Collector(PrimitiveFilter):
         class _Runner:
             def __init__(self):
                 self.collected: list[float] = []
+
+            def fire(self, ch_in, ch_out):
+                self.collected.append(ch_in.pop())
+
+        return _Runner()
+
+
+class ArrayCollector(Collector):
+    """Terminal sink collecting into a growable float64 ndarray.
+
+    Drop-in :class:`Collector` replacement (the executors detect it via
+    the subclass) whose runner accumulates a
+    :class:`~repro.runtime.channels.FloatVec` instead of a Python list,
+    so batched kernels append whole blocks without boxing and session
+    readers slice outputs out as ``np.ndarray``.
+    """
+
+    def __init__(self, name: str = "ArrayCollector"):
+        self.name = name
+
+    def make_runner(self, profiler):
+        from .channels import FloatVec
+
+        class _Runner:
+            def __init__(self):
+                self.collected = FloatVec()
 
             def fire(self, ch_in, ch_out):
                 self.collected.append(ch_in.pop())

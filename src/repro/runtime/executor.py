@@ -19,10 +19,18 @@ Three execution backends exist:
   differ by one loop iteration), and the rare graphs the planner cannot
   batch at all (unknown primitive sources, unprobeable cycles) silently
   fall back to ``compiled``.
+
+All execution state lives in channels and runners, and the drive loop
+is reentrant (:meth:`FlatGraph.advance` / :meth:`~FlatGraph.
+drain_available`), so a :class:`repro.session.StreamSession` can pause
+and resume the same graph indefinitely; ``run_graph``/``run_stream``
+are one-shot wrappers over a session.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -191,6 +199,11 @@ class FlatGraph:
                                 for ch in node.outputs]
         self.collectors = [n for n in self.nodes
                            if isinstance(n.stream, Collector)]
+        self._sources = [n for n in self.nodes if not n.inputs]
+        # resumable-drive state (see advance/drain_available)
+        self._returned = 0  # outputs handed out past runs
+        self._out_popped = 0  # items popped off the graph output channel
+        self._passes = 0
 
     # ------------------------------------------------------------------
     def _new_channel(self) -> Channel:
@@ -273,54 +286,144 @@ class FlatGraph:
             return out
         raise TypeError(f"cannot flatten {stream!r}")
 
-    # ------------------------------------------------------------------
+    # -- reentrant drive loop ------------------------------------------
+    #
+    # The drain loop is split so a StreamSession can advance the same
+    # graph repeatedly: all execution state lives in channels and
+    # runners, and the loop structure is drain-first (a no-op on a cold
+    # graph, so one-shot firing counts are unchanged) — which is what
+    # makes ``advance(k1); advance(k2)`` fire exactly the same nodes as
+    # a single run to ``k1 + k2``.
+
+    def produced(self) -> int:
+        """Total sink outputs since construction (including consumed)."""
+        if self.collectors:
+            return len(self.collectors[0].runner.collected)
+        return self._out_popped + len(self.output_channel)
+
+    def _drain(self, target: float) -> None:
+        """Fire consumers until quiescent, transcribed from the original
+        inner loop: once the sink reaches ``target``, each remaining
+        fireable node fires at most once more before the loop stops."""
+        produced = self.produced
+        busy = True
+        while busy:
+            busy = False
+            for node in self.nodes:
+                if node.inputs:
+                    while node.can_fire():
+                        node.fire(self.profiler)
+                        busy = True
+                        if produced() >= target:
+                            busy = False
+                            break
+            if produced() >= target:
+                break
+
+    def _fire_sources(self) -> bool:
+        progress = False
+        for node in self._sources:
+            try:
+                node.fire(self.profiler)
+                progress = True
+            except IndexError:
+                pass  # finite source exhausted
+        return progress
+
+    def _drive(self, target: float, max_passes: int) -> None:
+        """Drain leftovers, then alternate source passes and drains
+        until the sink holds ``target`` total outputs.
+
+        ``max_passes`` bounds *this* call (a runaway guard), not the
+        session lifetime — long-lived sessions accumulate passes in
+        ``self._passes`` without ever tripping it.
+        """
+        if self.produced() >= target:
+            # already satisfied (a prior advance overshot): firing
+            # anything here would break incremental firing-count parity
+            return
+        self._drain(target)
+        passes = 0
+        while self.produced() < target:
+            passes += 1
+            self._passes += 1
+            if passes > max_passes:
+                raise InterpError("executor pass limit exceeded")
+            if not self._fire_sources():
+                raise InterpError(
+                    f"deadlock: no source progress, "
+                    f"{self.produced()}/{target} outputs")
+            self._drain(target)
+
+    def _take(self, n: int):
+        """The next ``n`` already-produced outputs past the cursor."""
+        if self.collectors:
+            collected = self.collectors[0].runner.collected
+            out = collected[self._returned:self._returned + n]
+        else:
+            out = [self.output_channel.pop() for _ in range(n)]
+            self._out_popped += n
+        self._returned += n
+        return out
+
+    def advance(self, n: int, max_passes: int = 10_000_000):
+        """Produce and return the *next* ``n`` outputs (resumable).
+
+        Consecutive calls continue the stream: channel occupancy, filter
+        fields, and source positions carry over, and the total firing
+        counts after ``advance(k1); advance(k2)`` equal a single cold
+        run of ``k1 + k2`` outputs.
+        """
+        self._drive(self._returned + n, max_passes)
+        return self._take(n)
+
+    #: Per-pass cap on greedy source firings (keeps an accidentally
+    #: unbounded source inside a push graph from spinning forever in a
+    #: single pass; finite sources stop at exhaustion anyway).
+    _GREEDY_SOURCE_BLOCK = 1 << 16
+
+    def drain_available(self, max_passes: int = 10_000_000):
+        """Greedily fire everything the fed input admits; return the new
+        outputs.  Used by ``StreamSession.push``: no output target, no
+        deadlock — the loop simply stops when the finite sources run
+        dry and the graph is quiescent.  Sources fire in blocks (valid
+        at quiescence targets: SDF confluence makes the totals
+        independent of feed granularity)."""
+        progress = True
+        passes = 0
+        while progress:
+            passes += 1
+            self._passes += 1
+            if passes > max_passes:
+                raise InterpError("executor pass limit exceeded")
+            self._drain(math.inf)
+            progress = False
+            for node in self._sources:
+                for _ in range(self._GREEDY_SOURCE_BLOCK):
+                    try:
+                        node.fire(self.profiler)
+                    except IndexError:
+                        break  # finite source exhausted
+                    progress = True
+        return self._take(self.produced() - self._returned)
+
     def run(self, n_outputs: int, max_passes: int = 10_000_000) -> list[float]:
         """Fire nodes until the sink has ``n_outputs`` items; return them.
 
-        The sink is the graph's Collector if present, otherwise the graph
-        output channel.
+        Legacy one-shot entry point.  With a Collector sink the target
+        is absolute — ``run(10)`` then ``run(30)`` extends the first run
+        and returns all 30 — and the session cursor follows, so
+        :meth:`advance` afterwards continues past them.  Without a
+        Collector the output channel is consumed: each call returns the
+        *next* ``n_outputs`` items.
         """
-        collector = self.collectors[0].runner if self.collectors else None
-
-        def produced():
-            if collector is not None:
-                return len(collector.collected)
-            return len(self.output_channel)
-
-        sources = [n for n in self.nodes if not n.inputs]
-        passes = 0
-        while produced() < n_outputs:
-            passes += 1
-            if passes > max_passes:
-                raise InterpError("executor pass limit exceeded")
-            progress = False
-            for node in sources:
-                try:
-                    node.fire(self.profiler)
-                    progress = True
-                except IndexError:
-                    pass  # finite source exhausted
-            # propagate until quiescent
-            busy = True
-            while busy:
-                busy = False
-                for node in self.nodes:
-                    if node.inputs:
-                        while node.can_fire():
-                            node.fire(self.profiler)
-                            busy = True
-                            if produced() >= n_outputs:
-                                busy = False
-                                break
-                if produced() >= n_outputs:
-                    break
-            if not progress and produced() < n_outputs:
-                raise InterpError(
-                    f"deadlock: no source progress, "
-                    f"{produced()}/{n_outputs} outputs")
-        if collector is not None:
-            return collector.collected[:n_outputs]
-        return [self.output_channel.pop() for _ in range(n_outputs)]
+        if self.collectors:
+            self._drive(n_outputs, max_passes)
+            if n_outputs > self._returned:
+                self._returned = n_outputs
+            return self.collectors[0].runner.collected[:n_outputs]
+        out = self.advance(n_outputs, max_passes)
+        return out if isinstance(out, list) else list(out)
 
 
 # ---------------------------------------------------------------------------
@@ -328,10 +431,27 @@ class FlatGraph:
 # ---------------------------------------------------------------------------
 
 
+def _shift_deprecated_positionals(fname, legacy, backend, optimize):
+    """Map deprecated positional ``backend``/``optimize`` arguments."""
+    if not legacy:
+        return backend, optimize
+    warnings.warn(
+        f"passing backend/optimize to {fname} positionally is deprecated; "
+        "use keyword arguments, or repro.compile(...) for a resumable "
+        "StreamSession", DeprecationWarning, stacklevel=3)
+    if len(legacy) > 2:
+        raise TypeError(f"{fname}: too many positional arguments")
+    backend = legacy[0]
+    if len(legacy) == 2:
+        optimize = legacy[1]
+    return backend, optimize
+
+
 def run_graph(stream: Stream, n_outputs: int,
-              profiler: Profiler | None = None,
+              profiler: Profiler | None = None, *legacy,
               backend: str = "compiled",
-              optimize: str = "none") -> list[float]:
+              optimize: str = "none",
+              as_array: bool = False):
     """Run a complete (void->void or void->float) program graph.
 
     ``optimize`` rewrites the graph with the paper's optimization passes
@@ -339,25 +459,52 @@ def run_graph(stream: Stream, n_outputs: int,
     :func:`repro.exec.optimize.optimize_stream`); under the ``plan``
     backend the rewrite, the compiled plan, and the rate-simulation
     schedule are all cached across calls by graph content.
+
+    One-shot wrapper over :class:`repro.session.StreamSession` — the
+    session API (``repro.compile``) is the way in when the plan should
+    be compiled once and amortized across many calls.  ``as_array=True``
+    returns ``np.ndarray`` instead of ``list[float]`` (ndarray-native
+    where the sink allows, converted otherwise).  Passing ``backend`` or
+    ``optimize`` positionally is deprecated.
     """
-    if backend == "plan":
-        from ..exec import plan_executor_for  # deferred: exec imports us
-        return plan_executor_for(stream, profiler,
-                                 optimize=optimize).run(n_outputs)
-    if optimize != "none":
-        from ..exec.optimize import optimize_stream
-        stream = optimize_stream(stream, optimize)
-    return FlatGraph(stream, profiler, backend).run(n_outputs)
+    backend, optimize = _shift_deprecated_positionals(
+        "run_graph", legacy, backend, optimize)
+    from ..session import StreamSession  # deferred: session imports us
+    session = StreamSession(stream, backend=backend, optimize=optimize,
+                            profiler=profiler, _program_mode=True)
+    out = session._advance_raw(n_outputs)
+    if as_array:
+        return np.asarray(out, dtype=np.float64)
+    if isinstance(out, np.ndarray):
+        return out.tolist()
+    return out if isinstance(out, list) else list(out)
 
 
 def run_stream(stream: Stream, inputs, n_outputs: int,
-               profiler: Profiler | None = None,
+               profiler: Profiler | None = None, *legacy,
                backend: str = "compiled",
-               optimize: str = "none") -> list[float]:
-    """Run a float->float ``stream`` on ``inputs``; collect ``n_outputs``."""
+               optimize: str = "none",
+               as_array: bool = False):
+    """Run a float->float ``stream`` on ``inputs``; collect ``n_outputs``.
+
+    With ``as_array=True`` the harness is ndarray-native end to end
+    (:class:`~repro.runtime.builtins.ChunkSource` feeding the graph,
+    :class:`~repro.runtime.builtins.ArrayCollector` at the sink) and the
+    result is an ``np.ndarray`` — no per-sample boxing.  The default
+    (list) harness is unchanged: ``ListSource`` + ``Collector``.
+    """
+    backend, optimize = _shift_deprecated_positionals(
+        "run_stream", legacy, backend, optimize)
+    if as_array:
+        from ..session import StreamSession
+        session = StreamSession(stream, backend=backend, optimize=optimize,
+                                profiler=profiler)
+        session.feed(inputs)
+        return session.run(n_outputs)
     program = Pipeline([ListSource(inputs), stream, Collector()],
                        name="harness")
-    return run_graph(program, n_outputs, profiler, backend, optimize)
+    return run_graph(program, n_outputs, profiler, backend=backend,
+                     optimize=optimize)
 
 
 def count_ops(stream: Stream, n_outputs: int, inputs=None,
@@ -366,9 +513,11 @@ def count_ops(stream: Stream, n_outputs: int, inputs=None,
     """Run and return the profiler (FLOP counts) for ``n_outputs`` outputs."""
     profiler = Profiler()
     if inputs is None:
-        run_graph(stream, n_outputs, profiler, backend, optimize)
+        run_graph(stream, n_outputs, profiler, backend=backend,
+                  optimize=optimize)
     else:
-        run_stream(stream, inputs, n_outputs, profiler, backend, optimize)
+        run_stream(stream, inputs, n_outputs, profiler, backend=backend,
+                   optimize=optimize)
     return profiler
 
 

@@ -1,0 +1,333 @@
+"""Compile-once streaming sessions: the :class:`StreamSession` API.
+
+The paper's premise is that linear analysis pays off when a plan is
+built once and amortized over many firings.  ``run_graph`` replans,
+re-flattens, and re-fills sources on every call; a session compiles the
+program once and then advances it incrementally — a stream program is a
+state-carrying homomorphism, so the natural API is a persistent object
+that consumes input chunks and advances carried state, not a batch
+function.
+
+Entry point::
+
+    import repro
+
+    session = repro.compile(program, backend="plan", optimize="auto")
+    first = session.run(4096)      # np.ndarray — resumable
+    more = session.run(4096)       # continues the stream
+    print(session.profile.counts.flops)
+
+Float->float graphs (no source of their own) compile into a *push*
+session: an ndarray-native harness (:class:`~repro.runtime.builtins.
+ChunkSource` feeding the graph, :class:`~repro.runtime.builtins.
+ArrayCollector` at the sink) is injected internally, and input arrives
+incrementally::
+
+    fir = repro.compile(low_pass_filter(1.0, math.pi / 3, 256))
+    for chunk in chunks:                # any chunk sizes
+        out = fir.push(chunk)           # np.ndarray of completed outputs
+
+**State-carry semantics.**  Consecutive ``run``/``push`` calls continue
+the stream exactly where it stopped: channel occupancy (peek lookahead
+windows), stateful filter fields, state-space carries ``s``, FFT partial
+sums, and feedback-island delay rings all persist, and total firing
+counts — therefore FLOP counts — after any sequence of advances equal a
+single batch run of the same total.  ``reset()`` rewinds to the initial
+state without recompiling; the compiled plan itself is immutable.
+
+**Cache pinning.**  A plan-backend session holds its
+:class:`~repro.exec.cache.PlanEntry` directly: repeated ``run``/``push``
+calls never touch the plan cache (zero replanning, zero
+re-fingerprinting), and mutating a filter's coefficient array in place
+after ``compile`` does *not* invalidate the session — the plan is
+pinned to the coefficients it was compiled with (kernels copied them at
+compile time).  A fresh ``repro.compile`` of the mutated graph misses
+the cache and recompiles, exactly like ``run_graph``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import StreamGraphError
+from .graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                            PrimitiveFilter, SplitJoin, Stream)
+from .profiling import Profiler
+from .runtime.builtins import ArrayCollector, ChunkSource
+from .runtime.executor import FlatGraph
+
+__all__ = ["StreamSession", "compile"]
+
+
+# ---------------------------------------------------------------------------
+# Boundary-rate detection (mirrors FlatGraph._flatten's channel wiring)
+# ---------------------------------------------------------------------------
+
+
+def _consumes_external_input(s: Stream) -> bool:
+    """Whether the flattened graph would read the graph input channel."""
+    if isinstance(s, Filter):
+        # exact mirror of FlatGraph._flatten's wiring: prework rates are
+        # deliberately not consulted, because the flattener wires no
+        # input channel for them either (a filter whose steady work has
+        # pop=peek=0 but whose prework pops is unexecutable everywhere)
+        return bool(s.pop or s.peek)
+    if isinstance(s, PrimitiveFilter):
+        return bool(s.peek or s.pop or s.init_peek or s.init_pop)
+    if isinstance(s, Pipeline):
+        return _consumes_external_input(s.children[0])
+    if isinstance(s, SplitJoin):
+        # a splitter nominally reads the boundary channel, but when every
+        # branch starts with its own source (Radar's antenna bank) the
+        # split output dangles and the program needs no external input
+        if not any(_consumes_external_input(c) for c in s.children):
+            return False
+        if isinstance(s.splitter, Duplicate):
+            return True
+        return sum(s.splitter.weights) > 0
+    if isinstance(s, FeedbackLoop):
+        return s.joiner.weights[0] > 0
+    raise TypeError(f"cannot analyze {s!r}")
+
+
+def _produces_output(s: Stream) -> bool:
+    """Whether the flattened graph would wire an output channel."""
+    if isinstance(s, Filter):
+        return bool(s.push or (s.prework and s.prework.push))
+    if isinstance(s, PrimitiveFilter):
+        return bool(s.push or s.init_push)
+    if isinstance(s, Pipeline):
+        return _produces_output(s.children[-1])
+    # SplitJoin joiners and FeedbackLoop splitters always wire an output
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+class StreamSession:
+    """A compiled stream program with incremental ndarray push/pull.
+
+    Build with :func:`repro.compile`.  All three backends share the
+    interface; only the execution strategy differs:
+
+    * ``run(n)`` — produce the *next* ``n`` outputs (complete programs,
+      or push sessions with enough fed input).
+    * ``push(chunk)`` — feed a chunk and return every output it
+      completes (push sessions only).
+    * ``feed(chunk)`` — feed without draining (pair with ``run``).
+    * ``reset()`` — rewind the stream without recompiling.
+    * ``report()`` — the plan's kernel choices (no re-planning).
+    * ``profile`` — the session's cumulative :class:`Profiler`.
+    """
+
+    def __init__(self, stream: Stream, *, backend: str = "plan",
+                 optimize: str = "none", profiler: Profiler | None = None,
+                 chunk_outputs: int | None = None,
+                 _program_mode: bool | None = None):
+        if backend not in ("interp", "compiled", "plan"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.stream = stream
+        self.backend = backend
+        self.optimize = optimize
+        self._profiler = profiler
+        self._source: ChunkSource | None = None
+        self._produced_total = 0
+
+        if _program_mode is None:
+            program_mode = not _consumes_external_input(stream)
+        else:
+            program_mode = _program_mode
+        if program_mode:
+            self._program = stream
+        else:
+            parts = [ChunkSource(), stream]
+            self._source = parts[0]
+            if _produces_output(stream):
+                parts.append(ArrayCollector())
+            self._program = Pipeline(
+                parts, name=f"{getattr(stream, 'name', 'stream')}.session")
+
+        from .exec.planner import DEFAULT_CHUNK_OUTPUTS
+        self._chunk_outputs = (chunk_outputs if chunk_outputs is not None
+                               else DEFAULT_CHUNK_OUTPUTS)
+        self._entry = None
+        self._optimized = None  # scalar backends: the rewritten program
+        self._executor = self._build_executor()
+        if self._source is not None:
+            self._check_push_sources()
+
+    # -- compilation -------------------------------------------------------
+    def _build_executor(self):
+        if self.backend == "plan":
+            from .exec.planner import compiled_plan_for
+            executor, entry = compiled_plan_for(
+                self._program, self._profiler,
+                chunk_outputs=self._chunk_outputs, optimize=self.optimize,
+                traces=self._source is None)
+            self._entry = entry
+            return executor
+        if self._optimized is None:
+            program = self._program
+            if self.optimize != "none":
+                from .exec.optimize import optimize_stream
+                program = optimize_stream(program, self.optimize)
+            self._optimized = program
+        return FlatGraph(self._optimized, self._profiler, self.backend)
+
+    def _check_push_sources(self) -> None:
+        """Reject push graphs with internal *unbounded* sources.
+
+        ``push`` drains greedily until the fed input runs dry; a source
+        the input does not bound (``FunctionSource``, an IR source
+        filter, a constant source) never runs dry, so the drain would
+        spin and grow channels instead of quiescing.  Such graphs are
+        still runnable as complete programs via ``run_graph`` /
+        pull-mode ``compile``.
+        """
+        from .runtime.builtins import ListSource
+
+        flat = getattr(self._executor, "flat", self._executor)
+        for node in flat.nodes:
+            if node.inputs:
+                continue
+            if node.stream is self._source or \
+                    isinstance(node.stream, ListSource):
+                continue  # the harness feed / a finite source
+            raise StreamGraphError(
+                f"stream {getattr(self.stream, 'name', '?')} contains "
+                f"unbounded source {node.name}: greedy push drains can "
+                "never quiesce — compile it as a complete program "
+                "instead")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def profile(self) -> Profiler | None:
+        """Cumulative FLOP counts across every run/push of this session."""
+        return self._profiler
+
+    @property
+    def cache_entry(self):
+        """The pinned :class:`~repro.exec.cache.PlanEntry` (plan backend)."""
+        return self._entry
+
+    @property
+    def bailout(self) -> str | None:
+        """Why the plan backend fell back to scalar execution, if it did."""
+        if self._entry is not None and self._entry.bailout is not None:
+            return self._entry.bailout
+        return None
+
+    @property
+    def consumed(self) -> int:
+        """Items of fed input the graph has consumed (push sessions)."""
+        if self._source is None:
+            raise StreamGraphError(
+                "consumed is only defined for push sessions")
+        return self._source.consumed
+
+    @property
+    def outputs_produced(self) -> int:
+        """Total outputs this session has returned so far."""
+        return self._produced_total
+
+    def report(self):
+        """The plan's kernel choices for this program (no re-planning
+        for live plan sessions; advisory for scalar sessions)."""
+        from .exec.planner import (PlanExecutor, PlanReport, plan_report,
+                                   report_for_executor)
+        name = getattr(self.stream, "name", "?")
+        if isinstance(self._executor, PlanExecutor):
+            return report_for_executor(self._executor, name, self.optimize)
+        if self.bailout is not None:
+            return PlanReport(program=name, optimize=self.optimize,
+                              bailout=self.bailout)
+        return plan_report(self._program, self.optimize)
+
+    # -- execution ---------------------------------------------------------
+    def _advance_raw(self, n: int):
+        """Advance and return the executor's native container (list or
+        ndarray) — the zero-conversion path the legacy list-returning
+        wrappers use."""
+        out = self._executor.advance(n)
+        self._produced_total += n
+        return out
+
+    def run(self, n: int) -> np.ndarray:
+        """Produce and return the next ``n`` outputs.
+
+        Resumable: consecutive calls continue the stream, and the total
+        work after ``run(k1); run(k2)`` is identical — values and FLOP
+        counts — to one ``run(k1 + k2)``.  On a push session this
+        consumes previously fed input and raises the executor's deadlock
+        error when not enough has been fed.
+        """
+        return np.asarray(self._advance_raw(n), dtype=np.float64)
+
+    def feed(self, chunk) -> int:
+        """Feed input without draining; returns the item count added."""
+        if self._source is None:
+            raise StreamGraphError(
+                f"stream {getattr(self.stream, 'name', '?')} has its own "
+                "sources; feed/push apply to float->float sessions only")
+        return self._source.feed(chunk)
+
+    def push(self, chunk) -> np.ndarray:
+        """Feed a chunk and return every output it completes.
+
+        Chunking is semantically invisible: pushing an input split into
+        arbitrary chunks produces bitwise-identical outputs and FLOP
+        counts to pushing it whole.
+        """
+        self.feed(chunk)
+        out = self._executor.drain_available()
+        self._produced_total += len(out)
+        return np.asarray(out, dtype=np.float64)
+
+    def reset(self, clear_profile: bool = False) -> None:
+        """Rewind the stream to its initial state without recompiling.
+
+        Channel occupancy, filter state, island rings, and source
+        positions reset; the compiled plan (and its pinned cache entry)
+        is reused as-is.  The cumulative profile is kept unless
+        ``clear_profile`` is set.
+        """
+        if self._source is not None:
+            self._source.clear()
+        if self._entry is not None:
+            from .exec.planner import executor_from_entry
+            self._executor = executor_from_entry(
+                self._entry, self._profiler,
+                chunk_outputs=self._chunk_outputs,
+                traces=self._source is None)
+        else:
+            self._executor = self._build_executor()
+        self._produced_total = 0
+        if clear_profile and self._profiler is not None:
+            from .profiling import Counts
+            self._profiler.counts = Counts()
+            self._profiler.per_filter.clear()
+
+
+def compile(stream: Stream, *, backend: str = "plan",
+            optimize: str = "none", profiler: Profiler | None = None,
+            chunk_outputs: int | None = None) -> StreamSession:
+    """Compile ``stream`` once into a resumable :class:`StreamSession`.
+
+    ``backend`` is one of ``"interp"`` / ``"compiled"`` / ``"plan"``
+    (default — the vectorized engine; graphs it cannot batch fall back
+    to scalar execution inside the session, see ``session.bailout``).
+    ``optimize`` is the pre-plan rewrite mode (``"none"`` | ``"linear"``
+    | ``"freq"`` | ``"auto"``).  A complete program (it has its own
+    sources) yields a *pull* session driven by ``session.run(n)``; a
+    float->float graph yields a *push* session driven by
+    ``session.push(chunk)``.  The session profiles into ``profiler``
+    (default: a fresh :class:`Profiler`, exposed as
+    ``session.profile``).
+    """
+    if profiler is None:
+        profiler = Profiler()
+    return StreamSession(stream, backend=backend, optimize=optimize,
+                         profiler=profiler, chunk_outputs=chunk_outputs)

@@ -109,6 +109,48 @@ def test_compare_conflicts_with_backend_and_optimize_flags():
         assert exc.value.code == 2  # argparse usage error
 
 
+def test_chunked_flag_validation():
+    from repro.bench import main as bench_main
+
+    for argv in (["--app", "fir", "--compare", "--chunked"],
+                 ["--app", "fir", "--chunk-size", "64"],
+                 ["--app", "fir", "--chunked", "--chunk-size", "0"]):
+        with pytest.raises(SystemExit) as exc:
+            bench_main(argv + ["--outputs", "64"])
+        assert exc.value.code == 2
+
+
+def test_chunked_mode_emits_batch_and_chunked_records(capsys):
+    import json
+
+    from repro.bench import main as bench_main
+
+    assert bench_main(["--app", "fir", "--chunked", "--outputs", "512",
+                       "--chunk-size", "128"]) == 0
+    rec = json.loads(capsys.readouterr().out)
+    assert rec["chunk_size"] == 128
+    assert rec["batch"]["outputs"] == 512
+    assert rec["chunked"]["outputs"] >= 512
+    assert rec["chunked_vs_batch"] > 0
+    # both rows do the same work per output modulo the harness swap
+    assert rec["chunked"]["flops_per_output"] <= \
+        rec["batch"]["flops_per_output"]
+
+
+def test_measure_chunked_matches_batch_flops_per_output():
+    """For a body with a zero-flop source the per-output FLOP cost of
+    chunked streaming equals the batch session's exactly."""
+    from repro.apps import fir
+    from repro.bench import measure_chunked
+
+    m = measure_chunked(fir.build(taps=32), "original", 256,
+                        backend="plan", chunk_size=64)
+    assert m.outputs >= 256
+    # 32-tap FIR: 32 mults + 31 adds + 1 idx op cost per output from the
+    # filter alone; the harness adds nothing
+    assert m.flops_per_output == pytest.approx(63.0, abs=1.0)
+
+
 def test_rate_changer_configs_equivalent():
     prog = Pipeline([
         FunctionSource(lambda n: float(n % 7), "src"),

@@ -86,14 +86,18 @@ def test_trace_replay_matches_simulated_run():
     np.testing.assert_allclose(longer, expected, atol=1e-9)
 
 
-def test_replayed_executor_cannot_be_rerun():
+def test_replayed_executor_resumes_live_simulation():
+    """A cached-trace replay installs the recorded simulator end-state,
+    so the same executor can keep producing outputs afterwards (the
+    session contract) — values and FLOPs identical to a longer run."""
     program = fir.build(taps=32)
     run_graph(program, 50, backend="plan")  # records the trace
     executor = plan_executor_for(program)
     assert isinstance(executor, PlanExecutor)
-    executor.run(50)  # replays
-    with pytest.raises(InterpError, match="replay"):
-        executor.run(60)
+    first = executor.run(50)  # replays the recorded schedule
+    resumed = first + list(executor.advance(10))
+    expected = run_graph(fir.build(taps=32), 60, backend="compiled")
+    np.testing.assert_allclose(resumed, expected, atol=1e-9)
 
 
 # ---------------------------------------------------------------------------

@@ -462,7 +462,8 @@ class TestIIRApp:
         base = run_graph(iir.build(), 200, backend="interp")
         for backend in BACKENDS:
             for mode in ("none", "linear", "auto"):
-                got = run_graph(iir.build(), 200, None, backend, mode)
+                got = run_graph(iir.build(), 200, backend=backend,
+                                optimize=mode)
                 np.testing.assert_allclose(got, base, atol=1e-9, rtol=1e-9,
                                            err_msg=f"{backend}/{mode}")
 
