@@ -46,10 +46,10 @@ Benchmark CLI::
     python -m repro.bench --app fir --chunked          # push-session mode
 """
 
-from . import errors, exec, graph, ir, linear, runtime, session
+from . import errors, exec, graph, ir, linear, runtime, serve, session
 from .session import StreamSession, compile
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = ["errors", "exec", "graph", "ir", "linear", "runtime",
+__all__ = ["errors", "exec", "graph", "ir", "linear", "runtime", "serve",
            "session", "StreamSession", "compile", "__version__"]

@@ -174,6 +174,12 @@ def measure(program: Stream, config: str, n_outputs: int,
 #: overhead, small enough to exercise many session advances per run.
 DEFAULT_CHUNK_SIZE = 4096
 
+#: ``--serve`` defaults: concurrent clients and per-client output budget
+#: — request-sized workloads where per-call planning overhead dominates
+#: a one-shot caller, which is exactly what the pool amortizes away.
+DEFAULT_SERVE_CLIENTS = 64
+DEFAULT_SERVE_OUTPUTS = 4096
+
 
 def measure_chunked(program: Stream, config: str, n_outputs: int,
                     backend: str = "plan", optimize: str = "none",
@@ -316,6 +322,16 @@ def main(argv=None) -> int:
     parser.add_argument("--plan-report", action="store_true",
                         help="print the plan's kernel choices and "
                              "fallback reasons, then exit")
+    parser.add_argument("--serve", action="store_true",
+                        help="load-test the repro.serve session server: "
+                             "--clients concurrent push streams vs "
+                             "sequential one-shot run_graph calls")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent clients for --serve "
+                             f"(default: {DEFAULT_SERVE_CLIENTS})")
+    parser.add_argument("--serve-out", default="results/serve.txt",
+                        help="report path for --serve (default: "
+                             "results/serve.txt; 'none' to skip)")
     args = parser.parse_args(argv)
 
     if args.outputs is not None and args.outputs < 1:
@@ -329,8 +345,15 @@ def main(argv=None) -> int:
     if args.compare and args.chunked:
         parser.error("--chunked measures one backend; it conflicts "
                      "with --compare")
-    if args.chunk_size is not None and not args.chunked:
-        parser.error("--chunk-size requires --chunked")
+    if args.serve and (args.compare or args.chunked or args.plan_report):
+        parser.error("--serve is its own measurement mode; it conflicts "
+                     "with --compare/--chunked/--plan-report")
+    if args.clients is not None and not args.serve:
+        parser.error("--clients requires --serve")
+    if args.clients is not None and args.clients < 1:
+        parser.error("--clients must be a positive integer")
+    if args.chunk_size is not None and not (args.chunked or args.serve):
+        parser.error("--chunk-size requires --chunked or --serve")
     if args.chunk_size is not None and args.chunk_size < 1:
         parser.error("--chunk-size must be a positive integer")
     backend = args.backend if args.backend is not None else "plan"
@@ -346,6 +369,24 @@ def main(argv=None) -> int:
         from .exec import plan_report
         program = build_config(BENCHMARKS[app_name](), args.config)
         print(plan_report(program, optimize=optimize))
+        return 0
+
+    if args.serve:
+        if args.config != "original":
+            parser.error("--serve measures the app as written; it "
+                         "conflicts with --config")
+        from .serve.loadgen import run_load
+        out_path = (None if args.serve_out == "none" else args.serve_out)
+        result = run_load(
+            app=app_name,
+            clients=(args.clients if args.clients is not None
+                     else DEFAULT_SERVE_CLIENTS),
+            outputs=(args.outputs if args.outputs is not None
+                     else DEFAULT_SERVE_OUTPUTS),
+            chunk_size=(args.chunk_size if args.chunk_size is not None
+                        else DEFAULT_CHUNK_SIZE // 2),
+            backend=backend, optimize=optimize, out_path=out_path)
+        print(json.dumps(result))
         return 0
 
     if args.chunked:

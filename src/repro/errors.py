@@ -36,6 +36,56 @@ class CombinationError(ReproError):
     """A structural linear combination rule could not be applied."""
 
 
+class CompileOptionError(ReproError, ValueError):
+    """A bad ``repro.compile`` / serve-protocol option value.
+
+    Raised for unknown ``backend`` / ``optimize`` / session-mode values
+    *before* any graph work happens, so callers (and the serve protocol)
+    can map it to a precise client error instead of a ``KeyError`` or
+    ``ValueError`` escaping from deeper layers.  Subclasses
+    ``ValueError`` for backward compatibility.
+    """
+
+    def __init__(self, option: str, value, choices):
+        self.option = option
+        self.value = value
+        self.choices = tuple(choices)
+        super().__init__(
+            f"unknown {option} {value!r} (expected one of "
+            f"{', '.join(map(repr, self.choices))})")
+
+
+class ChunkDtypeError(ReproError, TypeError):
+    """A pushed chunk has a dtype that cannot feed a float stream.
+
+    ``push``/``feed`` accept real numeric chunks (float/int/bool arrays
+    or sequences); complex, string, object, and other non-castable
+    dtypes raise this instead of whatever ``np.asarray`` would.
+    """
+
+    def __init__(self, dtype):
+        self.dtype = dtype
+        super().__init__(
+            f"chunk dtype {dtype!s} is not a real numeric type; "
+            "push/feed require float-convertible data (float/int/bool)")
+
+
+class SessionClosedError(ReproError, RuntimeError):
+    """A :class:`~repro.session.StreamSession` was used after ``close()``."""
+
+
+class ProtocolError(ReproError):
+    """A serve-protocol failure (malformed frame, server error reply).
+
+    ``code`` is the machine-readable error code carried by serve error
+    frames (``"bad-frame"``, ``"backpressure"``, ``"timeout"``, ...).
+    """
+
+    def __init__(self, message: str, code: str = "protocol"):
+        super().__init__(message)
+        self.code = code
+
+
 class DSLError(ReproError):
     """Lexing/parsing/elaboration failure in the textual mini-StreamIt DSL."""
 

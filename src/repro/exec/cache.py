@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import threading
 import types
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -396,50 +397,94 @@ class PlanEntry:
     #:   ([(step_index, firings), ...], simulator end-state snapshot);
     #: the snapshot lets a replayed executor resume live simulation
     traces: _TraceStore = field(default_factory=_TraceStore)
+    #: live holders (sessions) of this entry; pinned entries survive the
+    #: cache's LRU trim so a long-lived session's plan is never dropped
+    #: out from under it while recompiles churn the cache
+    pins: int = 0
+
+    def acquire(self) -> "PlanEntry":
+        """Register a live holder (a session); pairs with :meth:`release`."""
+        self.pins += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one holder registration (``StreamSession.close``)."""
+        if self.pins > 0:
+            self.pins -= 1
 
 
 class PlanCache:
-    """LRU cache of :class:`PlanEntry` keyed by (fingerprint, optimize)."""
+    """LRU cache of :class:`PlanEntry` keyed by (fingerprint, optimize).
+
+    Structure mutations hold a lock — the serving layer compiles on
+    worker threads against this one shared cache.  Entry *contents*
+    (optimized graph, decisions, ...) are filled in lock-free by
+    ``compiled_plan_for``; concurrent fillers of one entry compute
+    equivalent values, so last-writer-wins is benign.
+    """
 
     def __init__(self, max_entries: int = 32):
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, PlanEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def entry_for(self, stream: Stream, optimize: str) -> PlanEntry:
         digest, single_use = fingerprint_stream(stream)
-        if single_use:
-            # unsnapshotable mutable state reachable: never store (a
-            # later in-place mutation would replay a stale plan), and
-            # drop any entry a pre-fix fingerprint may have left behind
+        with self._lock:
+            if single_use:
+                # unsnapshotable mutable state reachable: never store (a
+                # later in-place mutation would replay a stale plan), and
+                # drop any entry a pre-fix fingerprint may have left behind
+                self.misses += 1
+                self._entries.pop((digest, optimize), None)
+                return PlanEntry(pin=stream)
+            key = (digest, optimize)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
             self.misses += 1
-            self._entries.pop((digest, optimize), None)
-            return PlanEntry(pin=stream)
-        key = (digest, optimize)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
+            entry = PlanEntry(pin=stream)
+            self._entries[key] = entry
+            self._trim()
             return entry
-        self.misses += 1
-        entry = PlanEntry(pin=stream)
-        self._entries[key] = entry
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return entry
+
+    def _trim(self) -> None:
+        """Evict least-recently-used *unpinned* entries past the cap
+        (caller holds the lock).
+
+        Entries held by live sessions (``pins > 0``) are skipped: the
+        session owns a direct reference anyway, so dropping the cache
+        slot would only force the next content-identical compile to
+        rebuild a plan that is still resident.  When every entry is
+        pinned the cache temporarily exceeds ``max_entries``.
+        """
+        excess = len(self._entries) - self.max_entries
+        if excess <= 0:
+            return
+        for key in [k for k, e in self._entries.items() if e.pins <= 0]:
+            del self._entries[key]
+            excess -= 1
+            if excess <= 0:
+                return
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Process-wide cache used by ``run_graph(..., backend="plan")``.

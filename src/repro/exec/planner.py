@@ -1051,7 +1051,8 @@ class PlanExecutor:
 
 def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
-                      optimize: str = "none", cache=None, traces=True):
+                      optimize: str = "none", cache=None, traces=True,
+                      seed=None):
     """Compile ``stream``; return ``(executor, entry)``.
 
     The full pipeline: rewrite the graph per ``optimize``
@@ -1063,6 +1064,17 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
     fingerprint; pass ``cache=False`` to plan from scratch (``entry`` is
     then None).  Probing happens at most once per entry — repeated
     compiles of a cached graph never re-extract or re-probe.
+
+    ``seed`` is an optional :class:`~repro.exec.cache.PlanEntry` of a
+    **content-identical** graph (same fingerprint modulo single-use
+    sources): its bailout verdict, island probe results, and extraction
+    decisions transfer to this compile, skipping the expensive probing
+    that single-use fingerprints (push-session ``ChunkSource`` rings)
+    cannot amortize through the cache.  Sound because those artifacts
+    are pure functions of graph *content* and are consumed read-only —
+    :class:`~repro.serve.pool.SessionPool` feeds the first session's
+    entry to every sibling compile of the same key.  The caller owns
+    the identity claim; a mismatched seed corrupts planning.
 
     ``executor`` is the scalar compiled :class:`FlatGraph` (same
     ``run``/``advance`` interface) when the graph cannot be batched —
@@ -1082,6 +1094,15 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
                             island_rates=rates), None
 
     entry = cache.entry_for(stream, optimize)
+    if seed is not None and seed is not entry:
+        # decision/island maps key on flattened node indices — identical
+        # content means identical structure means identical indices
+        if entry.bailout is _UNSET and seed.bailout is not _UNSET:
+            entry.bailout = seed.bailout
+            if entry.islands is None:
+                entry.islands = seed.islands
+        if entry.decisions is None and seed.decisions is not None:
+            entry.decisions = seed.decisions
     if entry.optimized is None:
         entry.optimized = optimize_stream(stream, optimize)
     flat = FlatGraph(entry.optimized, profiler, backend="compiled")

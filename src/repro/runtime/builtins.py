@@ -76,8 +76,19 @@ class ChunkSource(PrimitiveFilter):
         self.name = name
 
     def feed(self, values) -> int:
-        """Append a chunk; returns the number of items added."""
-        arr = np.asarray(values, dtype=np.float64).ravel()
+        """Append a chunk; returns the number of items added.
+
+        Accepts real numeric data only: float/int/bool arrays or
+        sequences convert to float64; complex, string, object, and
+        other dtypes raise :class:`~repro.errors.ChunkDtypeError`
+        instead of whatever ``np.asarray`` would.
+        """
+        from ..errors import ChunkDtypeError
+
+        arr = np.asarray(values)
+        if arr.dtype.kind not in "fiub":
+            raise ChunkDtypeError(arr.dtype)
+        arr = arr.astype(np.float64, copy=False).ravel()
         self.buffer.push_array(arr)
         self.fed += len(arr)
         return len(arr)

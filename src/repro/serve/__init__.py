@@ -1,0 +1,36 @@
+"""``repro.serve`` — a concurrent streaming session server.
+
+The serving layer over PR 5's compile-once sessions: an asyncio server
+multiplexing many concurrent :class:`~repro.session.StreamSession`
+streams over the shared plan cache.
+
+* :mod:`~repro.serve.server` — :class:`StreamServer` + serving knobs
+  (:class:`ServeConfig`): backpressure caps, per-request timeouts,
+  idle-session TTL eviction, thread-pool execution;
+* :mod:`~repro.serve.pool` — :class:`SessionPool`: sessions keyed by
+  graph fingerprint, recycled via ``reset()`` (zero recompiles), TTL
+  eviction unpins plan entries;
+* :mod:`~repro.serve.protocol` — length-prefixed binary framing
+  (float64 chunk payloads, JSON error frames);
+* :mod:`~repro.serve.client` — :class:`ServeClient`, the async client;
+* :mod:`~repro.serve.metrics` — :class:`MetricsRegistry` behind the
+  ``STATS`` command;
+* :mod:`~repro.serve.loadgen` — ``bench --serve`` load generator.
+
+Quick start::
+
+    server = StreamServer()
+    await server.start(path="/tmp/repro.sock")
+
+    client = await ServeClient.connect(path="/tmp/repro.sock")
+    await client.open(app="fir", optimize="auto")
+    out = await client.push(chunk)
+"""
+
+from .client import ServeClient
+from .metrics import MetricsRegistry
+from .pool import PooledSession, SessionPool
+from .server import ServeConfig, StreamServer, parse_stats
+
+__all__ = ["StreamServer", "ServeConfig", "ServeClient", "SessionPool",
+           "PooledSession", "MetricsRegistry", "parse_stats"]

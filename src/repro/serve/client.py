@@ -1,0 +1,182 @@
+"""Async client for the session server.
+
+Mirrors the :class:`~repro.session.StreamSession` surface over the wire
+(``open``/``push``/``feed``/``run``/``reset``), adding ``stats`` and
+``ping``.  Error frames raise :class:`~repro.errors.ProtocolError` with
+the server's machine-readable ``code`` — the client never has to parse
+messages.  One client = one connection = at most one session, matching
+the server's sequential-per-connection execution model.
+
+Used in-process by the test suite and the load generator (connect to a
+server running on the same event loop), and equally usable against a
+remote server — the transport is plain TCP or a unix-domain socket.
+
+::
+
+    client = await ServeClient.connect(path="/tmp/repro.sock")
+    await client.open(app="fir")
+    out = await client.push(chunk)          # np.ndarray
+    print(await client.stats())
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from ..errors import ChunkDtypeError, ProtocolError
+from . import protocol as P
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.StreamServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0,
+                      path: str | None = None) -> "ServeClient":
+        """Connect over a unix socket (``path``) or TCP (``host:port``)."""
+        if path is not None:
+            reader, writer = await asyncio.open_unix_connection(path)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # -- request/response core ---------------------------------------------
+    async def _request(self, kind: int, payload: bytes = b"") -> P.Frame:
+        await P.write_frame(self._writer, kind, payload)
+        frame = await P.read_frame(self._reader)
+        if frame is None:
+            raise ProtocolError("server closed the connection",
+                                code="disconnected")
+        if frame.kind == P.ERR:
+            info = frame.json()
+            raise ProtocolError(info.get("error", "server error"),
+                                code=info.get("code", "internal"))
+        return frame
+
+    @staticmethod
+    def _chunk_bytes(chunk) -> bytes:
+        arr = np.asarray(chunk)
+        if arr.dtype.kind not in "fiub":
+            raise ChunkDtypeError(arr.dtype)
+        return P.encode_array(arr)
+
+    # -- session surface ---------------------------------------------------
+    async def open(self, *, app: str | None = None,
+                   dsl: str | None = None, top: str | None = None,
+                   backend: str = "plan", optimize: str = "none",
+                   mode: str = "push", params: dict | None = None) -> None:
+        """Open a session: a registry app (``app="fir"``) or a DSL
+        program (``dsl=source``); ``mode="push"`` strips a registry
+        app's source/Collector harness so input arrives via ``push``,
+        ``mode="pull"`` serves the complete program via ``run``."""
+        import json
+
+        spec: dict = {"backend": backend, "optimize": optimize,
+                      "mode": mode}
+        if app is not None:
+            spec["app"] = app
+            if params:
+                spec["params"] = params
+        if dsl is not None:
+            spec["dsl"] = dsl
+            if top is not None:
+                spec["top"] = top
+        await self._request(P.OPEN, json.dumps(spec).encode("utf-8"))
+
+    async def push(self, chunk) -> np.ndarray:
+        """Feed a chunk; returns every output it completes."""
+        frame = await self._request(P.PUSH, self._chunk_bytes(chunk))
+        return frame.array()
+
+    async def push_stream(self, chunks, window: int = 8,
+                          latencies: list | None = None):
+        """Pipelined pushes: async-iterates the per-chunk outputs, in
+        order, keeping up to ``window`` pushes in flight.
+
+        Awaiting every reply before the next send costs a full client ↔
+        server task round-trip per chunk; with a send window the server
+        drains whole bursts of buffered frames without yielding, so the
+        round-trip amortizes across the window.  ``latencies`` (optional
+        list) collects each chunk's send→reply seconds — with a full
+        window that includes queueing behind the chunks ahead of it,
+        exactly what a streaming client experiences.  An error frame
+        raises :class:`~repro.errors.ProtocolError` and aborts the
+        stream with replies possibly still in flight — close the
+        connection rather than reusing it.
+        """
+        chunks = list(chunks)
+        sent: list[float] = []
+        done = 0
+        for chunk in chunks:  # prime one full window before reading
+            if len(sent) - done >= window:
+                break
+            payload = self._chunk_bytes(chunk)
+            sent.append(time.perf_counter())
+            await P.write_frame(self._writer, P.PUSH, payload)
+        while done < len(chunks):
+            frame = await P.read_frame(self._reader)
+            if frame is None:
+                raise ProtocolError("server closed the connection",
+                                    code="disconnected")
+            if frame.kind == P.ERR:
+                info = frame.json()
+                raise ProtocolError(info.get("error", "server error"),
+                                    code=info.get("code", "internal"))
+            if latencies is not None:
+                latencies.append(time.perf_counter() - sent[done])
+            done += 1
+            if len(sent) < len(chunks):
+                payload = self._chunk_bytes(chunks[len(sent)])
+                sent.append(time.perf_counter())
+                await P.write_frame(self._writer, P.PUSH, payload)
+            yield frame.array()
+
+    async def feed(self, chunk) -> int:
+        """Feed without draining; returns the item count added."""
+        frame = await self._request(P.FEED, self._chunk_bytes(chunk))
+        return frame.u64()
+
+    async def run(self, n: int) -> np.ndarray:
+        """The next ``n`` outputs (pull sessions, or fed push sessions)."""
+        frame = await self._request(P.RUN, int(n).to_bytes(4, "big"))
+        return frame.array()
+
+    async def reset(self) -> None:
+        await self._request(P.RESET)
+
+    async def close_session(self) -> None:
+        """Release the session to the pool; the connection stays open."""
+        await self._request(P.CLOSE)
+
+    async def stats(self) -> str:
+        """The server's ``STATS`` text dump."""
+        return (await self._request(P.STATS)).text()
+
+    async def ping(self) -> None:
+        await self._request(P.PING)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def close(self) -> None:
+        """Close the connection (the server releases the session)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -1,0 +1,264 @@
+"""Load generator: N concurrent clients against one session server.
+
+``python -m repro.bench --serve --clients N --app fir`` lands here.
+The harness measures the serving layer the way the north star cares
+about it — aggregate throughput across many concurrent streams — and
+anchors it against the one-shot path a client would otherwise use:
+
+* **serve** — one in-process :class:`~repro.serve.server.StreamServer`
+  (unix-domain socket), ``clients`` concurrent
+  :class:`~repro.serve.client.ServeClient` coroutines, each opening a
+  push session on the app and streaming ``chunk_size``-sample pushes
+  with a ``window``-deep pipeline until ``outputs`` outputs arrive.
+  An *untimed* warmup wave first opens and parks one session per
+  client, so the timed wave measures steady-state pooled serving
+  (recycled sessions, inline fast path) — the cold-compile cost stays
+  visible in the report's compiled/compile-seconds columns.  Per-push
+  send→reply latencies are recorded client-side.
+* **one-shot baseline** — the same total workload as ``clients``
+  *sequential* ``run_graph(..., backend="plan")`` calls (cache warm):
+  what serving costs when every request replans, re-fingerprints, and
+  rebuilds an executor instead of recycling a pooled session.
+
+The report (written to ``results/serve.txt``) carries aggregate
+outputs/s for both, the speedup, client-side p50/p99 push latency,
+session pool traffic (compiled / recycled / discarded / TTL-evicted),
+and the server's error-frame count — zero on a healthy run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+
+import numpy as np
+
+__all__ = ["run_load", "format_report"]
+
+
+def _prepare_inputs(build, app_key: str, outputs: int, chunk_size: int,
+                    backend: str, optimize: str) -> np.ndarray:
+    """Pregenerate enough source input for one client's output budget."""
+    from ..apps import source_values, split_app
+    from ..profiling import NullProfiler
+    from ..session import StreamSession
+
+    source, body = split_app(build())
+    probe = StreamSession(body, backend=backend, optimize=optimize,
+                          profiler=NullProfiler())
+    fed = 0
+    got = 0
+    while got < max(64, outputs // 100):
+        got += len(probe.push(source_values(source, chunk_size)))
+        fed += chunk_size
+    probe.close()
+    rate = max(fed / max(got, 1), 1.0)
+    n = int(outputs * rate * 1.2) + fed
+    return np.asarray(source_values(source, n), dtype=np.float64)
+
+
+async def _client_task(path: str, app_key: str, backend: str,
+                       optimize: str, inputs: np.ndarray, outputs: int,
+                       chunk_size: int, latencies: list,
+                       window: int) -> int:
+    from .client import ServeClient
+
+    client = await ServeClient.connect(path=path)
+    try:
+        await client.open(app=app_key, backend=backend, optimize=optimize)
+        received = 0
+        chunks = [inputs[start:start + chunk_size]
+                  for start in range(0, len(inputs), chunk_size)]
+        async for out in client.push_stream(chunks, window=window,
+                                            latencies=latencies):
+            received += len(out)
+        if received < outputs:
+            raise RuntimeError(
+                f"client underfed: {received}/{outputs} outputs")
+        await client.close_session()
+        return received
+    finally:
+        await client.close()
+
+
+async def _warm_task(path: str, app_key: str, backend: str,
+                     optimize: str, chunk: np.ndarray) -> None:
+    """Open, touch, and park one session so the timed wave recycles it."""
+    from .client import ServeClient
+
+    client = await ServeClient.connect(path=path)
+    try:
+        await client.open(app=app_key, backend=backend, optimize=optimize)
+        await client.push(chunk)
+        await client.close_session()  # releases to the pool (reset+park)
+    finally:
+        await client.close()
+
+
+async def _serve_phase(app_key: str, backend: str, optimize: str,
+                       inputs: np.ndarray, clients: int, outputs: int,
+                       chunk_size: int, config, window: int) -> dict:
+    from .server import StreamServer, parse_stats
+
+    server = StreamServer(config=config)
+    sockdir = tempfile.mkdtemp(prefix="repro-serve-")
+    path = os.path.join(sockdir, "s")
+    await server.start(path=path)
+    latencies: list[float] = []
+    try:
+        # untimed warmup: park `clients` sessions so the measured wave
+        # exercises steady-state serving (recycled sessions), not the
+        # cold-start compile stampede — that cost is still visible in
+        # the report's compiled/compile-seconds columns
+        await asyncio.gather(*[
+            _warm_task(path, app_key, backend, optimize,
+                       inputs[:chunk_size])
+            for _ in range(clients)])
+        t0 = time.perf_counter()
+        totals = await asyncio.gather(*[
+            _client_task(path, app_key, backend, optimize, inputs,
+                         outputs, chunk_size, latencies, window)
+            for _ in range(clients)])
+        wall = time.perf_counter() - t0
+        # demonstrate TTL eviction: expire every parked session now
+        # instead of waiting out the idle_ttl clock
+        evicted = server.pool.evict_idle(
+            now=time.monotonic() + server.pool.idle_ttl + 1)
+        from .client import ServeClient
+        probe = await ServeClient.connect(path=path)
+        stats_text = await probe.stats()
+        await probe.close()
+        stats = parse_stats(stats_text)
+        return {"wall": wall, "outputs": sum(totals),
+                "latencies": latencies, "stats": stats,
+                "stats_text": stats_text, "evicted": evicted,
+                "graphs": server.pool.graph_stats()}
+    finally:
+        await server.aclose()
+        try:
+            os.unlink(path)
+            os.rmdir(sockdir)
+        except OSError:
+            pass
+
+
+def _oneshot_phase(build, clients: int, outputs: int, backend: str,
+                   optimize: str) -> float:
+    """Wall seconds for ``clients`` sequential one-shot run_graph calls."""
+    from ..runtime.executor import run_graph
+
+    run_graph(build(), min(outputs, 256), backend=backend,
+              optimize=optimize)  # warm the plan cache
+    t0 = time.perf_counter()
+    for _ in range(clients):
+        run_graph(build(), outputs, backend=backend, optimize=optimize)
+    return time.perf_counter() - t0
+
+
+def run_load(*, app: str = "fir", clients: int = 64,
+             outputs: int = 4096, chunk_size: int = 1024,
+             backend: str = "plan", optimize: str = "none",
+             window: int = 2, config=None,
+             out_path: str | None = None) -> dict:
+    """Drive the benchmark; returns the result record (see module doc).
+
+    ``out_path`` additionally writes the human-readable report there
+    (parent directories are created).
+    """
+    from ..apps import BENCHMARKS, resolve_app
+    from .server import ServeConfig
+
+    app_key = resolve_app(app)
+    build = BENCHMARKS[app_key]
+    if config is None:
+        # every warmed session must fit the idle bucket or the warmup
+        # wave's overflow gets discarded instead of parked; a small
+        # worker pool beats the executor default here — session work is
+        # GIL-bound, so more threads only add scheduling thrash
+        config = ServeConfig(max_idle_per_key=max(clients, 8),
+                             max_workers=4)
+    inputs = _prepare_inputs(build, app_key, outputs, chunk_size,
+                             backend, optimize)
+    oneshot_wall = _oneshot_phase(build, clients, outputs, backend,
+                                  optimize)
+    serve = asyncio.run(_serve_phase(app_key, backend, optimize, inputs,
+                                     clients, outputs, chunk_size,
+                                     config, window))
+    lat = np.asarray(serve["latencies"])
+    total = serve["outputs"]
+    stats = serve["stats"]
+    result = {
+        "app": app_key,
+        "backend": backend,
+        "optimize": optimize,
+        "clients": clients,
+        "outputs_per_client": outputs,
+        "chunk_size": chunk_size,
+        "window": window,
+        "serve_wall_s": round(serve["wall"], 6),
+        "oneshot_wall_s": round(oneshot_wall, 6),
+        "aggregate_outputs_per_s": round(total / serve["wall"], 1),
+        "oneshot_outputs_per_s": round(
+            clients * outputs / oneshot_wall, 1),
+        "speedup_vs_oneshot": round(
+            (total / serve["wall"])
+            / ((clients * outputs) / oneshot_wall), 2),
+        "push_requests": int(len(lat)),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+        "sessions_compiled": int(stats.get("serve.sessions.compiled", 0)),
+        "sessions_recycled": int(stats.get("serve.sessions.recycled", 0)),
+        "sessions_discarded": int(
+            stats.get("serve.sessions.discarded", 0)),
+        "sessions_evicted_ttl": serve["evicted"],
+        "error_frames": int(stats.get("serve.errors", 0)),
+        "graphs": serve["graphs"],
+    }
+    if out_path is not None:
+        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+        with open(out_path, "w") as fh:
+            fh.write(format_report(result))
+    return result
+
+
+def format_report(r: dict) -> str:
+    """The ``results/serve.txt`` report for one load run."""
+    title = (f"repro.serve load test — {r['app']}: {r['clients']} "
+             f"concurrent clients x {r['outputs_per_client']} outputs "
+             f"(chunk {r['chunk_size']}, pipeline window {r['window']}, "
+             f"backend {r['backend']}, optimize {r['optimize']})")
+    lines = [title, "=" * len(title)]
+
+    def row(label, value):
+        lines.append(f"{label.ljust(26)}{value}")
+
+    row("aggregate throughput",
+        f"{r['aggregate_outputs_per_s']:,.0f} outputs/s  "
+        f"(wall {r['serve_wall_s']:.3f} s)")
+    row("one-shot baseline",
+        f"{r['oneshot_outputs_per_s']:,.0f} outputs/s  "
+        f"({r['clients']} sequential run_graph calls, wall "
+        f"{r['oneshot_wall_s']:.3f} s)")
+    row("speedup vs one-shot", f"{r['speedup_vs_oneshot']:.2f}x")
+    row("push latency",
+        f"p50 {r['p50_ms']:.3f} ms   p99 {r['p99_ms']:.3f} ms   "
+        f"({r['push_requests']} requests)")
+    row("session pool",
+        f"compiled {r['sessions_compiled']}  recycled "
+        f"{r['sessions_recycled']}  discarded {r['sessions_discarded']}  "
+        f"evicted(ttl) {r['sessions_evicted_ttl']}")
+    row("error frames", str(r["error_frames"]))
+    for g in r["graphs"]:
+        comp = g["compile_seconds"]
+        serve = g["serve_seconds"]
+        row(f"graph {g['graph']}",
+            f"compiles {g['compiles']} ({comp:.3f} s)  requests "
+            f"{g['requests']}  serve {serve:.3f} s")
+    lines.append("")
+    lines.append(
+        "serve = pooled push sessions over one shared plan cache "
+        "(compile once, recycle via reset); one-shot = replan + rebuild "
+        "an executor per call.")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,243 @@
+"""Session pooling keyed by graph fingerprint.
+
+Compilation is the expensive part of serving: planning probes every
+filter, runs the optimize rewrite, and simulates the schedule.  A
+session holds all of that — its pinned
+:class:`~repro.exec.cache.PlanEntry` — and PR 5's simulator end-state
+snapshot makes ``reset()`` rewind a session to its initial state
+*without* recompiling.  The pool turns that into a server primitive:
+
+* ``acquire(key, factory)`` hands back a parked idle session for
+  ``key`` (zero compile work — the reset already happened at release
+  time) or builds a fresh one through ``factory(seed)``, timing the
+  compile.  The first compile per key is **single-flighted** and its
+  :class:`~repro.exec.cache.PlanEntry` becomes the key's *plan seed*:
+  concurrent siblings block until it exists, then compile with the
+  seed's extraction decisions and probe results instead of redoing
+  them — push-session graphs fingerprint single-use (the feed ring),
+  so without the seed a cold stampede of N clients would pay N full
+  planning passes the plan cache can never share;
+* ``release`` resets the session and parks it for the next client,
+  bounded by ``max_idle_per_key`` (overflow sessions are closed);
+* ``evict_idle`` closes sessions parked longer than ``idle_ttl`` —
+  ``StreamSession.close`` unpins the plan entry, so an abandoned
+  graph's plan becomes evictable from the plan cache too.
+
+Keys are content fingerprints (plus backend/optimize/mode), so two
+clients opening the same program by different routes share one pool
+bucket.  Sharing is sound because pooled reuse is *serial*: a session
+is held by at most one client at a time, and concurrent sessions of the
+same graph share only the immutable plan (read-only), which the
+interleaving-parity tests pin down.
+
+The pool is thread-safe: the server compiles and executes on worker
+threads while the event loop acquires and releases.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .metrics import MetricsRegistry
+
+__all__ = ["PooledSession", "SessionPool"]
+
+_NO_SEED = object()  # key compiled, but yields no plan entry to donate
+
+
+class PooledSession:
+    """A pool-managed :class:`~repro.session.StreamSession`."""
+
+    __slots__ = ("session", "key", "label", "parked_at", "poisoned",
+                 "avg_serve")
+
+    def __init__(self, session, key, label: str):
+        self.session = session
+        self.key = key
+        self.label = label
+        self.parked_at: float | None = None  # set while idle
+        #: a request timed out (its worker thread may still be touching
+        #: the session) or errored mid-advance: never recycle, only close
+        self.poisoned = False
+        #: EWMA of recent request durations (seconds; None until the
+        #: first request) — the server's inline-fast-path predictor
+        self.avg_serve: float | None = None
+
+
+class _GraphStats:
+    __slots__ = ("label", "compiles", "compile_seconds", "serve_seconds",
+                 "requests")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.compiles = 0
+        self.compile_seconds = 0.0
+        self.serve_seconds = 0.0
+        self.requests = 0
+
+
+class SessionPool:
+    def __init__(self, *, max_idle_per_key: int = 8,
+                 idle_ttl: float = 60.0,
+                 metrics: MetricsRegistry | None = None,
+                 clock=time.monotonic):
+        self.max_idle_per_key = max_idle_per_key
+        self.idle_ttl = idle_ttl
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._idle: dict[object, deque[PooledSession]] = {}
+        self._graphs: dict[object, _GraphStats] = {}
+        #: key -> donated PlanEntry (or _NO_SEED for scalar backends)
+        self._seeds: dict[object, object] = {}
+        #: key -> lock serializing that key's *first* compile
+        self._seed_locks: dict[object, threading.Lock] = {}
+        self._closed = False
+
+    # -- internal ----------------------------------------------------------
+    def _graph(self, key, label: str) -> _GraphStats:
+        g = self._graphs.get(key)
+        if g is None:
+            g = self._graphs[key] = _GraphStats(label)
+        return g
+
+    def _close_session(self, ps: PooledSession, reason: str) -> None:
+        self.metrics.counter(f"serve.sessions.{reason}").inc()
+        self.metrics.gauge("serve.sessions.pooled").dec()
+        try:
+            ps.session.close()
+        except Exception:  # closing must never propagate into serving
+            pass
+
+    def _compile(self, key, factory, label: str, seed) -> PooledSession:
+        """Build a fresh session through ``factory(seed)``, timed."""
+        g = self._graph(key, label)
+        t0 = self._clock()
+        session = factory(seed)
+        dt = self._clock() - t0
+        with self._lock:
+            g.compiles += 1
+            g.compile_seconds += dt
+        self.metrics.counter("serve.sessions.compiled").inc()
+        self.metrics.counter("serve.compile_seconds").inc(dt)
+        self.metrics.gauge("serve.sessions.pooled").inc()
+        self.metrics.gauge("serve.sessions.live").inc()
+        return PooledSession(session, key, label)
+
+    # -- public API --------------------------------------------------------
+    def acquire(self, key, factory, label: str = "?") -> PooledSession:
+        """A ready-to-use session for ``key``: a recycled idle one, or a
+        fresh compile through ``factory(seed)`` (timed as compile cost).
+
+        ``seed`` is the key's donated plan entry (None on the very first
+        compile, which is serialized per key so later siblings always
+        find the seed — see the module docstring).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session pool is closed")
+            bucket = self._idle.get(key)
+            if bucket:
+                ps = bucket.popleft()
+                ps.parked_at = None
+                self.metrics.counter("serve.sessions.recycled").inc()
+                self.metrics.gauge("serve.sessions.idle").dec()
+                self.metrics.gauge("serve.sessions.live").inc()
+                return ps
+            self._graph(key, label)
+            seed = self._seeds.get(key)
+            seed_lock = self._seed_locks.setdefault(key, threading.Lock())
+        if seed is None:
+            with seed_lock:
+                with self._lock:
+                    seed = self._seeds.get(key)
+                if seed is None:  # won the race: the seeding compile
+                    ps = self._compile(key, factory, label, None)
+                    entry = getattr(ps.session, "cache_entry", None)
+                    with self._lock:
+                        self._seeds[key] = \
+                            entry if entry is not None else _NO_SEED
+                    return ps
+        return self._compile(key, factory, label,
+                             None if seed is _NO_SEED else seed)
+
+    def release(self, ps: PooledSession) -> None:
+        """Return a session: reset + park it for reuse, or close it
+        (poisoned, pool closed, or the idle bucket is full)."""
+        self.metrics.gauge("serve.sessions.live").dec()
+        if not ps.poisoned and not ps.session.closed:
+            try:
+                ps.session.reset(clear_profile=True)
+            except Exception:
+                ps.poisoned = True
+        with self._lock:
+            full = self._closed or ps.poisoned or ps.session.closed or \
+                len(self._idle.setdefault(ps.key, deque())) \
+                >= self.max_idle_per_key
+            if not full:
+                ps.parked_at = self._clock()
+                self._idle[ps.key].append(ps)
+                self.metrics.gauge("serve.sessions.idle").inc()
+                return
+        self._close_session(
+            ps, "poisoned" if ps.poisoned else "discarded")
+
+    def discard(self, ps: PooledSession) -> None:
+        """Close a session outright (never parked)."""
+        self.metrics.gauge("serve.sessions.live").dec()
+        self._close_session(ps, "discarded")
+
+    def record_serve(self, ps: PooledSession, seconds: float) -> None:
+        """Attribute request execution time to the session's graph."""
+        with self._lock:
+            g = self._graph(ps.key, ps.label)
+            g.requests += 1
+            g.serve_seconds += seconds
+
+    def evict_idle(self, now: float | None = None) -> int:
+        """Close sessions parked longer than ``idle_ttl``; returns the
+        count.  Closing unpins their plan entries."""
+        if now is None:
+            now = self._clock()
+        victims = []
+        with self._lock:
+            for bucket in self._idle.values():
+                while bucket and \
+                        now - bucket[0].parked_at >= self.idle_ttl:
+                    victims.append(bucket.popleft())
+            if victims:
+                self.metrics.gauge("serve.sessions.idle").dec(len(victims))
+        for ps in victims:
+            self._close_session(ps, "evicted")
+        return len(victims)
+
+    def close_all(self) -> None:
+        """Close every idle session and refuse further acquires."""
+        with self._lock:
+            self._closed = True
+            victims = [ps for b in self._idle.values() for ps in b]
+            self._idle.clear()
+            self._seeds.clear()
+            self._seed_locks.clear()
+            if victims:
+                self.metrics.gauge("serve.sessions.idle").dec(len(victims))
+        for ps in victims:
+            self._close_session(ps, "discarded")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(b) for b in self._idle.values())
+
+    def graph_stats(self) -> list[dict]:
+        """Per-graph compile vs serve accounting, sorted by label."""
+        with self._lock:
+            rows = [{"graph": g.label, "compiles": g.compiles,
+                     "compile_seconds": g.compile_seconds,
+                     "requests": g.requests,
+                     "serve_seconds": g.serve_seconds}
+                    for g in self._graphs.values()]
+        return sorted(rows, key=lambda r: r["graph"])

@@ -1,0 +1,171 @@
+"""Length-prefixed binary framing for the session server.
+
+One frame = a 5-byte header (``kind`` u8, payload ``length`` u32
+big-endian) followed by the payload.  Chunk data travels as raw
+little-endian float64 bytes — the same memory layout the sessions and
+ring buffers use, so neither side re-encodes samples.
+
+Request kinds (client -> server)::
+
+    OPEN   JSON spec {"app"|"dsl", "backend", "optimize", "mode", ...}
+    PUSH   f64le chunk -> ARR of every output it completes
+    FEED   f64le chunk -> OK(count) without draining
+    RUN    u32be n     -> ARR of the next n outputs
+    RESET  rewind the session without recompiling
+    CLOSE  release the session back to the pool (connection stays open)
+    STATS  -> TXT metrics dump
+    PING   -> OK liveness probe
+
+Response kinds (server -> client)::
+
+    OK     empty or u64be count
+    ARR    f64le output samples
+    TXT    utf-8 text
+    ERR    JSON {"code": <machine code>, "error": <message>}
+
+Errors are *frames*, not connection drops: a request that fails
+(unknown app, backpressure cap, timeout) gets an ERR reply and the
+connection keeps serving.  Only unrecoverable framing states (oversized
+or truncated frames) close the transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = ["Frame", "ProtocolError", "read_frame", "write_frame",
+           "encode_array", "decode_array", "error_payload",
+           "OPEN", "PUSH", "FEED", "RUN", "RESET", "CLOSE", "STATS",
+           "PING", "OK", "ARR", "TXT", "ERR", "REQUEST_NAMES",
+           "DEFAULT_MAX_FRAME_BYTES"]
+
+# request kinds
+OPEN, PUSH, FEED, RUN, RESET, CLOSE, STATS, PING = range(1, 9)
+# response kinds
+OK, ARR, TXT, ERR = range(16, 20)
+
+REQUEST_NAMES = {OPEN: "open", PUSH: "push", FEED: "feed", RUN: "run",
+                 RESET: "reset", CLOSE: "close", STATS: "stats",
+                 PING: "ping"}
+
+_HEADER_LEN = 5
+
+#: Refuse frames above this size (a malformed length prefix must not
+#: make the server allocate gigabytes); servers may configure lower.
+DEFAULT_MAX_FRAME_BYTES = 64 << 20
+
+
+class Frame:
+    """A decoded frame: ``kind`` plus raw ``payload`` bytes."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: int, payload: bytes = b""):
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = REQUEST_NAMES.get(self.kind, str(self.kind))
+        return f"Frame({name}, {len(self.payload)}B)"
+
+    # -- payload views -----------------------------------------------------
+    def json(self) -> dict:
+        try:
+            obj = json.loads(self.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed JSON payload: {exc}",
+                                code="bad-request") from None
+        if not isinstance(obj, dict):
+            raise ProtocolError("JSON payload must be an object",
+                                code="bad-request")
+        return obj
+
+    def array(self) -> np.ndarray:
+        return decode_array(self.payload)
+
+    def u32(self) -> int:
+        if len(self.payload) != 4:
+            raise ProtocolError(
+                f"expected a u32 payload, got {len(self.payload)} bytes",
+                code="bad-request")
+        return int.from_bytes(self.payload, "big")
+
+    def u64(self) -> int:
+        if len(self.payload) != 8:
+            raise ProtocolError(
+                f"expected a u64 payload, got {len(self.payload)} bytes",
+                code="bad-request")
+        return int.from_bytes(self.payload, "big")
+
+    def text(self) -> str:
+        return self.payload.decode("utf-8")
+
+
+def encode_array(arr: np.ndarray) -> bytes:
+    """Sample data as little-endian float64 bytes."""
+    return np.ascontiguousarray(arr, dtype="<f8").tobytes()
+
+
+def decode_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`; rejects ragged byte counts."""
+    if len(payload) % 8:
+        raise ProtocolError(
+            f"sample payload of {len(payload)} bytes is not a whole "
+            "number of float64 items", code="bad-request")
+    return np.frombuffer(payload, dtype="<f8").astype(np.float64,
+                                                      copy=False)
+
+
+def error_payload(code: str, message: str) -> bytes:
+    return json.dumps({"code": code, "error": message}).encode("utf-8")
+
+
+def encode_frame(kind: int, payload: bytes = b"") -> bytes:
+    return bytes([kind]) + len(payload).to_bytes(4, "big") + payload
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+                     ) -> Frame | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` for truncated or oversized frames —
+    states the connection cannot recover from (the stream position is
+    unknown), so callers close the transport.
+    """
+    try:
+        header = await reader.readexactly(_HEADER_LEN)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-header",
+                            code="bad-frame") from None
+    kind = header[0]
+    length = int.from_bytes(header[1:], "big")
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte "
+            "limit", code="too-large")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-payload",
+                            code="bad-frame") from None
+    return Frame(kind, payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, kind: int,
+                      payload: bytes = b"") -> None:
+    """Write one frame and drain.
+
+    The drain is the transport half of backpressure: a client that
+    stops reading stalls its server-side handler here (bounded by the
+    transport's write buffer), instead of queueing unbounded replies.
+    """
+    writer.write(encode_frame(kind, payload))
+    await writer.drain()

@@ -1,0 +1,468 @@
+"""The asyncio session server: many clients, one shared plan cache.
+
+Architecture: the event loop owns framing and connection lifecycle;
+session work — compiling on an OPEN, advancing on PUSH/RUN — runs on a
+bounded thread pool, so one client's matmul never blocks another
+client's frames.  Exception: requests a session's own history predicts
+to be sub-millisecond run *inline* on the loop (see
+``ServeConfig.inline_fast_path``) — for small steady-state pushes the
+thread-pool hop costs several times the work itself, and blocking the
+loop for less than a millisecond is cheaper than the churn.  Each
+connection drives at most one session at a time
+(frames on a connection are processed strictly in order), which is what
+makes pooled reuse serial and interleaved streams deterministic:
+concurrent sessions of the same graph share only the immutable compiled
+plan, never mutable execution state.
+
+Robustness:
+
+* **Backpressure on input** — ``FEED``/``PUSH`` data that would take a
+  session's fed-but-unconsumed input past
+  ``config.max_pending_samples`` is rejected with a ``backpressure``
+  error frame *before* buffering, so a client that feeds without
+  draining caps out instead of growing server memory.
+* **Backpressure on output** — every reply awaits the transport drain;
+  a client that stops reading stalls its own handler (bounded by the
+  socket write buffer), not the server.
+* **Per-request timeouts** — each request runs under
+  ``config.request_timeout``; expiry returns a clean ``timeout`` error
+  frame and poisons the session (its worker thread may still be
+  running) so the pool closes it instead of recycling it.
+* **Idle TTL** — a background sweep closes sessions parked longer than
+  ``config.idle_ttl``, unpinning their plan-cache entries.
+
+Observability: every counter, gauge, and latency histogram lives in a
+:class:`~repro.serve.metrics.MetricsRegistry` exposed through the
+``STATS`` protocol command (text dump) and ``server.metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import (ChunkDtypeError, CompileOptionError, InterpError,
+                      ProtocolError, ReproError, SessionClosedError)
+from . import protocol as P
+from .metrics import MetricsRegistry
+from .pool import SessionPool
+
+__all__ = ["ServeConfig", "StreamServer"]
+
+_MODES = ("push", "pull")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one :class:`StreamServer` (see module docstring)."""
+
+    #: backends the server accepts in OPEN specs.  All three share the
+    #: session interface; restrict to ("plan",) to refuse scalar work.
+    backends: tuple = ("interp", "compiled", "plan")
+    #: refuse single frames above this many bytes
+    max_frame_bytes: int = P.DEFAULT_MAX_FRAME_BYTES
+    #: per-session cap on fed-but-unconsumed input samples
+    max_pending_samples: int = 1 << 20
+    #: seconds one request may run before a ``timeout`` error frame
+    request_timeout: float = 30.0
+    #: sessions whose recent requests averaged under this many seconds
+    #: run the next request *inline* on the event loop instead of paying
+    #: a thread-pool hop (~0.15 ms of future/timer/GIL churn per
+    #: request — several times the work itself for a small push).  The
+    #: first request after a compile always goes to a worker, so the
+    #: predictor only ever inlines work it has seen run fast.  Inline
+    #: requests cannot be timed out — safe because they are predicted
+    #: orders of magnitude under ``request_timeout``.  0 disables.
+    inline_fast_path: float = 0.002
+    #: seconds a parked session survives before TTL eviction
+    idle_ttl: float = 60.0
+    #: eviction sweep period (default: ``idle_ttl / 4``, floored)
+    evict_interval: float | None = None
+    #: parked sessions kept per graph key
+    max_idle_per_key: int = 8
+    #: session worker threads (None: ThreadPoolExecutor default)
+    max_workers: int | None = None
+
+
+def _code_for(exc: Exception) -> str:
+    """Machine-readable error-frame code for an exception."""
+    if isinstance(exc, CompileOptionError):
+        return "bad-option"
+    if isinstance(exc, ChunkDtypeError):
+        return "bad-dtype"
+    if isinstance(exc, SessionClosedError):
+        return "closed"
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    if isinstance(exc, (KeyError, ValueError)):
+        return "bad-request"
+    if isinstance(exc, (InterpError, ReproError)):
+        return "exec"
+    return "internal"
+
+
+class _Connection:
+    """Per-connection state: the held pooled session, if any."""
+
+    __slots__ = ("pooled", "peer")
+
+    def __init__(self, peer: str):
+        self.pooled = None
+        self.peer = peer
+
+
+class StreamServer:
+    """A concurrent streaming session server over asyncio streams."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool = SessionPool(
+            max_idle_per_key=self.config.max_idle_per_key,
+            idle_ttl=self.config.idle_ttl, metrics=self.metrics)
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: ThreadPoolExecutor | None = None
+        self._evict_task: asyncio.Task | None = None
+        self._nonce = itertools.count()
+        self.address = None  #: ("host", port) or unix-socket path
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    path: str | None = None):
+        """Bind and start serving; returns the bound address.
+
+        ``path`` selects a unix-domain socket; otherwise TCP on
+        ``host:port`` (port 0 = ephemeral, read ``server.address``).
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._workers = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-serve")
+        if path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle, path)
+            self.address = path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host, port)
+            self.address = self._server.sockets[0].getsockname()[:2]
+        interval = self.config.evict_interval
+        if interval is None:
+            interval = max(self.config.idle_ttl / 4, 0.05)
+        self._evict_task = asyncio.get_running_loop().create_task(
+            self._evict_loop(interval))
+        return self.address
+
+    async def aclose(self) -> None:
+        """Stop accepting, cancel the evictor, close pooled sessions."""
+        if self._evict_task is not None:
+            self._evict_task.cancel()
+            try:
+                await self._evict_task
+            except asyncio.CancelledError:
+                pass
+            self._evict_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.close_all()
+        if self._workers is not None:
+            self._workers.shutdown(wait=False, cancel_futures=True)
+            self._workers = None
+
+    async def _evict_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            self.pool.evict_idle()
+
+    # -- request execution -------------------------------------------------
+    async def _in_worker(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await asyncio.wait_for(
+            loop.run_in_executor(self._workers, fn, *args),
+            timeout=self.config.request_timeout)
+
+    def _resolve_spec(self, spec: dict):
+        """(key, label, factory) for an OPEN spec — runs on a worker.
+
+        The key is the graph's content fingerprint plus
+        (backend, optimize, mode), so every route to the same program —
+        app registry or DSL text — shares one pool bucket.  Graphs whose
+        fingerprint is single-use (opaque callables) get a nonce key:
+        correct, just never shared.
+        """
+        from ..exec.cache import fingerprint_stream
+        from ..session import StreamSession
+
+        backend = spec.get("backend", "plan")
+        optimize = spec.get("optimize", "none")
+        mode = spec.get("mode", "push")
+        if backend not in self.config.backends:
+            raise CompileOptionError("backend", backend,
+                                     self.config.backends)
+        if mode not in _MODES:
+            raise CompileOptionError("mode", mode, _MODES)
+
+        if "app" in spec:
+            from ..apps import BENCHMARKS, resolve_app, split_app
+            name = resolve_app(spec["app"])
+            params = spec.get("params") or {}
+            program = BENCHMARKS[name](**params)
+            label = name
+            if mode == "push":
+                _source, graph = split_app(program)
+            else:
+                graph = program
+        elif "dsl" in spec:
+            from ..dsl import compile_source
+            graph = compile_source(spec["dsl"], spec.get("top"))
+            label = getattr(graph, "name", "dsl")
+        else:
+            raise ProtocolError(
+                "OPEN spec needs an 'app' or 'dsl' field",
+                code="bad-request")
+
+        digest, single_use = fingerprint_stream(graph)
+        nonce = next(self._nonce) if single_use else 0
+        key = (digest, nonce, backend, optimize, mode)
+        label = f"{label}/{backend}/{optimize}/{mode}"
+
+        def factory(seed=None):
+            return StreamSession(graph, backend=backend, optimize=optimize,
+                                 _plan_seed=seed)
+
+        return key, label, factory
+
+    def _open(self, spec: dict):
+        key, label, factory = self._resolve_spec(spec)
+        return self.pool.acquire(key, factory, label)
+
+    # -- connection handler ------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername") or \
+            writer.get_extra_info("sockname") or "?"
+        conn = _Connection(str(peer))
+        self.metrics.gauge("serve.connections").inc()
+        try:
+            while True:
+                try:
+                    frame = await P.read_frame(
+                        reader, self.config.max_frame_bytes)
+                except ProtocolError as exc:
+                    # unrecoverable framing state: best-effort error
+                    # frame, then drop the connection
+                    await self._error(writer, exc.code, str(exc))
+                    break
+                if frame is None:
+                    break
+                await self._dispatch(conn, writer, frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.metrics.gauge("serve.connections").dec()
+            if conn.pooled is not None:
+                self.pool.release(conn.pooled)
+                conn.pooled = None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _error(self, writer, code: str, message: str) -> None:
+        self.metrics.counter("serve.errors").inc()
+        self.metrics.counter(f"serve.errors.{code}").inc()
+        try:
+            await P.write_frame(writer, P.ERR,
+                                P.error_payload(code, message))
+        except (ConnectionError, OSError):
+            pass
+
+    async def _dispatch(self, conn: _Connection, writer,
+                        frame: P.Frame) -> None:
+        self.metrics.counter("serve.requests").inc()
+        kind = frame.kind
+        t0 = time.perf_counter()
+        try:
+            if kind == P.PING:
+                await P.write_frame(writer, P.OK)
+                return
+            if kind == P.STATS:
+                await P.write_frame(writer, P.TXT,
+                                    self.render_stats().encode("utf-8"))
+                return
+            if kind == P.OPEN:
+                if conn.pooled is not None:
+                    raise ProtocolError(
+                        "connection already holds a session; CLOSE it "
+                        "before opening another", code="session-open")
+                spec = frame.json()
+                conn.pooled = await self._in_worker(self._open, spec)
+                await P.write_frame(writer, P.OK)
+                return
+            if kind == P.CLOSE:
+                if conn.pooled is not None:
+                    self.pool.release(conn.pooled)
+                    conn.pooled = None
+                await P.write_frame(writer, P.OK)
+                return
+            ps = conn.pooled
+            if ps is None:
+                raise ProtocolError(
+                    "no session on this connection; OPEN one first",
+                    code="no-session")
+            session = ps.session
+            if kind in (P.PUSH, P.FEED):
+                arr = frame.array()
+                try:
+                    pending = session.pending_input
+                except ReproError:
+                    raise ProtocolError(
+                        "session is pull-mode (the program has its own "
+                        "sources); drive it with RUN", code="bad-request")
+                if pending + len(arr) > self.config.max_pending_samples:
+                    raise ProtocolError(
+                        f"session holds {pending} unconsumed samples; "
+                        f"feeding {len(arr)} more would exceed the "
+                        f"{self.config.max_pending_samples}-sample "
+                        "backpressure cap — RUN/PUSH to drain first",
+                        code="backpressure")
+                self.metrics.counter("serve.chunks.in").inc()
+                self.metrics.counter("serve.samples.in").inc(len(arr))
+                # high-water mark includes the chunk about to be buffered
+                self.metrics.gauge("serve.pending_samples").set(
+                    pending + len(arr))
+                if kind == P.PUSH:
+                    out = await self._run_session(ps, session.push, arr)
+                    self.metrics.gauge("serve.pending_samples").set(
+                        session.pending_input)
+                    await self._reply_array(writer, out)
+                else:
+                    count = await self._run_session(ps, session.feed, arr)
+                    self.metrics.gauge("serve.pending_samples").set(
+                        session.pending_input)
+                    await P.write_frame(writer, P.OK,
+                                        int(count).to_bytes(8, "big"))
+                return
+            if kind == P.RUN:
+                n = frame.u32()
+                out = await self._run_session(ps, session.run, n)
+                await self._reply_array(writer, out)
+                return
+            if kind == P.RESET:
+                await self._run_session(ps, session.reset)
+                await P.write_frame(writer, P.OK)
+                return
+            raise ProtocolError(f"unknown request kind {kind}",
+                                code="bad-frame")
+        except asyncio.TimeoutError:
+            if conn.pooled is not None:
+                conn.pooled.poisoned = True
+            name = P.REQUEST_NAMES.get(kind, str(kind))
+            await self._error(
+                writer, "timeout",
+                f"{name} exceeded the {self.config.request_timeout}s "
+                "request timeout; the session is retired")
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - mapped to error frames
+            await self._error(writer, _code_for(exc), str(exc))
+        finally:
+            self.metrics.histogram("serve.latency").observe(
+                time.perf_counter() - t0)
+
+    async def _run_session(self, ps, fn, *args):
+        """Run one session operation, attributing serve time to the
+        session's graph; execution errors poison the session (its stream
+        position is indeterminate).
+
+        Requests predicted fast (the session's recent average is under
+        ``config.inline_fast_path``) run inline on the event loop; the
+        rest go to the worker pool under the request timeout.
+        """
+        t0 = time.perf_counter()
+        inline = (ps.avg_serve is not None
+                  and ps.avg_serve < self.config.inline_fast_path)
+        exec_dt = None  # pure execution time — excludes worker-queue wait
+        try:
+            if inline:
+                self.metrics.counter("serve.requests.inline").inc()
+                result = fn(*args)
+                exec_dt = time.perf_counter() - t0
+                return result
+
+            def timed():
+                t1 = time.perf_counter()
+                r = fn(*args)
+                return r, time.perf_counter() - t1
+
+            result, exec_dt = await self._in_worker(timed)
+            return result
+        except asyncio.TimeoutError:
+            raise
+        except Exception:
+            ps.poisoned = True
+            raise
+        finally:
+            if exec_dt is not None:
+                # the predictor must see what the work *costs*, not how
+                # long it queued — under a cold stampede the span is
+                # dominated by executor backlog, which would lock the
+                # EWMA above the inline threshold forever
+                ps.avg_serve = (exec_dt if ps.avg_serve is None
+                                else 0.25 * exec_dt + 0.75 * ps.avg_serve)
+                self.pool.record_serve(ps, exec_dt)
+            else:  # timeout/error: bill the full span, skip the EWMA
+                self.pool.record_serve(ps, time.perf_counter() - t0)
+
+    async def _reply_array(self, writer, out) -> None:
+        payload = P.encode_array(out)
+        self.metrics.counter("serve.chunks.out").inc()
+        self.metrics.counter("serve.samples.out").inc(len(payload) // 8)
+        await P.write_frame(writer, P.ARR, payload)
+
+    # -- observability -----------------------------------------------------
+    def render_stats(self) -> str:
+        """The ``STATS`` text dump: metrics registry + plan-cache
+        counters + per-graph compile/serve accounting."""
+        from ..exec.cache import plan_cache_stats
+
+        lines = [self.metrics.render()]
+        for name, value in sorted(plan_cache_stats().items()):
+            lines.append(f"plan_cache.{name} {value}")
+        for row in self.pool.graph_stats():
+            g = row["graph"]
+            lines.append(f"graph.{g}.compiles {row['compiles']}")
+            lines.append(
+                f"graph.{g}.compile_seconds {row['compile_seconds']:.6f}")
+            lines.append(f"graph.{g}.requests {row['requests']}")
+            lines.append(
+                f"graph.{g}.serve_seconds {row['serve_seconds']:.6f}")
+        return "\n".join(line for line in lines if line)
+
+    def stats_snapshot(self) -> dict:
+        """Metrics as a flat dict (tests and the load generator)."""
+        snap = self.metrics.snapshot()
+        snap["graphs"] = self.pool.graph_stats()
+        return snap
+
+
+def parse_stats(text: str) -> dict:
+    """Parse a ``STATS`` text dump back into ``{name: float}``."""
+    out = {}
+    for line in text.splitlines():
+        name, _, value = line.rpartition(" ")
+        if name:
+            try:
+                out[name] = float(value)
+            except ValueError:
+                pass
+    return out

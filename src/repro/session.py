@@ -49,7 +49,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .errors import StreamGraphError
+from .errors import (ChunkDtypeError, CompileOptionError, SessionClosedError,
+                     StreamGraphError)
 from .graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                             PrimitiveFilter, SplitJoin, Stream)
 from .profiling import Profiler
@@ -126,10 +127,15 @@ class StreamSession:
     def __init__(self, stream: Stream, *, backend: str = "plan",
                  optimize: str = "none", profiler: Profiler | None = None,
                  chunk_outputs: int | None = None,
-                 _program_mode: bool | None = None):
+                 _program_mode: bool | None = None, _plan_seed=None):
+        from .exec.optimize import OPTIMIZE_MODES
         if backend not in ("interp", "compiled", "plan"):
-            raise ValueError(f"unknown backend {backend!r}")
+            raise CompileOptionError("backend", backend,
+                                     ("interp", "compiled", "plan"))
+        if optimize not in OPTIMIZE_MODES:
+            raise CompileOptionError("optimize", optimize, OPTIMIZE_MODES)
         self.stream = stream
+        self._closed = False
         self.backend = backend
         self.optimize = optimize
         self._profiler = profiler
@@ -155,7 +161,14 @@ class StreamSession:
                                else DEFAULT_CHUNK_OUTPUTS)
         self._entry = None
         self._optimized = None  # scalar backends: the rewritten program
+        #: a content-identical sibling's PlanEntry donating its probing
+        #: artifacts (SessionPool warm compiles); dropped after build so
+        #: the donor graph is not kept alive by this session
+        self._plan_seed = _plan_seed
         self._executor = self._build_executor()
+        self._plan_seed = None
+        if self._entry is not None:
+            self._entry.acquire()
         if self._source is not None:
             self._check_push_sources()
 
@@ -166,7 +179,7 @@ class StreamSession:
             executor, entry = compiled_plan_for(
                 self._program, self._profiler,
                 chunk_outputs=self._chunk_outputs, optimize=self.optimize,
-                traces=self._source is None)
+                traces=self._source is None, seed=self._plan_seed)
             self._entry = entry
             return executor
         if self._optimized is None:
@@ -202,6 +215,47 @@ class StreamSession:
                 "never quiesce — compile it as a complete program "
                 "instead")
 
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the session is unusable)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's compiled resources; idempotent.
+
+        Unpins the held :class:`~repro.exec.cache.PlanEntry` (so the plan
+        cache's LRU may evict it once no live session holds it), drops
+        the executor and fed-input ring, and marks the session closed —
+        every subsequent ``run``/``push``/``feed``/``reset`` raises
+        :class:`~repro.errors.SessionClosedError`.  Long-lived processes
+        (servers, pools) that compile many graphs must close sessions
+        they retire, or every plan ever compiled stays resident.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._entry is not None:
+            self._entry.release()
+            self._entry = None
+        if self._source is not None:
+            self._source.clear()
+        self._executor = None
+        self._optimized = None
+
+    def __enter__(self) -> "StreamSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"session over {getattr(self.stream, 'name', '?')} is "
+                "closed")
+
     # -- introspection -----------------------------------------------------
     @property
     def profile(self) -> Profiler | None:
@@ -233,6 +287,15 @@ class StreamSession:
         """Total outputs this session has returned so far."""
         return self._produced_total
 
+    @property
+    def pending_input(self) -> int:
+        """Items fed but not yet consumed (push sessions) — the
+        quantity a server bounds for backpressure."""
+        if self._source is None:
+            raise StreamGraphError(
+                "pending_input is only defined for push sessions")
+        return self._source.available
+
     def report(self):
         """The plan's kernel choices for this program (no re-planning
         for live plan sessions; advisory for scalar sessions)."""
@@ -251,6 +314,7 @@ class StreamSession:
         """Advance and return the executor's native container (list or
         ndarray) — the zero-conversion path the legacy list-returning
         wrappers use."""
+        self._check_open()
         out = self._executor.advance(n)
         self._produced_total += n
         return out
@@ -267,7 +331,13 @@ class StreamSession:
         return np.asarray(self._advance_raw(n), dtype=np.float64)
 
     def feed(self, chunk) -> int:
-        """Feed input without draining; returns the item count added."""
+        """Feed input without draining; returns the item count added.
+
+        Chunks must be real numeric data (float/int/bool); complex,
+        string, and object dtypes raise
+        :class:`~repro.errors.ChunkDtypeError`.
+        """
+        self._check_open()
         if self._source is None:
             raise StreamGraphError(
                 f"stream {getattr(self.stream, 'name', '?')} has its own "
@@ -294,6 +364,7 @@ class StreamSession:
         is reused as-is.  The cumulative profile is kept unless
         ``clear_profile`` is set.
         """
+        self._check_open()
         if self._source is not None:
             self._source.clear()
         if self._entry is not None:

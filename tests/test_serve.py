@@ -1,0 +1,528 @@
+"""The concurrent streaming session server: ``repro.serve``.
+
+The acceptance bar mirrors the session suite's: serving is
+*observationally invisible* — outputs streamed through the server are
+bitwise-identical to driving a local :class:`~repro.session.
+StreamSession`, whether sessions run interleaved or sequentially, cold
+or recycled from the pool.  On top of that sit the serving guarantees:
+backpressure caps a misbehaving client's buffered input, timeouts retire
+(poison) sessions instead of recycling them, TTL eviction unpins plan
+entries, and every failure surfaces as a typed error frame, never a
+dropped connection.
+"""
+
+import asyncio
+import os
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps import BENCHMARKS, source_values, split_app
+from repro.errors import ChunkDtypeError, ProtocolError
+from repro.serve import (MetricsRegistry, ServeClient, ServeConfig,
+                         SessionPool, StreamServer, parse_stats)
+from repro.serve import protocol as P
+from repro.session import StreamSession
+
+BACKENDS = ("interp", "compiled", "plan")
+
+FIR_PARAMS = {"taps": 32}
+
+DSL_SCALE = """
+float->float filter Scale {
+    work push 1 pop 1 {
+        push(2.5 * peek(0));
+        pop();
+    }
+}
+"""
+
+
+def fir_inputs(n):
+    source, _body = split_app(BENCHMARKS["FIR"](**FIR_PARAMS))
+    return np.asarray(source_values(source, n), dtype=np.float64)
+
+
+def direct_push_outputs(chunks, backend="plan"):
+    _source, body = split_app(BENCHMARKS["FIR"](**FIR_PARAMS))
+    session = StreamSession(body, backend=backend)
+    out = [session.push(c) for c in chunks]
+    session.close()
+    return np.concatenate(out) if out else np.empty(0)
+
+
+def serve_test(fn, config=None):
+    """Run ``fn(server, path)`` against a fresh unix-socket server."""
+
+    async def main():
+        server = StreamServer(config=config)
+        sockdir = tempfile.mkdtemp(prefix="repro-serve-test-")
+        path = os.path.join(sockdir, "s")
+        await server.start(path=path)
+        try:
+            return await fn(server, path)
+        finally:
+            await server.aclose()
+            try:
+                os.unlink(path)
+                os.rmdir(sockdir)
+            except OSError:
+                pass
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_array_codec_roundtrip(self):
+        arr = np.linspace(-3.0, 7.0, 41)
+        back = P.decode_array(P.encode_array(arr))
+        np.testing.assert_array_equal(arr, back)
+
+    def test_ragged_payload_rejected(self):
+        with pytest.raises(ProtocolError) as ei:
+            P.decode_array(b"\x00" * 12)  # not a multiple of 8
+        assert ei.value.code == "bad-request"
+
+    def _reader(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame_clean_eof_is_none(self):
+        async def main():
+            return await P.read_frame(self._reader(b""))
+
+        assert asyncio.run(main()) is None
+
+    def test_read_frame_truncated_is_bad_frame(self):
+        async def main():
+            # header promises 100 payload bytes, stream ends early
+            data = bytes([P.PUSH]) + (100).to_bytes(4, "big") + b"xy"
+            return await P.read_frame(self._reader(data))
+
+        with pytest.raises(ProtocolError) as ei:
+            asyncio.run(main())
+        assert ei.value.code == "bad-frame"
+
+    def test_read_frame_oversized_is_too_large(self):
+        async def main():
+            data = bytes([P.PUSH]) + (1 << 30).to_bytes(4, "big")
+            return await P.read_frame(self._reader(data),
+                                      max_bytes=1 << 20)
+
+        with pytest.raises(ProtocolError) as ei:
+            asyncio.run(main())
+        assert ei.value.code == "too-large"
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_highwater(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.counter("c").inc(2.5)
+        g = m.gauge("g")
+        g.inc(5)
+        g.dec(3)
+        snap = m.snapshot()
+        assert snap["c"] == 3.5
+        assert snap["g"] == 2 and snap["g.max"] == 5
+
+    def test_histogram_quantiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for ms in range(1, 101):  # 1..100 ms, uniform
+            h.observe(ms / 1e3)
+        snap = m.snapshot()
+        assert snap["lat.count"] == 100
+        # geometric buckets: quantiles land within a bucket's width
+        assert 0.035 < snap["lat.p50"] < 0.07
+        assert 0.08 < snap["lat.p99"] < 0.13
+
+    def test_render_parse_roundtrip(self):
+        m = MetricsRegistry()
+        m.counter("reqs").inc(7)
+        parsed = parse_stats(m.render())
+        assert parsed["reqs"] == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Round-trip parity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_served_push_matches_direct_session(backend):
+    inputs = fir_inputs(600)
+    chunks = [inputs[:250], inputs[250:251], inputs[251:600]]
+    expected = direct_push_outputs(chunks, backend)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS,
+                              backend=backend)
+            got = [await client.push(c) for c in chunks]
+            await client.close_session()
+            return np.concatenate(got)
+
+    np.testing.assert_array_equal(serve_test(scenario), expected)
+
+
+def test_pipelined_push_stream_matches_sequential():
+    inputs = fir_inputs(2048)
+    chunks = [inputs[i:i + 256] for i in range(0, 2048, 256)]
+    expected = direct_push_outputs(chunks)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)
+            got = []
+            latencies = []
+            async for out in client.push_stream(chunks, window=4,
+                                                latencies=latencies):
+                got.append(out)
+            assert len(latencies) == len(chunks)
+            await client.close_session()
+            return np.concatenate(got)
+
+    np.testing.assert_array_equal(serve_test(scenario), expected)
+
+
+def test_pull_mode_run_matches_run_graph():
+    from repro.runtime import run_graph
+
+    expected = np.asarray(run_graph(BENCHMARKS["FIR"](**FIR_PARAMS), 96,
+                                    backend="plan", as_array=True))
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS, mode="pull")
+            first = await client.run(40)
+            rest = await client.run(56)
+            return np.concatenate([first, rest])
+
+    np.testing.assert_array_equal(serve_test(scenario), expected)
+
+
+def test_dsl_open_serves_compiled_source():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(dsl=DSL_SCALE, top="Scale")
+            return await client.push([1.0, 2.0, -4.0])
+
+    np.testing.assert_array_equal(serve_test(scenario),
+                                  [2.5, 5.0, -10.0])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interleaved_sessions_match_sequential(backend):
+    """N sessions advanced round-robin produce the same bytes as N run
+    one after another — concurrent sessions share only immutable plan
+    state."""
+    inputs = fir_inputs(900)
+    chunks = [inputs[:300], inputs[300:601], inputs[601:900]]
+    sequential = [direct_push_outputs(chunks, backend) for _ in range(3)]
+
+    async def scenario(server, path):
+        clients = []
+        for _ in range(3):
+            c = await ServeClient.connect(path=path)
+            await c.open(app="fir", params=FIR_PARAMS, backend=backend)
+            clients.append(c)
+        got = [[] for _ in clients]
+        for chunk in chunks:  # interleave: chunk 0 to all, then chunk 1...
+            for i, c in enumerate(clients):
+                got[i].append(await c.push(chunk))
+        for c in clients:
+            await c.close()
+        return [np.concatenate(g) for g in got]
+
+    for served, direct in zip(serve_test(scenario), sequential):
+        np.testing.assert_array_equal(served, direct)
+
+
+# ---------------------------------------------------------------------------
+# Pooling: recycle, plan seeding, eviction
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pool_recycles_released_sessions(backend):
+    inputs = fir_inputs(400)
+    expected = direct_push_outputs([inputs], backend)
+
+    async def scenario(server, path):
+        outs = []
+        for _ in range(3):  # same connection: open, stream, release
+            async with await ServeClient.connect(path=path) as client:
+                await client.open(app="fir", params=FIR_PARAMS,
+                                  backend=backend)
+                outs.append(await client.push(inputs))
+                await client.close_session()
+        snap = server.stats_snapshot()
+        assert snap["serve.sessions.compiled"] == 1
+        assert snap["serve.sessions.recycled"] == 2
+        assert server.pool.graph_stats()[0]["compiles"] == 1
+        return outs
+
+    for out in serve_test(scenario):
+        np.testing.assert_array_equal(out, expected)
+
+
+def test_concurrent_opens_share_one_plan_seed():
+    """A cold stampede pays ONE full planning pass: the pool
+    single-flights the first compile and donates its entry's extraction
+    decisions to every concurrent sibling."""
+    _source, body = split_app(BENCHMARKS["FIR"](**FIR_PARAMS))
+    pool = SessionPool(max_idle_per_key=8)
+
+    def factory(seed=None):
+        return StreamSession(body, backend="plan", _plan_seed=seed)
+
+    sessions = []
+    lock = threading.Lock()
+
+    def worker():
+        ps = pool.acquire("k", factory, "fir")
+        with lock:
+            sessions.append(ps)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    entries = [ps.session.cache_entry for ps in sessions]
+    assert all(e is not None for e in entries)
+    # one extraction, shared by reference into every sibling entry
+    first = entries[0].decisions
+    assert all(e.decisions is first for e in entries)
+    # seeded siblings still execute independently and identically
+    inputs = fir_inputs(300)
+    outs = [ps.session.push(inputs) for ps in sessions]
+    for out in outs[1:]:
+        np.testing.assert_array_equal(out, outs[0])
+    pool.close_all()
+
+
+def test_idle_ttl_eviction_unpins_plan_entries():
+    from repro.exec import clear_plan_cache
+
+    clear_plan_cache()
+    program = BENCHMARKS["FIR"](**FIR_PARAMS)  # pull mode: shared entry
+    pool = SessionPool(max_idle_per_key=4, idle_ttl=30.0)
+
+    def factory(seed=None):
+        return StreamSession(program, backend="plan", _plan_seed=seed)
+
+    ps = pool.acquire("k", factory, "fir")
+    entry = ps.session.cache_entry
+    assert entry.pins == 1
+    pool.release(ps)  # parked, still pinned
+    assert entry.pins == 1 and pool.idle_count == 1
+    assert pool.evict_idle(now=pool._clock() + 31.0) == 1
+    assert entry.pins == 0 and pool.idle_count == 0
+    assert ps.session.closed
+    assert pool.metrics.counter("serve.sessions.evicted").value == 1
+
+
+def test_pool_discards_overflow_and_poisoned():
+    _source, body = split_app(BENCHMARKS["FIR"](**FIR_PARAMS))
+    pool = SessionPool(max_idle_per_key=1)
+
+    def factory(seed=None):
+        return StreamSession(body, backend="plan", _plan_seed=seed)
+
+    a = pool.acquire("k", factory, "fir")
+    b = pool.acquire("k", factory, "fir")
+    c = pool.acquire("k", factory, "fir")
+    pool.release(a)
+    pool.release(b)  # bucket full -> closed, not parked
+    assert pool.idle_count == 1 and b.session.closed
+    assert pool.metrics.counter("serve.sessions.discarded").value == 1
+    c.poisoned = True
+    pool.release(c)  # poisoned -> closed, never recycled
+    assert pool.idle_count == 1 and c.session.closed
+    assert pool.metrics.counter("serve.sessions.poisoned").value == 1
+    pool.close_all()
+
+
+# ---------------------------------------------------------------------------
+# Robustness: backpressure, timeouts, error frames
+# ---------------------------------------------------------------------------
+
+
+def test_feed_backpressure_caps_server_memory():
+    """A client that feeds without draining hits the pending-input cap
+    as a typed error frame; the server's buffered-sample high-water
+    mark stays bounded by the cap."""
+    config = ServeConfig(max_pending_samples=500)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)
+            await client.feed(np.zeros(400))  # under the cap: accepted
+            with pytest.raises(ProtocolError) as ei:
+                await client.feed(np.zeros(200))  # would cross the cap
+            assert ei.value.code == "backpressure"
+            # the connection and session survive the rejection: drain,
+            # then the same feed is accepted
+            await client.run(300)
+            await client.feed(np.zeros(200))
+            snap = server.stats_snapshot()
+            assert snap["serve.pending_samples.max"] <= 500
+            assert snap["serve.errors.backpressure"] == 1
+
+    serve_test(scenario, config)
+
+
+def test_request_timeout_returns_error_frame_and_retires_session():
+    config = ServeConfig(request_timeout=0.05)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", mode="pull")
+            # big enough to overrun the 50 ms budget by orders of
+            # magnitude, small enough that the abandoned worker thread
+            # (which runs to completion) finishes promptly at aclose()
+            with pytest.raises(ProtocolError) as ei:
+                await client.run(2_000_000)
+            assert ei.value.code == "timeout"
+            await client.close_session()  # poisoned -> closed, not parked
+        # the worker thread may still be running the doomed request;
+        # poisoning guarantees the session is never handed out again
+        assert server.pool.idle_count == 0
+        snap = server.stats_snapshot()
+        assert snap["serve.errors.timeout"] == 1
+
+    serve_test(scenario, config)
+
+
+def test_error_frames_not_disconnects():
+    """Every rejection is a typed ERR frame on a live connection."""
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            with pytest.raises(ProtocolError) as ei:
+                await client.push([1.0])
+            assert ei.value.code == "no-session"
+
+            with pytest.raises(ProtocolError) as ei:
+                await client.open(app="no-such-app")
+            assert ei.value.code == "bad-request"
+
+            with pytest.raises(ProtocolError) as ei:
+                await client.open(app="fir", backend="vectorized")
+            assert ei.value.code == "bad-option"
+
+            with pytest.raises(ProtocolError) as ei:
+                await client.open(app="fir", optimize="everything")
+            assert ei.value.code == "bad-option"
+
+            await client.open(app="fir", params=FIR_PARAMS)
+            with pytest.raises(ProtocolError) as ei:
+                await client.open(app="fir")  # second OPEN, same conn
+            assert ei.value.code == "session-open"
+
+            # raw ragged PUSH payload: length not a multiple of 8
+            await P.write_frame(client._writer, P.PUSH, b"\x00" * 13)
+            frame = await P.read_frame(client._reader)
+            assert frame.kind == P.ERR
+            assert frame.json()["code"] == "bad-request"
+
+            # the connection is still serviceable after every error
+            out = await client.push(fir_inputs(200))
+            assert len(out) > 0
+
+    serve_test(scenario)
+
+
+def test_push_on_pull_session_is_bad_request():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS, mode="pull")
+            with pytest.raises(ProtocolError) as ei:
+                await client.push([1.0, 2.0])
+            assert ei.value.code == "bad-request"
+            assert "pull" in str(ei.value)
+
+    serve_test(scenario)
+
+
+def test_client_rejects_non_float_chunks_eagerly():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)
+            with pytest.raises(ChunkDtypeError):
+                await client.push(np.array([1 + 2j, 3j]))
+            with pytest.raises(ChunkDtypeError):
+                await client.push(np.array(["a", "b"]))
+
+    serve_test(scenario)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_stats_command_reports_traffic_and_cache():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)
+            await client.push(fir_inputs(256))
+            await client.close_session()
+            stats = parse_stats(await client.stats())
+        assert stats["serve.sessions.compiled"] == 1
+        assert stats["serve.chunks.in"] == 1
+        assert stats["serve.samples.in"] == 256
+        assert stats["serve.samples.out"] > 0
+        assert stats["serve.latency.count"] >= 2
+        assert "plan_cache.hits" in stats
+        assert stats["graph.FIR/plan/none/push.compiles"] == 1
+        assert stats["graph.FIR/plan/none/push.requests"] >= 1
+
+    serve_test(scenario)
+
+
+def test_reset_command_rewinds_served_session():
+    inputs = fir_inputs(300)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)
+            first = await client.push(inputs)
+            await client.reset()
+            again = await client.push(inputs)
+            return first, again
+
+    first, again = serve_test(scenario)
+    np.testing.assert_array_equal(first, again)
+
+
+def test_tcp_transport_roundtrip():
+    async def main():
+        server = StreamServer()
+        host, port = await server.start(host="127.0.0.1", port=0)
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                await client.ping()
+                await client.open(app="fir", params=FIR_PARAMS)
+                return await client.push(fir_inputs(128))
+        finally:
+            await server.aclose()
+
+    assert len(asyncio.run(main())) > 0
