@@ -46,7 +46,8 @@ Benchmark CLI::
     python -m repro.bench --app fir --chunked          # push-session mode
 """
 
-from . import errors, exec, graph, ir, linear, runtime, serve, session
+from . import (errors, exec, faults, graph, ir, linear, runtime, serve,
+               session)
 from .session import StreamSession, compile
 
 __version__ = "1.3.0"

@@ -332,6 +332,19 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-out", default="results/serve.txt",
                         help="report path for --serve (default: "
                              "results/serve.txt; 'none' to skip)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="with --serve: run the fault-injection "
+                             "chaos harness instead of the load test — "
+                             "seeded faults at every site class, "
+                             "bitwise parity against the fault-free "
+                             "run, session-leak accounting; exits "
+                             "nonzero on any violation")
+    parser.add_argument("--chaos-seed", type=int, default=20260807,
+                        help="FaultPlan seed for --chaos "
+                             "(default: 20260807)")
+    parser.add_argument("--chaos-out", default="results/chaos.txt",
+                        help="report path for --chaos (default: "
+                             "results/chaos.txt; 'none' to skip)")
     args = parser.parse_args(argv)
 
     if args.outputs is not None and args.outputs < 1:
@@ -350,6 +363,8 @@ def main(argv=None) -> int:
                      "with --compare/--chunked/--plan-report")
     if args.clients is not None and not args.serve:
         parser.error("--clients requires --serve")
+    if args.chaos and not args.serve:
+        parser.error("--chaos requires --serve")
     if args.clients is not None and args.clients < 1:
         parser.error("--clients must be a positive integer")
     if args.chunk_size is not None and not (args.chunked or args.serve):
@@ -375,6 +390,28 @@ def main(argv=None) -> int:
         if args.config != "original":
             parser.error("--serve measures the app as written; it "
                          "conflicts with --config")
+        if args.chaos:
+            import os as _os
+
+            from .serve.chaos import format_chaos_report, run_chaos
+            result = run_chaos(
+                clients=(args.clients if args.clients is not None
+                         else 8),
+                seed=args.chaos_seed)
+            report = format_chaos_report(result)
+            if args.chaos_out != "none":
+                _os.makedirs(_os.path.dirname(args.chaos_out) or ".",
+                             exist_ok=True)
+                with open(args.chaos_out, "w") as fh:
+                    fh.write(report + "\n")
+            print(report)
+            # the CI gate: bitwise parity, balanced session books,
+            # every fault class exercised, and recovery actually ran
+            failed = (result["violations"] or result["leaked"]
+                      or result["missing_classes"]
+                      or result["degraded"] == 0
+                      or result["retries"] == 0)
+            return 1 if failed else 0
         from .serve.loadgen import run_load
         out_path = (None if args.serve_out == "none" else args.serve_out)
         result = run_load(

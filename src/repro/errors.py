@@ -74,6 +74,33 @@ class SessionClosedError(ReproError, RuntimeError):
     """A :class:`~repro.session.StreamSession` was used after ``close()``."""
 
 
+class SessionPoisonedError(ReproError, RuntimeError):
+    """A request arrived for a session an earlier failure poisoned.
+
+    A poisoned session's stream position is indeterminate (a timed-out
+    worker may still be mutating it), so the server refuses further
+    work on it instead of returning wrong samples; clients RESUME (the
+    server restores the last checkpoint) or open a fresh session.
+    """
+
+
+class DeadlineError(ReproError, TimeoutError):
+    """A request ran past its deadline (``ServeConfig.request_timeout``
+    or a shutdown drain deadline).  The session it ran on is poisoned —
+    the worker thread may still be advancing it."""
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised at a :mod:`repro.faults` injection
+    site.  Carries the ``site`` name (``"kernel.step"``, ``"wire.drop"``,
+    ...) so recovery paths and tests can tell injected faults from
+    organic ones."""
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"injected fault at site {site!r}")
+
+
 class ProtocolError(ReproError):
     """A serve-protocol failure (malformed frame, server error reply).
 

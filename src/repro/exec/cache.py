@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults as _faults
 from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                              PrimitiveFilter, RoundRobin, SplitJoin, Stream)
 from ..ir.printer import work_to_str
@@ -431,6 +432,8 @@ class PlanCache:
         self.misses = 0
 
     def entry_for(self, stream: Stream, optimize: str) -> PlanEntry:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("cache.lookup")
         digest, single_use = fingerprint_stream(stream)
         with self._lock:
             if single_use:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import faults as _faults
 from ..errors import InterpError
 from ..profiling import Counts, Profiler
 
@@ -75,6 +76,8 @@ class MatmulStep(Step):
                       if pop == 1 and push == 1 and peek >= 1 else None)
 
     def execute(self, n: int) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("kernel.step")
         if self._taps is not None:
             x = self.ring_in.peek_block(n + self.peek - 1)
             y = np.correlate(x, self._taps, "valid")
@@ -198,6 +201,8 @@ class StatefulLinearStep(Step):
         self.ring_in.pop_block(blocks * pop)
 
     def execute(self, n: int) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("kernel.step")
         b = min(self.block, n)
         full = n // b
         if full:
@@ -241,6 +246,8 @@ class NaiveFreqStep(Step):
                         // (filt.kernel.n * (filt.u + 1)))
 
     def execute(self, n: int) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("kernel.step")
         e, m = self.e, self.m
         while n:
             k = min(n, self.rows)
@@ -288,6 +295,8 @@ class OptimizedFreqStep(Step):
                         // (filt.kernel.n * (filt.u + 1)))
 
     def execute(self, n: int) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("kernel.step")
         e, m, u, r = self.e, self.m, self.u, self.r
         while n:
             k = min(n, self.rows)
@@ -331,6 +340,8 @@ class FallbackStep(Step):
         self.ring_out = ring_out
 
     def execute(self, n: int) -> None:
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("kernel.step")
         fire = self.node.runner.fire
         ch_in, ch_out = self.ring_in, self.ring_out
         for _ in range(n):

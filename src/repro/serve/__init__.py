@@ -15,7 +15,16 @@ streams over the shared plan cache.
 * :mod:`~repro.serve.client` — :class:`ServeClient`, the async client;
 * :mod:`~repro.serve.metrics` — :class:`MetricsRegistry` behind the
   ``STATS`` command;
-* :mod:`~repro.serve.loadgen` — ``bench --serve`` load generator.
+* :mod:`~repro.serve.loadgen` — ``bench --serve`` load generator;
+* :mod:`~repro.serve.chaos` — ``bench --serve --chaos`` fault-injection
+  harness: seeded faults at every site class, bitwise parity against
+  the fault-free run, session-leak accounting.
+
+The stack is fault-tolerant end to end (see ``README`` §Fault
+tolerance): CRC-checked frames, idempotent retries with reply caching,
+RESUME re-attachment of dropped connections, checkpoint/restore with
+transparent plan→compiled degradation, a per-graph circuit breaker,
+and graceful drain on shutdown.
 
 Quick start::
 
@@ -27,10 +36,14 @@ Quick start::
     out = await client.push(chunk)
 """
 
-from .client import ServeClient
+from .chaos import format_chaos_report, run_chaos
+from .client import RETRYABLE, ServeClient
 from .metrics import MetricsRegistry
 from .pool import PooledSession, SessionPool
-from .server import ServeConfig, StreamServer, parse_stats
+from .server import (WIRE_CODES, ServeConfig, StreamServer, parse_stats,
+                     wire_code)
 
 __all__ = ["StreamServer", "ServeConfig", "ServeClient", "SessionPool",
-           "PooledSession", "MetricsRegistry", "parse_stats"]
+           "PooledSession", "MetricsRegistry", "parse_stats",
+           "WIRE_CODES", "wire_code", "RETRYABLE", "run_chaos",
+           "format_chaos_report"]

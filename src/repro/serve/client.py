@@ -4,17 +4,33 @@ Mirrors the :class:`~repro.session.StreamSession` surface over the wire
 (``open``/``push``/``feed``/``run``/``reset``), adding ``stats`` and
 ``ping``.  Error frames raise :class:`~repro.errors.ProtocolError` with
 the server's machine-readable ``code`` — the client never has to parse
-messages.  One client = one connection = at most one session, matching
-the server's sequential-per-connection execution model.
+messages.  Transport failures surface the same way: a connection that
+dies mid-request raises ``ProtocolError(code="disconnected")``, never a
+bare ``ConnectionResetError``.  One client = one connection = at most
+one session, matching the server's sequential-per-connection execution
+model.
 
-Used in-process by the test suite and the load generator (connect to a
-server running on the same event loop), and equally usable against a
-remote server — the transport is plain TCP or a unix-domain socket.
+Recovery: ``open(resumable=True)`` makes the session resumable — the
+server returns a resume token, and ``push``/``run`` switch to their
+idempotent forms (``RPUSH``/``RRUN``), stamping every request with a
+client-side id.  With ``retries > 0`` a retryable failure (disconnect,
+corrupt frame, timeout, poisoned session, execution error) makes the
+client back off (exponential + seeded jitter), **reconnect**, RESUME
+its session, and re-send the same request id — the server answers
+replayed ids from its reply cache, so a retry after a lost reply never
+double-applies state.  ``retries_used`` and ``resumes`` count what
+recovery cost.
+
+Used in-process by the test suite, the load generator, and the chaos
+harness (connect to a server running on the same event loop), and
+equally usable against a remote server — the transport is plain TCP or
+a unix-domain socket.
 
 ::
 
-    client = await ServeClient.connect(path="/tmp/repro.sock")
-    await client.open(app="fir")
+    client = await ServeClient.connect(path="/tmp/repro.sock",
+                                       retries=5)
+    await client.open(app="fir", resumable=True)
     out = await client.push(chunk)          # np.ndarray
     print(await client.stats())
     await client.close()
@@ -23,6 +39,9 @@ remote server — the transport is plain TCP or a unix-domain socket.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
+import random
 import time
 
 import numpy as np
@@ -30,32 +49,86 @@ import numpy as np
 from ..errors import ChunkDtypeError, ProtocolError
 from . import protocol as P
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "RETRYABLE"]
+
+#: Error codes a retry can plausibly fix: transport failures (the
+#: request or its reply was lost), deadline expiries, and execution
+#: errors on a session a RESUME will rebuild from its checkpoint.
+#: Client mistakes (``bad-request``, ``bad-option``, ...) re-run
+#: identically and ``resume-lost`` means the server no longer holds
+#: anything to retry against — both fail immediately.
+RETRYABLE = frozenset({"disconnected", "bad-frame", "corrupt",
+                       "timeout", "poisoned", "exec"})
 
 
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.StreamServer`."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 path: str | None = None, retries: int = 0,
+                 backoff: float = 0.05, backoff_cap: float = 2.0,
+                 jitter: float = 0.5, retry_seed=None):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._path = path
+        self._retries = retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._jitter = jitter
+        self._rng = random.Random(retry_seed)
+        self._token: int | None = None  # resume token, when resumable
+        self._ids = itertools.count(1)  # request ids for RPUSH/RRUN
+        self._broken = False  # the transport needs a reconnect
+        #: requests re-sent after a retryable failure
+        self.retries_used = 0
+        #: successful RESUMEs after a reconnect
+        self.resumes = 0
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 0,
-                      path: str | None = None) -> "ServeClient":
-        """Connect over a unix socket (``path``) or TCP (``host:port``)."""
+                      path: str | None = None, *, retries: int = 0,
+                      backoff: float = 0.05, backoff_cap: float = 2.0,
+                      jitter: float = 0.5, retry_seed=None
+                      ) -> "ServeClient":
+        """Connect over a unix socket (``path``) or TCP (``host:port``).
+
+        ``retries`` enables the recovery loop: that many re-sends per
+        request, with exponential backoff starting at ``backoff``
+        seconds (capped at ``backoff_cap``) plus up to ``jitter``
+        fraction of seeded random spread — ``retry_seed`` pins the
+        jitter sequence for reproducible runs.
+        """
         if path is not None:
             reader, writer = await asyncio.open_unix_connection(path)
         else:
             reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, path=path,
+                   retries=retries, backoff=backoff,
+                   backoff_cap=backoff_cap, jitter=jitter,
+                   retry_seed=retry_seed)
 
     # -- request/response core ---------------------------------------------
-    async def _request(self, kind: int, payload: bytes = b"") -> P.Frame:
-        await P.write_frame(self._writer, kind, payload)
-        frame = await P.read_frame(self._reader)
+    async def _roundtrip(self, kind: int, payload: bytes = b"") -> P.Frame:
+        """One request frame out, one response frame back.
+
+        Transport deaths (reset, broken pipe, EOF mid-frame) become
+        ``ProtocolError(code="disconnected")`` — typed, catchable, and
+        retryable — never a bare OS-level exception.
+        """
+        try:
+            await P.write_frame(self._writer, kind, payload)
+            frame = await P.read_frame(self._reader)
+        except (ConnectionError, OSError) as exc:
+            self._broken = True
+            raise ProtocolError(
+                f"connection lost mid-request: {exc}",
+                code="disconnected") from None
         if frame is None:
+            self._broken = True
             raise ProtocolError("server closed the connection",
                                 code="disconnected")
         if frame.kind == P.ERR:
@@ -63,6 +136,53 @@ class ServeClient:
             raise ProtocolError(info.get("error", "server error"),
                                 code=info.get("code", "internal"))
         return frame
+
+    async def _reconnect(self) -> None:
+        """Replace the dead transport; RESUME the session if resumable."""
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        if self._path is not None:
+            self._reader, self._writer = \
+                await asyncio.open_unix_connection(self._path)
+        else:
+            self._reader, self._writer = \
+                await asyncio.open_connection(self._host, self._port)
+        self._broken = False
+        if self._token is not None:
+            await self._roundtrip(
+                P.RESUME, self._token.to_bytes(8, "big"))
+            self.resumes += 1
+
+    async def _request(self, kind: int, payload: bytes = b"",
+                       retryable: bool = False) -> P.Frame:
+        """Send a request; with ``retryable`` (idempotent kinds only),
+        run the backoff → reconnect → RESUME → re-send loop."""
+        attempt = 0
+        while True:
+            try:
+                if self._broken:
+                    await self._reconnect()
+                return await self._roundtrip(kind, payload)
+            except ProtocolError as exc:
+                if (not retryable or exc.code not in RETRYABLE
+                        or attempt >= self._retries):
+                    raise
+                # a retryable failure leaves either the transport or the
+                # session suspect; reconnect + RESUME restores both
+                self._broken = True
+            except OSError as exc:  # reconnect itself refused
+                if not retryable or attempt >= self._retries:
+                    raise ProtocolError(
+                        f"reconnect failed: {exc}",
+                        code="disconnected") from None
+            attempt += 1
+            self.retries_used += 1
+            delay = min(self._backoff * (2 ** (attempt - 1)),
+                        self._backoff_cap)
+            await asyncio.sleep(
+                delay * (1.0 + self._jitter * self._rng.random()))
 
     @staticmethod
     def _chunk_bytes(chunk) -> bytes:
@@ -75,13 +195,17 @@ class ServeClient:
     async def open(self, *, app: str | None = None,
                    dsl: str | None = None, top: str | None = None,
                    backend: str = "plan", optimize: str = "none",
-                   mode: str = "push", params: dict | None = None) -> None:
+                   mode: str = "push", params: dict | None = None,
+                   resumable: bool = False) -> None:
         """Open a session: a registry app (``app="fir"``) or a DSL
         program (``dsl=source``); ``mode="push"`` strips a registry
         app's source/Collector harness so input arrives via ``push``,
-        ``mode="pull"`` serves the complete program via ``run``."""
-        import json
+        ``mode="pull"`` serves the complete program via ``run``.
 
+        ``resumable=True`` requests a resume token: the session
+        survives disconnects (parked server-side for RESUME) and
+        ``push``/``run`` become idempotent — see the module docstring.
+        """
         spec: dict = {"backend": backend, "optimize": optimize,
                       "mode": mode}
         if app is not None:
@@ -92,11 +216,28 @@ class ServeClient:
             spec["dsl"] = dsl
             if top is not None:
                 spec["top"] = top
-        await self._request(P.OPEN, json.dumps(spec).encode("utf-8"))
+        if resumable:
+            spec["resumable"] = True
+        frame = await self._request(
+            P.OPEN, json.dumps(spec).encode("utf-8"),
+            retryable=resumable)
+        if resumable:
+            self._token = frame.u64()
 
     async def push(self, chunk) -> np.ndarray:
-        """Feed a chunk; returns every output it completes."""
-        frame = await self._request(P.PUSH, self._chunk_bytes(chunk))
+        """Feed a chunk; returns every output it completes.
+
+        On a resumable session this is an idempotent ``RPUSH``: safe to
+        retry, and retried automatically when ``retries`` is set.
+        """
+        payload = self._chunk_bytes(chunk)
+        if self._token is not None:
+            rid = next(self._ids)
+            frame = await self._request(
+                P.RPUSH, rid.to_bytes(8, "big") + payload,
+                retryable=True)
+        else:
+            frame = await self._request(P.PUSH, payload)
         return frame.array()
 
     async def push_stream(self, chunks, window: int = 8,
@@ -110,37 +251,46 @@ class ServeClient:
         round-trip amortizes across the window.  ``latencies`` (optional
         list) collects each chunk's send→reply seconds — with a full
         window that includes queueing behind the chunks ahead of it,
-        exactly what a streaming client experiences.  An error frame
-        raises :class:`~repro.errors.ProtocolError` and aborts the
-        stream with replies possibly still in flight — close the
-        connection rather than reusing it.
+        exactly what a streaming client experiences.  A failure —
+        an error frame, or the connection dying mid-stream — raises
+        :class:`~repro.errors.ProtocolError` and aborts the stream with
+        replies possibly still in flight — close the connection rather
+        than reusing it (resumable sessions can reconnect + RESUME and
+        re-push the unacknowledged tail with ``push``).
         """
         chunks = list(chunks)
         sent: list[float] = []
         done = 0
-        for chunk in chunks:  # prime one full window before reading
-            if len(sent) - done >= window:
-                break
-            payload = self._chunk_bytes(chunk)
-            sent.append(time.perf_counter())
-            await P.write_frame(self._writer, P.PUSH, payload)
-        while done < len(chunks):
-            frame = await P.read_frame(self._reader)
-            if frame is None:
-                raise ProtocolError("server closed the connection",
-                                    code="disconnected")
-            if frame.kind == P.ERR:
-                info = frame.json()
-                raise ProtocolError(info.get("error", "server error"),
-                                    code=info.get("code", "internal"))
-            if latencies is not None:
-                latencies.append(time.perf_counter() - sent[done])
-            done += 1
-            if len(sent) < len(chunks):
-                payload = self._chunk_bytes(chunks[len(sent)])
+        try:
+            for chunk in chunks:  # prime one full window before reading
+                if len(sent) - done >= window:
+                    break
+                payload = self._chunk_bytes(chunk)
                 sent.append(time.perf_counter())
                 await P.write_frame(self._writer, P.PUSH, payload)
-            yield frame.array()
+            while done < len(chunks):
+                frame = await P.read_frame(self._reader)
+                if frame is None:
+                    raise ProtocolError("server closed the connection",
+                                        code="disconnected")
+                if frame.kind == P.ERR:
+                    info = frame.json()
+                    raise ProtocolError(
+                        info.get("error", "server error"),
+                        code=info.get("code", "internal"))
+                if latencies is not None:
+                    latencies.append(time.perf_counter() - sent[done])
+                done += 1
+                if len(sent) < len(chunks):
+                    payload = self._chunk_bytes(chunks[len(sent)])
+                    sent.append(time.perf_counter())
+                    await P.write_frame(self._writer, P.PUSH, payload)
+                yield frame.array()
+        except (ConnectionError, OSError) as exc:
+            self._broken = True
+            raise ProtocolError(
+                f"connection lost mid-stream after {done} replies: "
+                f"{exc}", code="disconnected") from None
 
     async def feed(self, chunk) -> int:
         """Feed without draining; returns the item count added."""
@@ -148,8 +298,18 @@ class ServeClient:
         return frame.u64()
 
     async def run(self, n: int) -> np.ndarray:
-        """The next ``n`` outputs (pull sessions, or fed push sessions)."""
-        frame = await self._request(P.RUN, int(n).to_bytes(4, "big"))
+        """The next ``n`` outputs (pull sessions, or fed push sessions).
+
+        Idempotent (``RRUN``) and auto-retried on resumable sessions.
+        """
+        if self._token is not None:
+            rid = next(self._ids)
+            frame = await self._request(
+                P.RRUN,
+                rid.to_bytes(8, "big") + int(n).to_bytes(4, "big"),
+                retryable=True)
+        else:
+            frame = await self._request(P.RUN, int(n).to_bytes(4, "big"))
         return frame.array()
 
     async def reset(self) -> None:
@@ -157,7 +317,16 @@ class ServeClient:
 
     async def close_session(self) -> None:
         """Release the session to the pool; the connection stays open."""
-        await self._request(P.CLOSE)
+        try:
+            await self._request(P.CLOSE,
+                                retryable=self._token is not None)
+        except ProtocolError as exc:
+            # a retried CLOSE whose RESUME finds nothing means the
+            # first CLOSE landed and only its reply was lost — which is
+            # exactly the outcome we wanted
+            if exc.code != "resume-lost":
+                raise
+        self._token = None
 
     async def stats(self) -> str:
         """The server's ``STATS`` text dump."""
@@ -168,7 +337,8 @@ class ServeClient:
 
     # -- lifecycle ---------------------------------------------------------
     async def close(self) -> None:
-        """Close the connection (the server releases the session)."""
+        """Close the connection (the server releases — or, for
+        resumable sessions, parks — the session)."""
         self._writer.close()
         try:
             await self._writer.wait_closed()

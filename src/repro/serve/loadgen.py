@@ -23,7 +23,11 @@ anchors it against the one-shot path a client would otherwise use:
 The report (written to ``results/serve.txt``) carries aggregate
 outputs/s for both, the speedup, client-side p50/p99 push latency,
 session pool traffic (compiled / recycled / discarded / TTL-evicted),
-and the server's error-frame count — zero on a healthy run.
+the server's error-frame count — zero on a healthy run — and the
+recovery columns (degraded re-runs, replayed replies, client retries,
+resumed/restored sessions), which the chaos harness
+(``bench --serve --chaos``, :mod:`repro.serve.chaos`) shares: a clean
+load run shows them all zero, a chaos run shows what recovery cost.
 """
 
 from __future__ import annotations
@@ -62,7 +66,7 @@ def _prepare_inputs(build, app_key: str, outputs: int, chunk_size: int,
 async def _client_task(path: str, app_key: str, backend: str,
                        optimize: str, inputs: np.ndarray, outputs: int,
                        chunk_size: int, latencies: list,
-                       window: int) -> int:
+                       window: int) -> tuple:
     from .client import ServeClient
 
     client = await ServeClient.connect(path=path)
@@ -78,7 +82,7 @@ async def _client_task(path: str, app_key: str, backend: str,
             raise RuntimeError(
                 f"client underfed: {received}/{outputs} outputs")
         await client.close_session()
-        return received
+        return received, client.retries_used, client.resumes
     finally:
         await client.close()
 
@@ -122,6 +126,9 @@ async def _serve_phase(app_key: str, backend: str, optimize: str,
                          outputs, chunk_size, latencies, window)
             for _ in range(clients)])
         wall = time.perf_counter() - t0
+        retries = sum(t[1] for t in totals)
+        resumes = sum(t[2] for t in totals)
+        totals = [t[0] for t in totals]
         # demonstrate TTL eviction: expire every parked session now
         # instead of waiting out the idle_ttl clock
         evicted = server.pool.evict_idle(
@@ -134,6 +141,7 @@ async def _serve_phase(app_key: str, backend: str, optimize: str,
         return {"wall": wall, "outputs": sum(totals),
                 "latencies": latencies, "stats": stats,
                 "stats_text": stats_text, "evicted": evicted,
+                "retries": retries, "resumes": resumes,
                 "graphs": server.pool.graph_stats()}
     finally:
         await server.aclose()
@@ -214,6 +222,18 @@ def run_load(*, app: str = "fir", clients: int = 64,
             stats.get("serve.sessions.discarded", 0)),
         "sessions_evicted_ttl": serve["evicted"],
         "error_frames": int(stats.get("serve.errors", 0)),
+        # recovery columns (shared with the chaos report): all zero on
+        # a healthy fault-free run
+        "requests_degraded": int(
+            stats.get("serve.requests.degraded", 0)),
+        "requests_replayed": int(
+            stats.get("serve.requests.replayed", 0)),
+        "client_retries": serve["retries"],
+        "client_resumes": serve["resumes"],
+        "sessions_resumed": int(stats.get("serve.sessions.resumed", 0)),
+        "sessions_restored": int(
+            stats.get("serve.sessions.restored", 0)),
+        "breaker_trips": int(stats.get("serve.breaker.tripped", 0)),
         "graphs": serve["graphs"],
     }
     if out_path is not None:
@@ -250,6 +270,12 @@ def format_report(r: dict) -> str:
         f"{r['sessions_recycled']}  discarded {r['sessions_discarded']}  "
         f"evicted(ttl) {r['sessions_evicted_ttl']}")
     row("error frames", str(r["error_frames"]))
+    row("recovery",
+        f"degraded {r['requests_degraded']}  replayed "
+        f"{r['requests_replayed']}  retries {r['client_retries']}  "
+        f"resumed {r['sessions_resumed']}  restored "
+        f"{r['sessions_restored']}  breaker-trips "
+        f"{r['breaker_trips']}")
     for g in r["graphs"]:
         comp = g["compile_seconds"]
         serve = g["serve_seconds"]

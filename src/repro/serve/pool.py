@@ -23,6 +23,23 @@ snapshot makes ``reset()`` rewind a session to its initial state
   ``StreamSession.close`` unpins the plan entry, so an abandoned
   graph's plan becomes evictable from the plan cache too.
 
+Robustness extensions:
+
+* **Circuit breaker** — ``record_poison(key)`` counts execution
+  failures per key; at ``breaker_threshold`` the key is *quarantined*
+  for ``breaker_cooldown`` seconds and ``quarantined(key)`` turns true,
+  which the server uses to route new opens of a repeatedly-poisoning
+  plan graph to the compiled backend instead of recompiling the same
+  poisonous plan forever.
+* **Accounting** — every session the pool has ever built (or adopted
+  through ``replace``) is counted in ``compiled_total``; every close in
+  ``closed_total``.  ``accounting()["outstanding"]`` is therefore the
+  number of sessions currently alive outside the idle buckets — zero
+  after a clean drain, which is exactly the chaos harness's leak check.
+* **Fault sites** — ``pool.compile`` fires before a factory runs,
+  ``pool.recycle`` before an idle session is popped; both leave the
+  pool's books balanced when they fire.
+
 Keys are content fingerprints (plus backend/optimize/mode), so two
 clients opening the same program by different routes share one pool
 bucket.  Sharing is sound because pooled reuse is *serial*: a session
@@ -40,6 +57,7 @@ import threading
 import time
 from collections import deque
 
+from .. import faults as _faults
 from .metrics import MetricsRegistry
 
 __all__ = ["PooledSession", "SessionPool"]
@@ -51,7 +69,8 @@ class PooledSession:
     """A pool-managed :class:`~repro.session.StreamSession`."""
 
     __slots__ = ("session", "key", "label", "parked_at", "poisoned",
-                 "avg_serve")
+                 "avg_serve", "factory", "snap", "replies", "resume_token",
+                 "degraded")
 
     def __init__(self, session, key, label: str):
         self.session = session
@@ -64,6 +83,20 @@ class PooledSession:
         #: EWMA of recent request durations (seconds; None until the
         #: first request) — the server's inline-fast-path predictor
         self.avg_serve: float | None = None
+        #: the OPEN's session factory — kept so recovery can rebuild
+        #: this session (optionally on another backend)
+        self.factory = None
+        #: last good :class:`~repro.session.SessionSnapshot`
+        self.snap = None
+        #: request-id -> (reply kind, payload) for idempotent retries
+        #: (``OrderedDict``; ``None`` on non-resumable sessions)
+        self.replies = None
+        #: u64 token a disconnected client RESUMEs with
+        self.resume_token = None
+        #: the session was swapped to the compiled backend mid-stream;
+        #: correct to keep serving this client, wrong to park under a
+        #: plan-backend key — release closes it
+        self.degraded = False
 
 
 class _GraphStats:
@@ -81,10 +114,14 @@ class _GraphStats:
 class SessionPool:
     def __init__(self, *, max_idle_per_key: int = 8,
                  idle_ttl: float = 60.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0,
                  metrics: MetricsRegistry | None = None,
                  clock=time.monotonic):
         self.max_idle_per_key = max_idle_per_key
         self.idle_ttl = idle_ttl
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock
         self._lock = threading.Lock()
@@ -94,6 +131,10 @@ class SessionPool:
         self._seeds: dict[object, object] = {}
         #: key -> lock serializing that key's *first* compile
         self._seed_locks: dict[object, threading.Lock] = {}
+        #: key -> (poison count, last poison timestamp) — the breaker
+        self._poisons: dict[object, tuple[int, float]] = {}
+        self.compiled_total = 0
+        self.closed_total = 0
         self._closed = False
 
     # -- internal ----------------------------------------------------------
@@ -106,6 +147,8 @@ class SessionPool:
     def _close_session(self, ps: PooledSession, reason: str) -> None:
         self.metrics.counter(f"serve.sessions.{reason}").inc()
         self.metrics.gauge("serve.sessions.pooled").dec()
+        with self._lock:
+            self.closed_total += 1
         try:
             ps.session.close()
         except Exception:  # closing must never propagate into serving
@@ -113,6 +156,8 @@ class SessionPool:
 
     def _compile(self, key, factory, label: str, seed) -> PooledSession:
         """Build a fresh session through ``factory(seed)``, timed."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("pool.compile")
         g = self._graph(key, label)
         t0 = self._clock()
         session = factory(seed)
@@ -120,6 +165,7 @@ class SessionPool:
         with self._lock:
             g.compiles += 1
             g.compile_seconds += dt
+            self.compiled_total += 1
         self.metrics.counter("serve.sessions.compiled").inc()
         self.metrics.counter("serve.compile_seconds").inc(dt)
         self.metrics.gauge("serve.sessions.pooled").inc()
@@ -140,6 +186,10 @@ class SessionPool:
                 raise RuntimeError("session pool is closed")
             bucket = self._idle.get(key)
             if bucket:
+                # fault site fires *before* the pop: the candidate stays
+                # parked, nothing leaks
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire("pool.recycle")
                 ps = bucket.popleft()
                 ps.parked_at = None
                 self.metrics.counter("serve.sessions.recycled").inc()
@@ -165,15 +215,25 @@ class SessionPool:
 
     def release(self, ps: PooledSession) -> None:
         """Return a session: reset + park it for reuse, or close it
-        (poisoned, pool closed, or the idle bucket is full)."""
+        (poisoned, degraded, pool closed, or the idle bucket is full).
+
+        Parking scrubs the recovery attachments (checkpoint, reply
+        cache, resume token) — a recycled session must never leak a
+        previous client's stream state."""
         self.metrics.gauge("serve.sessions.live").dec()
-        if not ps.poisoned and not ps.session.closed:
+        if ps.poisoned:
+            self.record_poison(ps.key)
+        ps.snap = None
+        ps.replies = None
+        ps.resume_token = None
+        if not ps.poisoned and not ps.degraded and not ps.session.closed:
             try:
                 ps.session.reset(clear_profile=True)
             except Exception:
                 ps.poisoned = True
         with self._lock:
-            full = self._closed or ps.poisoned or ps.session.closed or \
+            full = self._closed or ps.poisoned or ps.degraded or \
+                ps.session.closed or \
                 len(self._idle.setdefault(ps.key, deque())) \
                 >= self.max_idle_per_key
             if not full:
@@ -189,6 +249,54 @@ class SessionPool:
         self.metrics.gauge("serve.sessions.live").dec()
         self._close_session(ps, "discarded")
 
+    def replace(self, ps: PooledSession, session,
+                reason: str = "degraded") -> None:
+        """Swap ``ps``'s underlying session for a replacement built
+        outside the pool (the degradation path), keeping the books
+        balanced: the old session is closed and counted, the new one
+        adopted into ``compiled_total``."""
+        old = ps.session
+        self.metrics.counter(f"serve.sessions.{reason}").inc()
+        with self._lock:
+            self.closed_total += 1
+            self.compiled_total += 1
+        try:
+            old.close()
+        except Exception:
+            pass
+        ps.session = session
+        ps.degraded = True
+
+    # -- circuit breaker ---------------------------------------------------
+    def record_poison(self, key) -> int:
+        """Count one execution failure against ``key``; returns the
+        running count and trips the breaker at the threshold."""
+        now = self._clock()
+        with self._lock:
+            count, _last = self._poisons.get(key, (0, now))
+            count += 1
+            self._poisons[key] = (count, now)
+            tripped = count == self.breaker_threshold
+        if tripped:
+            self.metrics.counter("serve.breaker.tripped").inc()
+        return count
+
+    def quarantined(self, key) -> bool:
+        """Whether the breaker currently quarantines ``key``.  A key
+        cools down ``breaker_cooldown`` seconds after its last poison,
+        then gets a clean slate."""
+        now = self._clock()
+        with self._lock:
+            entry = self._poisons.get(key)
+            if entry is None:
+                return False
+            count, last = entry
+            if now - last >= self.breaker_cooldown:
+                del self._poisons[key]
+                return False
+            return count >= self.breaker_threshold
+
+    # -- bookkeeping -------------------------------------------------------
     def record_serve(self, ps: PooledSession, seconds: float) -> None:
         """Attribute request execution time to the session's graph."""
         with self._lock:
@@ -231,6 +339,17 @@ class SessionPool:
     def idle_count(self) -> int:
         with self._lock:
             return sum(len(b) for b in self._idle.values())
+
+    def accounting(self) -> dict:
+        """Lifetime session books: ``outstanding`` is sessions alive
+        outside the idle buckets (held by connections, parked for
+        resume) — zero after a clean drain, the leak check."""
+        with self._lock:
+            idle = sum(len(b) for b in self._idle.values())
+            return {"compiled": self.compiled_total,
+                    "closed": self.closed_total, "idle": idle,
+                    "outstanding":
+                        self.compiled_total - self.closed_total - idle}
 
     def graph_stats(self) -> list[dict]:
         """Per-graph compile vs serve accounting, sorted by label."""

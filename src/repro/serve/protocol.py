@@ -1,13 +1,19 @@
 """Length-prefixed binary framing for the session server.
 
-One frame = a 5-byte header (``kind`` u8, payload ``length`` u32
-big-endian) followed by the payload.  Chunk data travels as raw
-little-endian float64 bytes — the same memory layout the sessions and
-ring buffers use, so neither side re-encodes samples.
+One frame = a 9-byte header (``kind`` u8, payload ``length`` u32
+big-endian, payload ``CRC-32`` u32 big-endian) followed by the payload.
+Chunk data travels as raw little-endian float64 bytes — the same memory
+layout the sessions and ring buffers use, so neither side re-encodes
+samples.  The CRC turns silent payload corruption (a flipped bit would
+otherwise deliver wrong samples as valid float64s) into a typed
+``corrupt`` error, which is what lets the recovery protocol treat a
+corrupted frame exactly like a dropped connection: reconnect, RESUME,
+retry.
 
 Request kinds (client -> server)::
 
-    OPEN   JSON spec {"app"|"dsl", "backend", "optimize", "mode", ...}
+    OPEN   JSON spec {"app"|"dsl", "backend", "optimize", "mode",
+           "resumable", ...} -> OK (u64be resume token when resumable)
     PUSH   f64le chunk -> ARR of every output it completes
     FEED   f64le chunk -> OK(count) without draining
     RUN    u32be n     -> ARR of the next n outputs
@@ -15,45 +21,60 @@ Request kinds (client -> server)::
     CLOSE  release the session back to the pool (connection stays open)
     STATS  -> TXT metrics dump
     PING   -> OK liveness probe
+    RPUSH  u64be request id + f64le chunk — idempotent PUSH: a retried
+           id is answered from the session's reply cache, never re-run
+    RRUN   u64be request id + u32be n — idempotent RUN
+    RESUME u64be token -> OK(token); re-attaches this connection to the
+           parked session of a dropped one (or restores it from its
+           last checkpoint)
 
 Response kinds (server -> client)::
 
-    OK     empty or u64be count
+    OK     empty or u64be count/token
     ARR    f64le output samples
     TXT    utf-8 text
     ERR    JSON {"code": <machine code>, "error": <message>}
 
 Errors are *frames*, not connection drops: a request that fails
 (unknown app, backpressure cap, timeout) gets an ERR reply and the
-connection keeps serving.  Only unrecoverable framing states (oversized
-or truncated frames) close the transport.
+connection keeps serving.  Only unrecoverable framing states (oversized,
+truncated, or CRC-failing frames) close the transport.
+
+``write_frame`` is also the wire-layer fault-injection site
+(:mod:`repro.faults`): an installed plan may delay, corrupt, truncate,
+or drop any frame either peer writes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import zlib
 
 import numpy as np
 
+from .. import faults as _faults
 from ..errors import ProtocolError
 
 __all__ = ["Frame", "ProtocolError", "read_frame", "write_frame",
            "encode_array", "decode_array", "error_payload",
            "OPEN", "PUSH", "FEED", "RUN", "RESET", "CLOSE", "STATS",
-           "PING", "OK", "ARR", "TXT", "ERR", "REQUEST_NAMES",
+           "PING", "RPUSH", "RRUN", "RESUME",
+           "OK", "ARR", "TXT", "ERR", "REQUEST_NAMES",
            "DEFAULT_MAX_FRAME_BYTES"]
 
 # request kinds
 OPEN, PUSH, FEED, RUN, RESET, CLOSE, STATS, PING = range(1, 9)
+RPUSH, RRUN, RESUME = range(9, 12)
 # response kinds
 OK, ARR, TXT, ERR = range(16, 20)
 
 REQUEST_NAMES = {OPEN: "open", PUSH: "push", FEED: "feed", RUN: "run",
                  RESET: "reset", CLOSE: "close", STATS: "stats",
-                 PING: "ping"}
+                 PING: "ping", RPUSH: "rpush", RRUN: "rrun",
+                 RESUME: "resume"}
 
-_HEADER_LEN = 5
+_HEADER_LEN = 9
 
 #: Refuse frames above this size (a malformed length prefix must not
 #: make the server allocate gigabytes); servers may configure lower.
@@ -126,7 +147,8 @@ def error_payload(code: str, message: str) -> bytes:
 
 
 def encode_frame(kind: int, payload: bytes = b"") -> bytes:
-    return bytes([kind]) + len(payload).to_bytes(4, "big") + payload
+    return (bytes([kind]) + len(payload).to_bytes(4, "big")
+            + zlib.crc32(payload).to_bytes(4, "big") + payload)
 
 
 async def read_frame(reader: asyncio.StreamReader,
@@ -134,9 +156,10 @@ async def read_frame(reader: asyncio.StreamReader,
                      ) -> Frame | None:
     """Read one frame; ``None`` on clean EOF at a frame boundary.
 
-    Raises :class:`ProtocolError` for truncated or oversized frames —
-    states the connection cannot recover from (the stream position is
-    unknown), so callers close the transport.
+    Raises :class:`ProtocolError` for truncated, oversized, or
+    CRC-failing frames — states the connection cannot recover from (the
+    stream position or payload integrity is unknown), so callers close
+    the transport.
     """
     try:
         header = await reader.readexactly(_HEADER_LEN)
@@ -146,7 +169,8 @@ async def read_frame(reader: asyncio.StreamReader,
         raise ProtocolError("connection closed mid-header",
                             code="bad-frame") from None
     kind = header[0]
-    length = int.from_bytes(header[1:], "big")
+    length = int.from_bytes(header[1:5], "big")
+    crc = int.from_bytes(header[5:9], "big")
     if length > max_bytes:
         raise ProtocolError(
             f"frame of {length} bytes exceeds the {max_bytes}-byte "
@@ -156,7 +180,36 @@ async def read_frame(reader: asyncio.StreamReader,
     except asyncio.IncompleteReadError:
         raise ProtocolError("connection closed mid-payload",
                             code="bad-frame") from None
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError(
+            f"frame payload failed its CRC-32 check "
+            f"({length} bytes, kind {kind})", code="corrupt")
     return Frame(kind, payload)
+
+
+async def _inject_wire_faults(plan, writer, data: bytes) -> bytes:
+    """Apply the active plan's wire faults to one encoded frame."""
+    if plan.roll("wire.latency"):
+        await asyncio.sleep(plan.latency)
+    if plan.roll("wire.drop"):
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+        raise ConnectionResetError(
+            "injected fault: connection dropped before frame write")
+    if plan.roll("wire.truncate"):
+        writer.write(data[:max(1, len(data) // 2)])
+        writer.close()
+        raise ConnectionResetError(
+            "injected fault: frame truncated mid-write")
+    if plan.roll("wire.corrupt"):
+        # flip one bit past the length field: in the payload when there
+        # is one, else in the CRC itself — either way the receiver's
+        # CRC check fails and raises a typed ``corrupt`` error, instead
+        # of silently delivering wrong samples
+        i = len(data) - 1
+        data = data[:i] + bytes([data[i] ^ 0x01])
+    return data
 
 
 async def write_frame(writer: asyncio.StreamWriter, kind: int,
@@ -167,5 +220,9 @@ async def write_frame(writer: asyncio.StreamWriter, kind: int,
     stops reading stalls its server-side handler here (bounded by the
     transport's write buffer), instead of queueing unbounded replies.
     """
-    writer.write(encode_frame(kind, payload))
+    data = encode_frame(kind, payload)
+    plan = _faults.ACTIVE
+    if plan is not None:
+        data = await _inject_wire_faults(plan, writer, data)
+    writer.write(data)
     await writer.drain()

@@ -24,12 +24,39 @@ Robustness:
 * **Backpressure on output** — every reply awaits the transport drain;
   a client that stops reading stalls its own handler (bounded by the
   socket write buffer), not the server.
-* **Per-request timeouts** — each request runs under
+* **Per-request deadlines** — each request runs under
   ``config.request_timeout``; expiry returns a clean ``timeout`` error
   frame and poisons the session (its worker thread may still be
-  running) so the pool closes it instead of recycling it.
+  running) so the pool closes it instead of recycling it.  Further
+  requests on a poisoned session get a ``poisoned`` error frame.
 * **Idle TTL** — a background sweep closes sessions parked longer than
   ``config.idle_ttl``, unpinning their plan-cache entries.
+
+Recovery (see also :mod:`repro.faults` and ``README`` §Fault
+tolerance):
+
+* **Checkpoints + degradation** — sessions journal their call history
+  (:meth:`~repro.session.StreamSession.snapshot`); after every
+  successful request on a resumable session the server refreshes its
+  checkpoint.  When a plan-backend kernel raises mid-advance, the
+  server rebuilds the session on the **compiled backend**, restores the
+  checkpoint, and transparently re-runs the failed request — counted in
+  ``serve.requests.degraded``, invisible to the client.  A
+  per-fingerprint circuit breaker in the pool quarantines plan keys
+  that poison repeatedly; new opens of a quarantined key go straight to
+  the compiled backend.
+* **Idempotent retries** — ``RPUSH``/``RRUN`` carry a client request
+  id; executed replies are cached per session, so a retry after a lost
+  reply is answered from the cache and never re-applies state.
+* **RESUME** — a resumable OPEN returns a token; when the connection
+  drops, the session is *parked* (not discarded) for
+  ``config.resume_ttl`` seconds, then falls back to its checkpoint for
+  another ``resume_ttl`` before the token expires.  A reconnecting
+  client re-attaches with RESUME and continues its stream.
+* **Graceful shutdown** — ``shutdown()`` (wired to SIGTERM via
+  :meth:`install_signal_handlers`) stops accepting, drains in-flight
+  requests under ``config.drain_deadline``, parks sessions, and
+  returns a final STATS dump.
 
 Observability: every counter, gauge, and latency histogram lives in a
 :class:`~repro.serve.metrics.MetricsRegistry` exposed through the
@@ -40,18 +67,23 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-import json
+import signal
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from ..errors import (ChunkDtypeError, CompileOptionError, InterpError,
-                      ProtocolError, ReproError, SessionClosedError)
+from .. import faults as _faults
+from ..errors import (ChunkDtypeError, CombinationError, CompileOptionError,
+                      DeadlineError, DSLError, FaultInjected, InterpError,
+                      IRError, NonLinearError, ProtocolError, ReproError,
+                      SchedulingError, SessionClosedError,
+                      SessionPoisonedError, StreamGraphError)
 from . import protocol as P
 from .metrics import MetricsRegistry
 from .pool import SessionPool
 
-__all__ = ["ServeConfig", "StreamServer"]
+__all__ = ["ServeConfig", "StreamServer", "WIRE_CODES", "wire_code"]
 
 _MODES = ("push", "pull")
 
@@ -86,23 +118,71 @@ class ServeConfig:
     max_idle_per_key: int = 8
     #: session worker threads (None: ThreadPoolExecutor default)
     max_workers: int | None = None
+    #: seconds ``aclose``/``shutdown`` wait for in-flight requests
+    #: before tearing the worker pool down
+    drain_deadline: float = 5.0
+    #: seconds a disconnected resumable session stays parked awaiting
+    #: RESUME; its checkpoint survives a further ``resume_ttl`` after
+    #: the live session is reclaimed
+    resume_ttl: float = 30.0
+    #: re-run a failed plan-backend request on the compiled backend
+    #: from the last checkpoint (the degradation path)
+    degrade: bool = True
+    #: executed replies kept per resumable session for idempotent
+    #: retries — must exceed the client's pipeline window
+    reply_cache: int = 32
+    #: journal cap (samples) for server-built sessions; 0 disables
+    #: checkpoints (and with them degradation and snapshot-RESUME)
+    journal_limit: int = 1 << 20
+    #: execution failures per graph key before the pool's circuit
+    #: breaker quarantines it (plan opens degrade to compiled)
+    breaker_threshold: int = 3
+    #: seconds a tripped breaker stays quarantined
+    breaker_cooldown: float = 30.0
 
 
-def _code_for(exc: Exception) -> str:
+#: Declarative exception -> wire-code table; first match wins, so
+#: subclasses come before their bases and ``ReproError`` is the final
+#: catch-all.  ``ProtocolError`` is special-cased in :func:`wire_code`
+#: (it carries its own code).  The table *is* the public error contract:
+#: a test asserts every public ``ReproError`` subclass resolves through
+#: it to a stable code.
+WIRE_CODES: tuple = (
+    (CompileOptionError, "bad-option"),
+    (ChunkDtypeError, "bad-dtype"),
+    (SessionClosedError, "closed"),
+    (SessionPoisonedError, "poisoned"),
+    (DeadlineError, "timeout"),
+    (FaultInjected, "exec"),
+    (DSLError, "bad-request"),
+    (StreamGraphError, "bad-request"),
+    (SchedulingError, "bad-request"),
+    (IRError, "bad-request"),
+    (NonLinearError, "exec"),
+    (CombinationError, "exec"),
+    (InterpError, "exec"),
+    (ReproError, "exec"),
+    (KeyError, "bad-request"),
+    (ValueError, "bad-request"),
+)
+
+
+def wire_code(exc: Exception) -> str:
     """Machine-readable error-frame code for an exception."""
-    if isinstance(exc, CompileOptionError):
-        return "bad-option"
-    if isinstance(exc, ChunkDtypeError):
-        return "bad-dtype"
-    if isinstance(exc, SessionClosedError):
-        return "closed"
     if isinstance(exc, ProtocolError):
         return exc.code
-    if isinstance(exc, (KeyError, ValueError)):
-        return "bad-request"
-    if isinstance(exc, (InterpError, ReproError)):
-        return "exec"
+    for etype, code in WIRE_CODES:
+        if isinstance(exc, etype):
+            return code
     return "internal"
+
+
+#: Errors the degradation path may recover from: execution failures
+#: mid-advance.  Client mistakes (bad dtype, pull-mode misuse, ...)
+#: and protocol errors re-run identically, so they are excluded.
+_RECOVERABLE = (InterpError, FaultInjected)
+
+_NO_RECOVERY = object()
 
 
 class _Connection:
@@ -115,6 +195,22 @@ class _Connection:
         self.peer = peer
 
 
+class _ResumeEntry:
+    """A parked resumable session awaiting its client's RESUME."""
+
+    __slots__ = ("ps", "snap", "replies", "key", "label", "factory",
+                 "parked_at")
+
+    def __init__(self, ps, parked_at: float):
+        self.ps = ps  # cleared when the live session is reclaimed
+        self.snap = ps.snap
+        self.replies = ps.replies
+        self.key = ps.key
+        self.label = ps.label
+        self.factory = ps.factory
+        self.parked_at = parked_at
+
+
 class StreamServer:
     """A concurrent streaming session server over asyncio streams."""
 
@@ -124,11 +220,27 @@ class StreamServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.pool = SessionPool(
             max_idle_per_key=self.config.max_idle_per_key,
-            idle_ttl=self.config.idle_ttl, metrics=self.metrics)
+            idle_ttl=self.config.idle_ttl,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown,
+            metrics=self.metrics)
         self._server: asyncio.AbstractServer | None = None
         self._workers: ThreadPoolExecutor | None = None
         self._evict_task: asyncio.Task | None = None
         self._nonce = itertools.count()
+        self._tokens = itertools.count(1)
+        #: token -> _ResumeEntry for disconnected resumable sessions
+        self._resume: dict[int, _ResumeEntry] = {}
+        #: tokens issued and not yet retired (CLOSE or expiry): RESUME
+        #: uses this to tell "your park is still in flight" (the old
+        #: connection's teardown has not run yet — wait for it) from
+        #: "never existed / expired" (fail with ``resume-lost``)
+        self._issued: set[int] = set()
+        self._inflight = 0
+        self._drained: asyncio.Event | None = None
+        self._closing = False
+        #: the STATS dump :meth:`shutdown` captured before teardown
+        self.final_stats: str | None = None
         self.address = None  #: ("host", port) or unix-socket path
 
     # -- lifecycle ---------------------------------------------------------
@@ -144,6 +256,8 @@ class StreamServer:
         self._workers = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="repro-serve")
+        self._drained = asyncio.Event()
+        self._drained.set()
         if path is not None:
             self._server = await asyncio.start_unix_server(
                 self._handle, path)
@@ -159,8 +273,51 @@ class StreamServer:
             self._evict_loop(interval))
         return self.address
 
+    def install_signal_handlers(self, signals=(signal.SIGTERM,),
+                                loop=None) -> None:
+        """SIGTERM (by default) triggers :meth:`shutdown`."""
+        loop = loop if loop is not None else asyncio.get_running_loop()
+        for sig in signals:
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(self.shutdown()))
+
+    async def shutdown(self, deadline: float | None = None) -> str:
+        """Graceful stop: refuse new work, drain in-flight requests
+        under ``deadline`` (default ``config.drain_deadline``), park
+        sessions, and return the final STATS dump (also kept as
+        ``server.final_stats``)."""
+        if self._closing:
+            return self.final_stats or self.render_stats()
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._await_drain(deadline)
+        self.final_stats = self.render_stats()
+        await self.aclose()
+        return self.final_stats
+
+    async def _await_drain(self, deadline: float | None = None) -> bool:
+        if deadline is None:
+            deadline = self.config.drain_deadline
+        if self._drained is None or self._drained.is_set():
+            return True
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout=deadline)
+            return True
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve.shutdown.drain_expired").inc()
+            return False
+
     async def aclose(self) -> None:
-        """Stop accepting, cancel the evictor, close pooled sessions."""
+        """Stop accepting, cancel the evictor, drain in-flight work
+        (bounded by ``config.drain_deadline``), close pooled sessions.
+
+        The drain runs *before* the worker pool shuts down: killing a
+        worker mid-advance would leave a half-mutated session behind a
+        reply the client already counts on."""
+        self._closing = True
         if self._evict_task is not None:
             self._evict_task.cancel()
             try:
@@ -172,22 +329,54 @@ class StreamServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        drained = await self._await_drain()
+        for entry in self._resume.values():
+            if entry.ps is not None:
+                self.pool.release(entry.ps)
+                entry.ps = None
+        self._resume.clear()
+        self._issued.clear()
         self.pool.close_all()
         if self._workers is not None:
-            self._workers.shutdown(wait=False, cancel_futures=True)
+            self._workers.shutdown(wait=drained, cancel_futures=not drained)
             self._workers = None
 
     async def _evict_loop(self, interval: float) -> None:
         while True:
             await asyncio.sleep(interval)
             self.pool.evict_idle()
+            self._sweep_resume()
+
+    def _sweep_resume(self, now: float | None = None) -> None:
+        """Reclaim parked resumable sessions past ``resume_ttl`` (their
+        checkpoint stays restorable for another ``resume_ttl``), then
+        expire the tokens entirely."""
+        if now is None:
+            now = time.monotonic()
+        ttl = self.config.resume_ttl
+        for token, entry in list(self._resume.items()):
+            age = now - entry.parked_at
+            if entry.ps is not None and age >= ttl:
+                self.metrics.gauge("serve.sessions.parked").dec()
+                ps = entry.ps
+                entry.ps = None
+                ps.resume_token = None
+                self.pool.release(ps)
+            if entry.ps is None and age >= 2 * ttl:
+                del self._resume[token]
+                self._issued.discard(token)
 
     # -- request execution -------------------------------------------------
     async def _in_worker(self, fn, *args):
         loop = asyncio.get_running_loop()
-        return await asyncio.wait_for(
-            loop.run_in_executor(self._workers, fn, *args),
-            timeout=self.config.request_timeout)
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(self._workers, fn, *args),
+                timeout=self.config.request_timeout)
+        except asyncio.TimeoutError:
+            raise DeadlineError(
+                f"request exceeded the {self.config.request_timeout}s "
+                "deadline") from None
 
     def _resolve_spec(self, spec: dict):
         """(key, label, factory) for an OPEN spec — runs on a worker.
@@ -196,7 +385,9 @@ class StreamServer:
         (backend, optimize, mode), so every route to the same program —
         app registry or DSL text — shares one pool bucket.  Graphs whose
         fingerprint is single-use (opaque callables) get a nonce key:
-        correct, just never shared.
+        correct, just never shared.  ``factory(seed, backend_override)``
+        builds the session; the override is the degradation/quarantine
+        hook.
         """
         from ..exec.cache import fingerprint_stream
         from ..session import StreamSession
@@ -233,16 +424,51 @@ class StreamServer:
         nonce = next(self._nonce) if single_use else 0
         key = (digest, nonce, backend, optimize, mode)
         label = f"{label}/{backend}/{optimize}/{mode}"
+        journal_limit = self.config.journal_limit
 
-        def factory(seed=None):
-            return StreamSession(graph, backend=backend, optimize=optimize,
-                                 _plan_seed=seed)
+        def factory(seed=None, backend_override=None):
+            return StreamSession(
+                graph, backend=backend_override or backend,
+                optimize=optimize, journal_limit=journal_limit,
+                _plan_seed=seed)
 
         return key, label, factory
 
     def _open(self, spec: dict):
         key, label, factory = self._resolve_spec(spec)
-        return self.pool.acquire(key, factory, label)
+        if key[2] == "plan" and self.pool.quarantined(key):
+            # the breaker tripped on this plan graph: serve the compiled
+            # backend under its own pool key until the cooldown passes
+            self.metrics.counter("serve.sessions.quarantine_opens").inc()
+            key = key[:2] + ("compiled",) + key[3:]
+            label += "/quarantined"
+
+            def factory(seed=None, backend_override=None,
+                        _inner=factory):
+                return _inner(seed, backend_override or "compiled")
+
+        ps = self.pool.acquire(key, factory, label)
+        ps.factory = factory
+        # field hygiene: a recycled session must start this client's
+        # life with a fresh checkpoint and no reply cache
+        ps.snap = ps.session.snapshot()
+        ps.replies = None
+        ps.resume_token = None
+        return ps
+
+    def _restore_session(self, entry: _ResumeEntry):
+        """Rebuild a parked-then-reclaimed session from its checkpoint
+        (runs on a worker)."""
+        ps = self.pool.acquire(entry.key, entry.factory, entry.label)
+        ps.factory = entry.factory
+        try:
+            ps.session.restore(entry.snap)
+        except Exception:
+            ps.poisoned = True
+            self.pool.release(ps)
+            raise
+        ps.snap = entry.snap
+        return ps
 
     # -- connection handler ------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
@@ -269,13 +495,31 @@ class StreamServer:
         finally:
             self.metrics.gauge("serve.connections").dec()
             if conn.pooled is not None:
-                self.pool.release(conn.pooled)
+                ps = conn.pooled
                 conn.pooled = None
+                if ps.resume_token is not None and not self._closing:
+                    self._park_for_resume(ps)
+                else:
+                    self.pool.release(ps)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # the handler is ending either way
+
+    def _park_for_resume(self, ps) -> None:
+        """A resumable connection dropped: park its session (or, if the
+        session is poisoned, just its checkpoint) for RESUME."""
+        entry = _ResumeEntry(ps, time.monotonic())
+        if ps.poisoned:
+            # the live session is unusable, but its last checkpoint can
+            # still seed a restore
+            entry.ps = None
+            self.pool.release(ps)
+        else:
+            self.metrics.gauge("serve.sessions.parked").inc()
+        self.metrics.counter("serve.sessions.parks").inc()
+        self._resume[ps.resume_token] = entry
 
     async def _error(self, writer, code: str, message: str) -> None:
         self.metrics.counter("serve.errors").inc()
@@ -291,6 +535,8 @@ class StreamServer:
         self.metrics.counter("serve.requests").inc()
         kind = frame.kind
         t0 = time.perf_counter()
+        self._inflight += 1
+        self._drained.clear()
         try:
             if kind == P.PING:
                 await P.write_frame(writer, P.OK)
@@ -299,19 +545,38 @@ class StreamServer:
                 await P.write_frame(writer, P.TXT,
                                     self.render_stats().encode("utf-8"))
                 return
+            if self._closing and kind not in (P.CLOSE,):
+                raise ProtocolError(
+                    "server is shutting down; no new work accepted",
+                    code="shutting-down")
             if kind == P.OPEN:
                 if conn.pooled is not None:
                     raise ProtocolError(
                         "connection already holds a session; CLOSE it "
                         "before opening another", code="session-open")
                 spec = frame.json()
-                conn.pooled = await self._in_worker(self._open, spec)
-                await P.write_frame(writer, P.OK)
+                ps = await self._in_worker(self._open, spec)
+                conn.pooled = ps
+                if spec.get("resumable"):
+                    token = next(self._tokens)
+                    ps.resume_token = token
+                    ps.replies = OrderedDict()
+                    self._issued.add(token)
+                    await P.write_frame(writer, P.OK,
+                                        token.to_bytes(8, "big"))
+                else:
+                    await P.write_frame(writer, P.OK)
+                return
+            if kind == P.RESUME:
+                await self._resume_session(conn, writer, frame)
                 return
             if kind == P.CLOSE:
                 if conn.pooled is not None:
-                    self.pool.release(conn.pooled)
+                    ps = conn.pooled
                     conn.pooled = None
+                    if ps.resume_token is not None:
+                        self._issued.discard(ps.resume_token)
+                    self.pool.release(ps)
                 await P.write_frame(writer, P.OK)
                 return
             ps = conn.pooled
@@ -319,34 +584,26 @@ class StreamServer:
                 raise ProtocolError(
                     "no session on this connection; OPEN one first",
                     code="no-session")
+            if ps.poisoned:
+                raise SessionPoisonedError(
+                    "session was poisoned by an earlier failure; "
+                    "RESUME (resumable sessions) or reopen")
+            if kind in (P.RPUSH, P.RRUN):
+                await self._idempotent(conn, writer, frame)
+                return
             session = ps.session
             if kind in (P.PUSH, P.FEED):
                 arr = frame.array()
-                try:
-                    pending = session.pending_input
-                except ReproError:
-                    raise ProtocolError(
-                        "session is pull-mode (the program has its own "
-                        "sources); drive it with RUN", code="bad-request")
-                if pending + len(arr) > self.config.max_pending_samples:
-                    raise ProtocolError(
-                        f"session holds {pending} unconsumed samples; "
-                        f"feeding {len(arr)} more would exceed the "
-                        f"{self.config.max_pending_samples}-sample "
-                        "backpressure cap — RUN/PUSH to drain first",
-                        code="backpressure")
+                self._check_backpressure(session, len(arr))
                 self.metrics.counter("serve.chunks.in").inc()
                 self.metrics.counter("serve.samples.in").inc(len(arr))
-                # high-water mark includes the chunk about to be buffered
-                self.metrics.gauge("serve.pending_samples").set(
-                    pending + len(arr))
                 if kind == P.PUSH:
-                    out = await self._run_session(ps, session.push, arr)
+                    out = await self._execute(ps, "push", arr)
                     self.metrics.gauge("serve.pending_samples").set(
                         session.pending_input)
                     await self._reply_array(writer, out)
                 else:
-                    count = await self._run_session(ps, session.feed, arr)
+                    count = await self._execute(ps, "feed", arr)
                     self.metrics.gauge("serve.pending_samples").set(
                         session.pending_input)
                     await P.write_frame(writer, P.OK,
@@ -354,30 +611,174 @@ class StreamServer:
                 return
             if kind == P.RUN:
                 n = frame.u32()
-                out = await self._run_session(ps, session.run, n)
+                out = await self._execute(ps, "run", n)
                 await self._reply_array(writer, out)
                 return
             if kind == P.RESET:
-                await self._run_session(ps, session.reset)
+                await self._execute(ps, "reset")
                 await P.write_frame(writer, P.OK)
                 return
             raise ProtocolError(f"unknown request kind {kind}",
                                 code="bad-frame")
-        except asyncio.TimeoutError:
+        except DeadlineError as exc:
             if conn.pooled is not None:
                 conn.pooled.poisoned = True
             name = P.REQUEST_NAMES.get(kind, str(kind))
             await self._error(
-                writer, "timeout",
+                writer, wire_code(exc),
                 f"{name} exceeded the {self.config.request_timeout}s "
                 "request timeout; the session is retired")
         except (ConnectionError, asyncio.CancelledError):
             raise
         except Exception as exc:  # noqa: BLE001 - mapped to error frames
-            await self._error(writer, _code_for(exc), str(exc))
+            await self._error(writer, wire_code(exc), str(exc))
         finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
             self.metrics.histogram("serve.latency").observe(
                 time.perf_counter() - t0)
+
+    def _check_backpressure(self, session, incoming: int) -> None:
+        try:
+            pending = session.pending_input
+        except ReproError:
+            raise ProtocolError(
+                "session is pull-mode (the program has its own "
+                "sources); drive it with RUN", code="bad-request")
+        if pending + incoming > self.config.max_pending_samples:
+            raise ProtocolError(
+                f"session holds {pending} unconsumed samples; "
+                f"feeding {incoming} more would exceed the "
+                f"{self.config.max_pending_samples}-sample "
+                "backpressure cap — RUN/PUSH to drain first",
+                code="backpressure")
+        # high-water mark includes the chunk about to be buffered
+        self.metrics.gauge("serve.pending_samples").set(
+            pending + incoming)
+
+    async def _idempotent(self, conn: _Connection, writer,
+                          frame: P.Frame) -> None:
+        """RPUSH/RRUN: execute once per request id; retried ids are
+        answered from the session's reply cache."""
+        ps = conn.pooled
+        if ps.replies is None:
+            raise ProtocolError(
+                "RPUSH/RRUN need a resumable session (OPEN with "
+                '"resumable": true)', code="bad-request")
+        if len(frame.payload) < 8:
+            raise ProtocolError("missing request id", code="bad-request")
+        rid = int.from_bytes(frame.payload[:8], "big")
+        cached = ps.replies.get(rid)
+        if cached is not None:
+            self.metrics.counter("serve.requests.replayed").inc()
+            await P.write_frame(writer, cached[0], cached[1])
+            return
+        if frame.kind == P.RPUSH:
+            arr = P.decode_array(frame.payload[8:])
+            self._check_backpressure(ps.session, len(arr))
+            self.metrics.counter("serve.chunks.in").inc()
+            self.metrics.counter("serve.samples.in").inc(len(arr))
+            out = await self._execute(ps, "push", arr)
+            self.metrics.gauge("serve.pending_samples").set(
+                ps.session.pending_input)
+        else:
+            if len(frame.payload) != 12:
+                raise ProtocolError("RRUN payload must be id + u32 n",
+                                    code="bad-request")
+            n = int.from_bytes(frame.payload[8:12], "big")
+            out = await self._execute(ps, "run", n)
+        payload = P.encode_array(out)
+        self.metrics.counter("serve.chunks.out").inc()
+        self.metrics.counter("serve.samples.out").inc(len(payload) // 8)
+        # cache before writing: if the reply write dies on the wire the
+        # retry must find it
+        ps.replies[rid] = (P.ARR, payload)
+        while len(ps.replies) > self.config.reply_cache:
+            ps.replies.popitem(last=False)
+        await P.write_frame(writer, P.ARR, payload)
+
+    async def _resume_session(self, conn: _Connection, writer,
+                              frame: P.Frame) -> None:
+        if conn.pooled is not None:
+            raise ProtocolError(
+                "connection already holds a session; CLOSE it before "
+                "resuming another", code="session-open")
+        token = frame.u64()
+        entry = self._resume.pop(token, None)
+        if entry is None and token in self._issued:
+            # the old connection's teardown (which parks the session)
+            # may still be in flight — it runs strictly after the
+            # request that broke it, so wait it out briefly
+            give_up = time.monotonic() + self.config.drain_deadline
+            while entry is None and time.monotonic() < give_up:
+                await asyncio.sleep(0.01)
+                entry = self._resume.pop(token, None)
+        if entry is None:
+            raise ProtocolError("unknown or expired resume token",
+                                code="resume-lost")
+        if entry.ps is not None:
+            ps = entry.ps
+            self.metrics.gauge("serve.sessions.parked").dec()
+            self.metrics.counter("serve.sessions.resumed").inc()
+        else:
+            if entry.snap is None:
+                raise ProtocolError(
+                    "session expired and left no checkpoint",
+                    code="resume-lost")
+            ps = await self._in_worker(self._restore_session, entry)
+            self.metrics.counter("serve.sessions.restored").inc()
+        ps.resume_token = token
+        ps.replies = entry.replies if entry.replies is not None \
+            else OrderedDict()
+        conn.pooled = ps
+        await P.write_frame(writer, P.OK, token.to_bytes(8, "big"))
+
+    async def _execute(self, ps, op: str, *args):
+        """Run one session operation; a recoverable plan failure is
+        transparently re-run on the compiled backend from the last
+        checkpoint (the degradation path)."""
+        try:
+            result = await self._run_session(ps, getattr(ps.session, op),
+                                             *args)
+        except _RECOVERABLE as exc:
+            recovered = await self._try_degrade(ps, op, args)
+            if recovered is _NO_RECOVERY:
+                raise exc
+            result = recovered
+        # refresh the checkpoint after *every* success: a snapshot is a
+        # prefix length into the live journal, so a stale one would
+        # restore the session to a long-gone stream position
+        snap = ps.session.snapshot()
+        if snap is not None:
+            ps.snap = snap
+        return result
+
+    async def _try_degrade(self, ps, op: str, args):
+        """Rebuild ``ps`` on the compiled backend, restore the last
+        checkpoint, and re-run the failed request; ``_NO_RECOVERY``
+        when not applicable or the re-run also fails."""
+        if not (self.config.degrade and ps.snap is not None
+                and ps.factory is not None
+                and ps.session.backend == "plan"
+                and op in ("push", "run")):
+            return _NO_RECOVERY
+
+        def recover():
+            with _faults.suppress():
+                repl = ps.factory(None, "compiled")
+                repl.restore(ps.snap)
+                return repl, getattr(repl, op)(*args)
+
+        try:
+            repl, out = await self._in_worker(recover)
+        except Exception:
+            return _NO_RECOVERY  # the original error surfaces
+        self.pool.replace(ps, repl)
+        ps.poisoned = False
+        self.pool.record_poison(ps.key)  # feeds the circuit breaker
+        self.metrics.counter("serve.requests.degraded").inc()
+        return out
 
     async def _run_session(self, ps, fn, *args):
         """Run one session operation, attributing serve time to the
@@ -406,7 +807,7 @@ class StreamServer:
 
             result, exec_dt = await self._in_worker(timed)
             return result
-        except asyncio.TimeoutError:
+        except DeadlineError:
             raise
         except Exception:
             ps.poisoned = True

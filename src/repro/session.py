@@ -47,17 +47,44 @@ the cache and recompiles, exactly like ``run_graph``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from .errors import (ChunkDtypeError, CompileOptionError, SessionClosedError,
-                     StreamGraphError)
+from .errors import (ChunkDtypeError, CompileOptionError, InterpError,
+                     SessionClosedError, StreamGraphError)
 from .graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                             PrimitiveFilter, SplitJoin, Stream)
 from .profiling import Profiler
 from .runtime.builtins import ArrayCollector, ChunkSource
 from .runtime.executor import FlatGraph
 
-__all__ = ["StreamSession", "compile"]
+__all__ = ["StreamSession", "SessionSnapshot", "compile",
+           "DEFAULT_JOURNAL_LIMIT"]
+
+#: Default cap (in samples fed + outputs produced) on the replay
+#: journal backing :meth:`StreamSession.snapshot`.  Past it, journaling
+#: is abandoned and the session reports no checkpoint.
+DEFAULT_JOURNAL_LIMIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """An O(1) checkpoint of a :class:`StreamSession`.
+
+    The session journals every successful mutating call (``feed`` /
+    ``push``-drain / ``run``) in an append-only op list; a snapshot is
+    just ``(ops ref, prefix length, produced count)``.  ``restore``
+    replays the prefix against a freshly rebuilt executor — a stream
+    program is a deterministic state-carrying homomorphism, so the
+    replayed state (values *and* FLOP counts) is identical to the
+    uninterrupted run, on any backend.
+    """
+
+    ops: list
+    n_ops: int
+    produced: int
+    cost: int  #: journal cost (samples + outputs) at snapshot time
 
 
 # ---------------------------------------------------------------------------
@@ -127,6 +154,7 @@ class StreamSession:
     def __init__(self, stream: Stream, *, backend: str = "plan",
                  optimize: str = "none", profiler: Profiler | None = None,
                  chunk_outputs: int | None = None,
+                 journal_limit: int = DEFAULT_JOURNAL_LIMIT,
                  _program_mode: bool | None = None, _plan_seed=None):
         from .exec.optimize import OPTIMIZE_MODES
         if backend not in ("interp", "compiled", "plan"):
@@ -141,6 +169,12 @@ class StreamSession:
         self._profiler = profiler
         self._source: ChunkSource | None = None
         self._produced_total = 0
+        #: replay journal for snapshot/restore: append-only op list of
+        #: ("feed", f64 chunk copy) / ("drain", None) / ("run", n);
+        #: None once the cost cap is exceeded (or journaling disabled)
+        self._journal_limit = journal_limit
+        self._ops: list | None = [] if journal_limit else None
+        self._journal_cost = 0
 
         if _program_mode is None:
             program_mode = not _consumes_external_input(stream)
@@ -242,6 +276,7 @@ class StreamSession:
             self._source.clear()
         self._executor = None
         self._optimized = None
+        self._ops = None  # snapshots already taken keep their own ref
 
     def __enter__(self) -> "StreamSession":
         self._check_open()
@@ -310,6 +345,17 @@ class StreamSession:
         return plan_report(self._program, self.optimize)
 
     # -- execution ---------------------------------------------------------
+    def _journal_op(self, op: str, arg, cost: int) -> None:
+        """Append one successful mutating call to the replay journal
+        (dropping the journal entirely once the cost cap is passed)."""
+        if self._ops is None:
+            return
+        self._journal_cost += cost
+        if self._journal_cost > self._journal_limit:
+            self._ops = None  # checkpointing off for this stream's life
+            return
+        self._ops.append((op, arg))
+
     def _advance_raw(self, n: int):
         """Advance and return the executor's native container (list or
         ndarray) — the zero-conversion path the legacy list-returning
@@ -317,6 +363,7 @@ class StreamSession:
         self._check_open()
         out = self._executor.advance(n)
         self._produced_total += n
+        self._journal_op("run", n, n)
         return out
 
     def run(self, n: int) -> np.ndarray:
@@ -342,7 +389,13 @@ class StreamSession:
             raise StreamGraphError(
                 f"stream {getattr(self.stream, 'name', '?')} has its own "
                 "sources; feed/push apply to float->float sessions only")
-        return self._source.feed(chunk)
+        count = self._source.feed(chunk)
+        if self._ops is not None:
+            # journal an owned copy: the caller may mutate its buffer
+            self._journal_op(
+                "feed", np.array(chunk, dtype=np.float64, copy=True)
+                .reshape(-1), count)
+        return count
 
     def push(self, chunk) -> np.ndarray:
         """Feed a chunk and return every output it completes.
@@ -354,17 +407,11 @@ class StreamSession:
         self.feed(chunk)
         out = self._executor.drain_available()
         self._produced_total += len(out)
+        self._journal_op("drain", None, len(out))
         return np.asarray(out, dtype=np.float64)
 
-    def reset(self, clear_profile: bool = False) -> None:
-        """Rewind the stream to its initial state without recompiling.
-
-        Channel occupancy, filter state, island rings, and source
-        positions reset; the compiled plan (and its pinned cache entry)
-        is reused as-is.  The cumulative profile is kept unless
-        ``clear_profile`` is set.
-        """
-        self._check_open()
+    def _rebuild_executor(self) -> None:
+        """Swap in a fresh initial-state executor (reset/restore core)."""
         if self._source is not None:
             self._source.clear()
         if self._entry is not None:
@@ -376,10 +423,78 @@ class StreamSession:
         else:
             self._executor = self._build_executor()
         self._produced_total = 0
-        if clear_profile and self._profiler is not None:
+
+    def _clear_profile(self) -> None:
+        if self._profiler is not None:
             from .profiling import Counts
             self._profiler.counts = Counts()
             self._profiler.per_filter.clear()
+
+    def reset(self, clear_profile: bool = False) -> None:
+        """Rewind the stream to its initial state without recompiling.
+
+        Channel occupancy, filter state, island rings, and source
+        positions reset; the compiled plan (and its pinned cache entry)
+        is reused as-is.  The cumulative profile is kept unless
+        ``clear_profile`` is set.
+        """
+        self._check_open()
+        self._rebuild_executor()
+        # a fresh list, never .clear(): outstanding snapshots keep a
+        # reference to the old one and stay replayable
+        self._ops = [] if self._journal_limit else None
+        self._journal_cost = 0
+        if clear_profile:
+            self._clear_profile()
+
+    # -- checkpoint / recovery ---------------------------------------------
+    def snapshot(self) -> SessionSnapshot | None:
+        """An O(1) checkpoint of the current stream position, or ``None``
+        when the replay journal was dropped (``journal_limit`` exceeded,
+        or journaling disabled with ``journal_limit=0``)."""
+        self._check_open()
+        if self._ops is None:
+            return None
+        return SessionSnapshot(ops=self._ops, n_ops=len(self._ops),
+                               produced=self._produced_total,
+                               cost=self._journal_cost)
+
+    def restore(self, snap: SessionSnapshot) -> None:
+        """Rewind to ``snap`` by replaying its journaled calls against a
+        fresh executor.
+
+        Works across sessions and **across backends**: a snapshot taken
+        from a plan-backend session restores onto a compiled-backend
+        session of the same program (the serving layer's degradation
+        path), because the journal records the public call sequence, not
+        executor internals.  The profile is cleared first and replay
+        recounts it, so afterwards it equals an uninterrupted run to the
+        checkpoint.  Fault-injection sites are suppressed during replay.
+        """
+        from . import faults
+        self._check_open()
+        self._clear_profile()
+        with faults.suppress():
+            self._rebuild_executor()
+            ops = snap.ops[:snap.n_ops]
+            self._ops = None  # replay must not re-journal
+            for op, arg in ops:
+                if op == "feed":
+                    self._source.feed(arg)
+                elif op == "drain":
+                    self._produced_total += len(
+                        self._executor.drain_available())
+                else:  # "run"
+                    self._executor.advance(arg)
+                    self._produced_total += arg
+        if self._produced_total != snap.produced:
+            raise InterpError(
+                f"snapshot replay diverged: produced "
+                f"{self._produced_total} outputs, checkpoint recorded "
+                f"{snap.produced}")
+        if self._journal_limit:
+            self._ops = list(ops)
+            self._journal_cost = snap.cost
 
 
 def compile(stream: Stream, *, backend: str = "plan",

@@ -114,7 +114,8 @@ class TestProtocol:
 
     def test_read_frame_oversized_is_too_large(self):
         async def main():
-            data = bytes([P.PUSH]) + (1 << 30).to_bytes(4, "big")
+            data = (bytes([P.PUSH]) + (1 << 30).to_bytes(4, "big")
+                    + (0).to_bytes(4, "big"))  # CRC slot of the header
             return await P.read_frame(self._reader(data),
                                       max_bytes=1 << 20)
 
