@@ -1,29 +1,38 @@
 """Shared DSP components used across the benchmark suite.
 
-These are the standard StreamIt library filters the benchmarks are built
-from: windowed-sinc low/high-pass FIR filters, band-pass/band-stop
-compositions, rate changers (compressor/expander), adders, and sources/
-sinks.  Coefficient computation happens at elaboration time in Python
-(the moral equivalent of StreamIt's ``init`` functions); the work
-functions are IR so the linear extraction analysis sees exactly what the
-paper's compiler saw.
+These are the standard StreamIt library filters the benchmarks are
+built from: windowed-sinc low/high-pass FIR filters, band-pass/
+band-stop compositions, rate changers (compressor/expander), adders,
+and sources/sinks.  Each factory elaborates its filter from the
+canonical DSL declarations in ``apps/dsl/common.str`` — coefficient
+computation happens in the declarations' ``init`` blocks at
+elaboration time (the moral equivalent of StreamIt's ``init``
+functions), and the work bodies lower to exactly the IR the
+hand-written builders produced, so the linear extraction analysis sees
+the same program either way.
+
+``lowpass_coeffs``/``highpass_coeffs`` remain as pure-Python oracles
+for tests and for callers that feed explicit coefficient vectors
+through :func:`fir_filter`.
 """
 
 from __future__ import annotations
 
 import math
 
-from ..graph.streams import Filter, Pipeline, RoundRobin, SplitJoin
-from ..graph.streams import Duplicate
-from ..ir import FilterBuilder
+import numpy as np
+
+from ..graph.streams import Filter, Pipeline
 from ..runtime.builtins import Collector
+from ._loader import load_unit
 
 
 def lowpass_coeffs(gain: float, cutoff: float, taps: int) -> list[float]:
     """Windowed-sinc low-pass coefficients (rectangular window).
 
     ``h[i] = g * sin(wc * (i - N/2)) / (pi * (i - N/2))`` with the
-    singularity at the center resolved to ``g * wc / pi``.
+    singularity at the center resolved to ``g * wc / pi``.  This is the
+    Python mirror of ``LowPassFilter``'s init block in ``common.str``.
     """
     offset = taps // 2
     coeffs = []
@@ -48,154 +57,106 @@ def highpass_coeffs(gain: float, ws: float, taps: int) -> list[float]:
 
 def fir_filter(name: str, coeffs, decimation: int = 0) -> Filter:
     """An FIR convolution filter: peek N, pop 1+decimation, push 1."""
-    n = len(coeffs)
-    pop = 1 + decimation
-    f = FilterBuilder(name, peek=max(n, pop), pop=pop, push=1)
-    h = f.const_array("h", coeffs)
-    with f.work():
-        s = f.local("sum", 0.0)
-        with f.loop("i", 0, n) as i:
-            f.assign(s, s + h[i] * f.peek(i))
-        f.push(s)
-        with f.loop("i", 0, pop):
-            f.pop()
-    return f.build()
+    h = np.asarray(coeffs, dtype=float)
+    f = load_unit("common", "FIRFilter", len(h), decimation, h)
+    f.name = name
+    return f
 
 
 def low_pass_filter(gain: float, cutoff: float, taps: int,
                     decimation: int = 0,
                     name: str = "LowPassFilter") -> Filter:
-    return fir_filter(name, lowpass_coeffs(gain, cutoff, taps), decimation)
+    f = load_unit("common", "LowPassFilter", gain, cutoff, taps, decimation)
+    f.name = name
+    return f
 
 
 def high_pass_filter(gain: float, ws: float, taps: int,
                      name: str = "HighPassFilter") -> Filter:
-    return fir_filter(name, highpass_coeffs(gain, ws, taps))
+    f = load_unit("common", "HighPassFilter", gain, ws, taps)
+    f.name = name
+    return f
 
 
 def band_pass_filter(gain: float, ws: float, wp: float,
                      taps: int, name: str = "BandPassFilter") -> Pipeline:
     """Low-pass cascaded with high-pass (thesis Figure A-11)."""
-    return Pipeline([
-        low_pass_filter(1.0, wp, taps),
-        high_pass_filter(gain, ws, taps),
-    ], name=name)
+    g = load_unit("common", "BandPassFilter", gain, ws, wp, taps)
+    g.name = name
+    return g
 
 
 def band_stop_filter(gain: float, wp: float, ws: float,
                      taps: int, name: str = "BandStopFilter") -> Pipeline:
     """Parallel low-pass + high-pass, summed (thesis Figure A-12)."""
-    return Pipeline([
-        SplitJoin(Duplicate(),
-                  [low_pass_filter(gain, wp, taps),
-                   high_pass_filter(gain, ws, taps)],
-                  RoundRobin((1, 1)), name=f"{name}.split"),
-        adder(2),
-    ], name=name)
+    g = load_unit("common", "BandStopFilter", gain, wp, ws, taps)
+    g.name = name
+    g.children[0].name = f"{name}.split"
+    g.children[1].name = "Adder(2)"
+    return g
 
 
 def compressor(m: int, name: str | None = None) -> Filter:
     """Pass 1 of every M items (thesis Figure A-4)."""
-    f = FilterBuilder(name or f"Compressor({m})", peek=m, pop=m, push=1)
-    with f.work():
-        f.push(f.pop_expr())
-        with f.loop("i", 0, m - 1):
-            f.pop()
-    return f.build()
+    f = load_unit("common", "Compressor", m)
+    f.name = name or f"Compressor({m})"
+    return f
 
 
 def expander(l: int, name: str | None = None) -> Filter:
     """Push the input followed by L-1 zeros (thesis Figure A-5)."""
-    f = FilterBuilder(name or f"Expander({l})", peek=1, pop=1, push=l)
-    with f.work():
-        f.push(f.pop_expr())
-        with f.loop("i", 0, l - 1):
-            f.push(0.0)
-    return f.build()
+    f = load_unit("common", "Expander", l)
+    f.name = name or f"Expander({l})"
+    return f
 
 
 def adder(n: int, name: str | None = None) -> Filter:
     """Sum N consecutive items into one (linear)."""
-    f = FilterBuilder(name or f"Adder({n})", peek=n, pop=n, push=1)
-    with f.work():
-        s = f.local("sum", 0.0)
-        with f.loop("i", 0, n) as i:
-            f.assign(s, s + f.peek(i))
-        f.push(s)
-        with f.loop("i", 0, n):
-            f.pop()
-    return f.build()
+    f = load_unit("common", "Adder", n)
+    f.name = name or f"Adder({n})"
+    return f
 
 
 def float_diff(name: str = "FloatDiff") -> Filter:
     """peek(0) - peek(1), pop 2 (FMRadio's equalizer building block)."""
-    f = FilterBuilder(name, peek=2, pop=2, push=1)
-    with f.work():
-        f.push(f.peek(0) - f.peek(1))
-        f.pop()
-        f.pop()
-    return f.build()
+    f = load_unit("common", "FloatDiff")
+    f.name = name
+    return f
 
 
 def float_dup(name: str = "FloatDup") -> Filter:
     """Duplicate each item (pop 1, push 2)."""
-    f = FilterBuilder(name, peek=1, pop=1, push=2)
-    with f.work():
-        v = f.local("val", f.pop_expr())
-        f.push(v)
-        f.push(v)
-    return f.build()
+    f = load_unit("common", "FloatDup")
+    f.name = name
+    return f
 
 
 def delay(name: str = "Delay") -> Filter:
     """One-item unit delay implemented with prework (initial zero)."""
-    f = FilterBuilder(name, peek=1, pop=1, push=1)
-    with f.prework(peek=0, pop=0, push=1):
-        f.push(0.0)
-    with f.work():
-        f.push(f.pop_expr())
-    return f.build()
+    f = load_unit("common", "Delay")
+    f.name = name
+    return f
 
 
 def ramp_source(period: int = 16, name: str = "FloatSource") -> Filter:
     """The FIR benchmark's source: a repeating 0..period-1 ramp."""
-    f = FilterBuilder(name, peek=0, pop=0, push=1)
-    idx = f.state("idx", 0)
-    data = f.const_array("inputs", [float(i) for i in range(period)])
-    with f.work():
-        f.push(data[idx])
-        f.assign(idx, (idx + 1) % period)
-    return f.build()
+    f = load_unit("common", "FloatSource", period)
+    f.name = name
+    return f
 
 
 def cosine_source(w: float, name: str = "SampledSource") -> Filter:
     """push(cos(w*n)) — RateConvert's source (Figure A-6)."""
-    from ..ir import call
-
-    f = FilterBuilder(name, peek=0, pop=0, push=1)
-    n = f.state("n", 0)
-    wc = f.const("w", w)
-    with f.work():
-        f.push(call("cos", wc * n))
-        f.assign(n, n + 1)
-    return f.build()
+    f = load_unit("common", "SampledSource", w)
+    f.name = name
+    return f
 
 
 def multi_sine_source(name: str = "DataSource", size: int = 100) -> Filter:
     """Sum of three incommensurate sinusoids (Oversampler/DToA source)."""
-    values = []
-    for i in range(size):
-        t = float(i)
-        values.append(math.sin(2 * math.pi * t / size)
-                      + math.sin(2 * math.pi * 1.7 * t / size + math.pi / 3)
-                      + math.sin(2 * math.pi * 2.1 * t / size + math.pi / 5))
-    f = FilterBuilder(name, peek=0, pop=0, push=1)
-    data = f.const_array("data", values)
-    idx = f.state("index", 0)
-    with f.work():
-        f.push(data[idx])
-        f.assign(idx, (idx + 1) % size)
-    return f.build()
+    f = load_unit(("common", "oversampler"), "DataSource", size)
+    f.name = name
+    return f
 
 
 def printer(name: str = "FloatPrinter") -> Collector:

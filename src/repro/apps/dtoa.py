@@ -5,61 +5,38 @@ adder and a quantize-and-error filter with a unit delay on the feedback
 path — followed by a 256-tap reconstruction low-pass.  The feedbackloop
 is the one construct linear analysis does not collapse (it needs linear
 state, §7.1), so this benchmark exercises optimization around a
-nonlinear/feedback core.
+nonlinear/feedback core.  Elaborated from ``apps/dsl/dtoa.str``.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import FeedbackLoop, Filter, Pipeline, RoundRobin
-from ..ir import FilterBuilder
-from .common import delay, low_pass_filter, multi_sine_source, printer
-from .oversampler import oversampler
+from ..graph.streams import FeedbackLoop, Filter, Pipeline
+from ._loader import load_app, load_unit
+from .oversampler import _rename_stages
 
 NAME = "DToA"
 
+_FILES = ("common", "oversampler", "dtoa")
+
 
 def adder_filter() -> Filter:
-    f = FilterBuilder("AdderFilter", peek=2, pop=2, push=1)
-    with f.work():
-        f.push(f.pop_expr() + f.pop_expr())
-    return f.build()
+    return load_unit(_FILES, "AdderFilter")
 
 
 def quantizer_and_error() -> Filter:
     """Quantize to ±1; also emit the quantization error (nonlinear)."""
-    f = FilterBuilder("QuantizerAndError", peek=1, pop=1, push=2)
-    with f.work():
-        v = f.local("inputValue", f.pop_expr())
-        out = f.local("outputValue", 0.0)
-        neg = f.if_(v < 0.0)
-        with neg:
-            f.assign(out, -1.0)
-        with neg.otherwise():
-            f.assign(out, 1.0)
-        f.push(out)
-        f.push(out - v)
-    return f.build()
+    return load_unit(_FILES, "QuantizerAndError")
 
 
 def noise_shaper() -> FeedbackLoop:
-    body = Pipeline([adder_filter(), quantizer_and_error()],
-                    name="shaper_body")
-    return FeedbackLoop(
-        body=body,
-        loop=delay(),
-        joiner=RoundRobin((1, 1)),
-        splitter=RoundRobin((1, 1)),
-        enqueued=[0.0],
-        name="NoiseShaper")
+    ns = load_unit(_FILES, "NoiseShaper")
+    ns.body.name = "shaper_body"
+    return ns
 
 
 def build(stages: int = 4, taps: int = 64, out_taps: int = 256) -> Pipeline:
-    return Pipeline([
-        multi_sine_source(),
-        oversampler(stages, taps),
-        noise_shaper(),
-        low_pass_filter(1.0, math.pi / 100, out_taps),
-        printer(name="DataSink"),
-    ], name="OneBitDToA")
+    g = load_app(_FILES, "OneBitDToA", stages, taps, out_taps,
+                 printer_name="DataSink")
+    _rename_stages(g.children[1])
+    g.children[2].body.name = "shaper_body"
+    return g

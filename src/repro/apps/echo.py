@@ -12,62 +12,46 @@ batched matrix product.
 The front low-pass conditioner sits *outside* the loop on purpose — it
 is the benchmark's witness that hybrid islanding keeps acyclic regions
 fully batched while the cycle runs behind its island facade.
+Elaborated from ``apps/dsl/echo.str``.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import FeedbackLoop, Filter, Pipeline, RoundRobin
-from ..ir import FilterBuilder
-from .common import low_pass_filter, printer, ramp_source
+from ..graph.streams import FeedbackLoop, Filter, Pipeline
+from ._loader import load_app, load_unit
 
 NAME = "Echo"
 
 DEFAULT_DELAY = 1024
 DEFAULT_GAIN = 0.6
 
+_FILES = ("common", "echo")
+
 
 def echo_add(name: str = "EchoAdd") -> Filter:
     """Mix one input with one feedback sample; duplicate the result
     (first copy to the output tape, second onto the feedback path)."""
-    f = FilterBuilder(name, peek=2, pop=2, push=2)
-    with f.work():
-        x = f.local("x", f.pop_expr())
-        fb = f.local("fb", f.pop_expr())
-        y = f.local("y", x + fb)
-        f.push(y)
-        f.push(y)
-    return f.build()
+    f = load_unit(_FILES, "EchoAdd")
+    f.name = name
+    return f
 
 
 def echo_damp(gain: float, name: str = "EchoDamp") -> Filter:
     """The feedback path's attenuation: push(gain * pop)."""
-    f = FilterBuilder(name, peek=1, pop=1, push=1)
-    g = f.const("g", gain)
-    with f.work():
-        f.push(g * f.pop_expr())
-    return f.build()
+    f = load_unit(_FILES, "EchoDamp", gain)
+    f.name = name
+    return f
 
 
 def echo_loop(delay: int = DEFAULT_DELAY, gain: float = DEFAULT_GAIN,
               name: str = "EchoLoop") -> FeedbackLoop:
     """The feedback construct itself (float -> float)."""
-    return FeedbackLoop(
-        body=echo_add(),
-        loop=echo_damp(gain),
-        joiner=RoundRobin((1, 1)),
-        splitter=RoundRobin((1, 1)),
-        enqueued=[0.0] * delay,
-        name=name)
+    loop = load_unit(_FILES, "EchoLoop", delay, gain)
+    loop.name = name
+    return loop
 
 
 def build(delay: int = DEFAULT_DELAY, gain: float = DEFAULT_GAIN,
           taps: int = 64) -> Pipeline:
     """FloatSource -> LowPassFilter(taps) -> EchoLoop(delay) -> Printer."""
-    return Pipeline([
-        ramp_source(),
-        low_pass_filter(1.0, math.pi / 3, taps),
-        echo_loop(delay, gain),
-        printer(),
-    ], name="EchoProgram")
+    return load_app(_FILES, "EchoProgram", delay, gain, taps)

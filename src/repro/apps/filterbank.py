@@ -5,64 +5,47 @@ Each branch band-passes its subband, decimates by M, applies a per-band
 processing filter, upsamples by M, and band-stop interpolates; branches
 are summed by an Adder.  Everything but the source is linear — the
 benchmark where combination collapses the most structure.
+Elaborated from ``apps/dsl/filterbank.str``.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
-from ..ir import FilterBuilder, call
-from .common import (adder, band_pass_filter, band_stop_filter, compressor,
-                     expander, printer)
+from ..graph.streams import Filter, Pipeline
+from ._loader import load_app, load_unit
 
 NAME = "FilterBank"
+
+_FILES = ("common", "filterbank")
 
 
 def data_source() -> Filter:
     """Sum of three cosines at pi/10, pi/20, pi/30 (stateful counter)."""
-    f = FilterBuilder("DataSource", peek=0, pop=0, push=1)
-    n = f.state("n", 0)
-    with f.work():
-        f.push(call("cos", (math.pi / 10) * n)
-               + call("cos", (math.pi / 20) * n)
-               + call("cos", (math.pi / 30) * n))
-        f.assign(n, n + 1)
-    return f.build()
+    return load_unit(_FILES, "DataSource")
 
 
 def process_filter(order: int) -> Filter:
     """The per-subband processing hook — identity in the benchmark."""
-    f = FilterBuilder(f"ProcessFilter{order}", peek=1, pop=1, push=1)
-    with f.work():
-        f.push(f.pop_expr())
-    return f.build()
+    f = load_unit(_FILES, "ProcessFilter", order)
+    f.name = f"ProcessFilter{order}"
+    return f
 
 
 def processing_pipeline(m: int, i: int, taps: int) -> Pipeline:
-    low = i * math.pi / m
-    high = (i + 1) * math.pi / m
-    return Pipeline([
-        Pipeline([
-            band_pass_filter(1.0, low, high, taps),
-            compressor(m),
-        ], name=f"analysis{i}"),
-        process_filter(i),
-        Pipeline([
-            expander(m),
-            band_stop_filter(float(m), low, high, taps),
-        ], name=f"synthesis{i}"),
-    ], name=f"ProcessingPipeline{i}")
+    return _rename_branch(
+        load_unit(_FILES, "ProcessingPipeline", m, i, taps), i)
+
+
+def _rename_branch(pipe: Pipeline, i: int) -> Pipeline:
+    pipe.name = f"ProcessingPipeline{i}"
+    pipe.children[0].name = f"analysis{i}"
+    pipe.children[1].name = f"ProcessFilter{i}"
+    pipe.children[2].name = f"synthesis{i}"
+    return pipe
 
 
 def build(m: int = 3, taps: int = 100) -> Pipeline:
-    bank = SplitJoin(
-        Duplicate(),
-        [processing_pipeline(m, i, taps) for i in range(m)],
-        RoundRobin(tuple([1] * m)),
-        name="FilterBankSplitJoin")
-    return Pipeline([
-        data_source(),
-        Pipeline([bank, adder(m)], name="FilterBankPipeline"),
-        printer(),
-    ], name="FilterBank")
+    g = load_app(_FILES, "FilterBank", m, taps)
+    bank = g.children[1]
+    for i, branch in enumerate(bank.children[0].children):
+        _rename_branch(branch, i)
+    return g

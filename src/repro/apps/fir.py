@@ -1,9 +1,10 @@
-"""FIR benchmark: a single 256-tap low-pass filter (thesis Figure A-3)."""
+"""FIR benchmark: a single 256-tap low-pass filter (thesis Figure A-3),
+elaborated from ``apps/dsl/fir.str``."""
 
 from __future__ import annotations
 
 from ..graph.streams import Pipeline
-from .common import low_pass_filter, printer, ramp_source
+from ._loader import load_app
 
 NAME = "FIR"
 DEFAULT_TAPS = 256
@@ -11,10 +12,4 @@ DEFAULT_TAPS = 256
 
 def build(taps: int = DEFAULT_TAPS) -> Pipeline:
     """FloatSource -> LowPassFilter(1, pi/3, taps) -> FloatPrinter."""
-    import math
-
-    return Pipeline([
-        ramp_source(),
-        low_pass_filter(1.0, math.pi / 3, taps),
-        printer(),
-    ], name="FIRProgram")
+    return load_app(("common", "fir"), "FIRProgram", taps)

@@ -5,15 +5,15 @@ Structure: decimating front-end low-pass -> nonlinear FM demodulator ->
 10-band equalizer.  The equalizer is a duplicate splitjoin of band-edge
 low-pass filters whose outputs are differenced pairwise and summed — all
 linear, and the showcase for splitjoin combination (§3.3.4).
+Elaborated from ``apps/dsl/fmradio.str``.
 """
 
 from __future__ import annotations
 
 import math
 
-from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
-from ..ir import FilterBuilder, call
-from .common import adder, fir_filter, float_diff, float_dup, printer
+from ..graph.streams import Filter, Pipeline
+from ._loader import load_app, load_unit
 
 NAME = "FMRadio"
 
@@ -22,92 +22,54 @@ CUTOFF_FREQUENCY = 108_000_000.0
 MAX_AMPLITUDE = 27_000.0
 BANDWIDTH = 10_000.0
 
-
-def _fm_lowpass_coeffs(rate: float, cutoff: float, taps: int) -> list[float]:
-    """Hamming-windowed sinc (the benchmark's own LowPassFilter)."""
-    pi = math.pi
-    m = taps - 1
-    if cutoff == 0.0:
-        raw = [0.54 - 0.46 * math.cos(2 * pi * i / m) for i in range(taps)]
-        total = sum(raw)
-        return [c / total for c in raw]
-    w = 2 * pi * cutoff / rate
-    coeffs = []
-    for i in range(taps):
-        if i - m / 2 == 0:
-            coeffs.append(w / pi)
-        else:
-            coeffs.append(
-                math.sin(w * (i - m / 2)) / pi / (i - m / 2)
-                * (0.54 - 0.46 * math.cos(2 * pi * i / m)))
-    return coeffs
+_FILES = ("common", "fmradio")
 
 
 def fm_lowpass(rate: float, cutoff: float, taps: int, decimation: int,
                name: str) -> Filter:
-    return fir_filter(name, _fm_lowpass_coeffs(rate, cutoff, taps),
-                      decimation=decimation)
+    """Hamming-windowed sinc (the benchmark's own LowPassFilter)."""
+    f = load_unit(_FILES, "FMLowPass", rate, cutoff, taps, decimation)
+    f.name = name
+    return f
 
 
 def fm_demodulator(rate: float, max_amp: float, bandwidth: float) -> Filter:
     """push(gain * atan(peek(0) * peek(1))) — inherently nonlinear."""
-    gain = max_amp * rate / (bandwidth * math.pi)
-    f = FilterBuilder("FMDemodulator", peek=2, pop=1, push=1)
-    g = f.const("mGain", gain)
-    with f.work():
-        f.push(g * call("atan", f.peek(0) * f.peek(1)))
-        f.pop()
-    return f.build()
+    return load_unit(_FILES, "FMDemodulator", rate, max_amp, bandwidth)
 
 
 def counter_source() -> Filter:
-    f = FilterBuilder("FloatOneSource", peek=0, pop=0, push=1)
-    x = f.state("x", 0.0)
-    with f.work():
-        f.push(x)
-        f.assign(x, x + 1.0)
-    return f.build()
+    return load_unit(_FILES, "FloatOneSource")
 
 
-def equalizer(rate: float, bands: int = 10, low: float = 55.0,
-              high: float = 1760.0, taps: int = 64) -> Pipeline:
-    """The 10-band equalizer: band-edge filters, differences, and a sum."""
+def _rename_equalizer(eq: Pipeline, rate: float, bands: int, low: float,
+                      high: float) -> Pipeline:
+    """Apply the suite's historical instance names to an Equalizer."""
     cutoffs = [
         math.exp(i * (math.log(high) - math.log(low)) / bands
                  + math.log(low))
         for i in range(1, bands)
     ]
-    inner = SplitJoin(
-        Duplicate(),
-        [Pipeline([
-            fm_lowpass(rate, c, taps, 0, f"LowPass@{c:.0f}Hz"),
-            float_dup(),
-         ], name=f"EqualizerInnerPipeline{i}")
-         for i, c in enumerate(cutoffs)],
-        RoundRobin(tuple([2] * len(cutoffs))),
-        name="EqualizerInnerSplitJoin")
-    outer = SplitJoin(
-        Duplicate(),
-        [fm_lowpass(rate, high, taps, 0, "LowPassHigh"),
-         inner,
-         fm_lowpass(rate, low, taps, 0, "LowPassLow")],
-        RoundRobin((1, (bands - 1) * 2, 1)),
-        name="EqualizerSplitJoin")
-    return Pipeline([
-        outer,
-        float_diff(),
-        adder(bands, name=f"FloatNAdder({bands})"),
-    ], name="Equalizer")
+    outer = eq.children[0]
+    outer.children[0].name = "LowPassHigh"
+    outer.children[2].name = "LowPassLow"
+    for i, pipe in enumerate(outer.children[1].children):
+        pipe.name = f"EqualizerInnerPipeline{i}"
+        pipe.children[0].name = f"LowPass@{cutoffs[i]:.0f}Hz"
+    eq.children[2].name = f"FloatNAdder({bands})"
+    return eq
+
+
+def equalizer(rate: float, bands: int = 10, low: float = 55.0,
+              high: float = 1760.0, taps: int = 64) -> Pipeline:
+    """The 10-band equalizer: band-edge filters, differences, and a sum."""
+    eq = load_unit(_FILES, "Equalizer", rate, bands, low, high, taps)
+    return _rename_equalizer(eq, rate, bands, low, high)
 
 
 def build(bands: int = 10, taps: int = 64) -> Pipeline:
-    return Pipeline([
-        counter_source(),
-        Pipeline([
-            fm_lowpass(SAMPLING_RATE, CUTOFF_FREQUENCY, taps, 4,
-                       "FrontLowPass"),
-            fm_demodulator(SAMPLING_RATE, MAX_AMPLITUDE, BANDWIDTH),
-            equalizer(SAMPLING_RATE, bands=bands, taps=taps),
-        ], name="FMRadio"),
-        printer(),
-    ], name="LinkedFMTest")
+    g = load_app(_FILES, "LinkedFMTest", bands, taps)
+    fm = g.children[1]
+    fm.children[0].name = "FrontLowPass"
+    _rename_equalizer(fm.children[2], SAMPLING_RATE, bands, 55.0, 1760.0)
+    return g

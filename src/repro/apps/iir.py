@@ -11,13 +11,15 @@ every stage advances a whole block of iterations per lifted matmul
 rewrites can collapse the cascade into a single state-space leaf.
 
 Coefficient sets are fixed stable resonators (poles well inside the unit
-circle) so long runs stay bounded on the ramp source.
+circle) so long runs stay bounded on the ramp source.  The stages are
+elaborated from ``apps/dsl/iir.str``; the cascade is composed here so
+arbitrary section lists keep working.
 """
 
 from __future__ import annotations
 
 from ..graph.streams import Filter, Pipeline
-from ..ir import FilterBuilder
+from ._loader import load_unit
 from .common import printer, ramp_source
 
 NAME = "IIR"
@@ -32,38 +34,22 @@ DEFAULT_SECTIONS = (
 
 DC_BLOCK_R = 0.995
 
+_FILES = ("common", "iir")
+
 
 def biquad(b0: float, b1: float, b2: float, a1: float, a2: float,
            name: str = "Biquad") -> Filter:
     """One direct-form II transposed second-order section."""
-    f = FilterBuilder(name, peek=1, pop=1, push=1)
-    cb0 = f.const("b0", b0)
-    cb1 = f.const("b1", b1)
-    cb2 = f.const("b2", b2)
-    ca1 = f.const("a1", a1)
-    ca2 = f.const("a2", a2)
-    s1 = f.state("s1", 0.0)
-    s2 = f.state("s2", 0.0)
-    with f.work():
-        x = f.local("x", f.pop_expr())
-        y = f.local("y", cb0 * x + s1)
-        f.assign(s1, cb1 * x + ca1 * y + s2)
-        f.assign(s2, cb2 * x + ca2 * y)
-        f.push(y)
-    return f.build()
+    f = load_unit(_FILES, "Biquad", b0, b1, b2, a1, a2)
+    f.name = name
+    return f
 
 
 def dc_blocker(r: float = DC_BLOCK_R, name: str = "DCBlocker") -> Filter:
     """``y[n] = x[n] - x[n-1] + r*y[n-1]`` as one state field."""
-    f = FilterBuilder(name, peek=1, pop=1, push=1)
-    cr = f.const("r", r)
-    s = f.state("s", 0.0)
-    with f.work():
-        x = f.local("x", f.pop_expr())
-        y = f.local("y", x + s)
-        f.assign(s, cr * y - x)
-        f.push(y)
-    return f.build()
+    f = load_unit(_FILES, "DCBlocker", r)
+    f.name = name
+    return f
 
 
 def cascade(sections=DEFAULT_SECTIONS, name: str = "BiquadCascade") \

@@ -1,29 +1,30 @@
 """Oversampler benchmark: 16x oversampling in four 2x stages
 (thesis Figure A-15) — each stage an expander plus interpolating
-low-pass, all linear."""
+low-pass, all linear.  Elaborated from ``apps/dsl/oversampler.str``."""
 
 from __future__ import annotations
 
-import math
-
 from ..graph.streams import Pipeline
-from .common import expander, low_pass_filter, multi_sine_source, printer
+from ._loader import load_app, load_unit
 
 NAME = "Oversampler"
 
+_FILES = ("common", "oversampler")
+
+
+def _rename_stages(over: Pipeline) -> Pipeline:
+    for i in range(len(over.children) // 2):
+        over.children[2 * i].name = f"Expander2_{i}"
+        over.children[2 * i + 1].name = f"LowPass_{i}"
+    return over
+
 
 def oversampler(stages: int = 4, taps: int = 64) -> Pipeline:
-    parts = []
-    for i in range(stages):
-        parts.append(expander(2, name=f"Expander2_{i}"))
-        parts.append(low_pass_filter(2.0, math.pi / 2, taps,
-                                     name=f"LowPass_{i}"))
-    return Pipeline(parts, name="OverSampler")
+    return _rename_stages(load_unit(_FILES, "OverSampler", stages, taps))
 
 
 def build(stages: int = 4, taps: int = 64) -> Pipeline:
-    return Pipeline([
-        multi_sine_source(),
-        oversampler(stages, taps),
-        printer(name="DataSink"),
-    ], name="Oversampler")
+    g = load_app(_FILES, "Oversampler", stages, taps,
+                 printer_name="DataSink")
+    _rename_stages(g.children[1])
+    return g

@@ -9,137 +9,60 @@ complex matched FIR, a magnitude stage, and a detector.
 
 Complex samples travel interleaved (re, im) on the tapes, so every
 complex FIR is a linear filter with peek 2*taps, pop 2*decimation,
-push 2.
+push 2.  Elaborated from ``apps/dsl/radar.str``.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
-from ..ir import FilterBuilder, call
-from .common import printer
+from ..graph.streams import Filter, Pipeline
+from ._loader import load_app, load_unit
 
 NAME = "Radar"
 
 
-def _coeffs(seed: int, n: int) -> list[float]:
-    """Deterministic pseudo-random coefficients (no RNG dependency)."""
-    return [math.sin(0.7 * seed + 1.3 * k + 0.5) for k in range(n)]
-
-
 def input_generate(channel: int) -> Filter:
     """Pushes an interleaved complex sample per firing (stateful)."""
-    f = FilterBuilder(f"InputGenerate{channel}", peek=0, pop=0, push=2)
-    n = f.state("n", 0)
-    phase = f.const("phase", 0.25 * channel)
-    with f.work():
-        f.push(call("sin", 0.1 * n + phase))
-        f.push(call("cos", 0.05 * n + phase))
-        f.assign(n, n + 1)
-    return f.build()
+    f = load_unit("radar", "InputGenerate", channel)
+    f.name = f"InputGenerate{channel}"
+    return f
 
 
 def complex_fir(name: str, taps: int, decimation: int = 1,
                 seed: int = 1) -> Filter:
     """Complex FIR on interleaved (re, im) data: peek 2t, pop 2d, push 2."""
-    hr = _coeffs(seed, taps)
-    hi = _coeffs(seed + 17, taps)
-    f = FilterBuilder(name, peek=max(2 * taps, 2 * decimation),
-                      pop=2 * decimation, push=2)
-    chr_ = f.const_array("hr", hr)
-    chi = f.const_array("hi", hi)
-    with f.work():
-        re = f.local("re", 0.0)
-        im = f.local("im", 0.0)
-        with f.loop("k", 0, taps) as k:
-            f.assign(re, re + chr_[k] * f.peek(2 * k)
-                     - chi[k] * f.peek(2 * k + 1))
-            f.assign(im, im + chr_[k] * f.peek(2 * k + 1)
-                     + chi[k] * f.peek(2 * k))
-        f.push(re)
-        f.push(im)
-        with f.loop("k", 0, 2 * decimation):
-            f.pop()
-    return f.build()
+    f = load_unit("radar", "ComplexFir", taps, decimation, seed, seed + 17)
+    f.name = name
+    return f
 
 
 def beamform(beam: int, channels: int) -> Filter:
     """Weighted sum of one complex sample per channel: the vector-vector
     multiply with push 2, pop/peek 2*channels (§5.2)."""
-    wr = _coeffs(100 + beam, channels)
-    wi = _coeffs(200 + beam, channels)
-    f = FilterBuilder(f"Beamform{beam}", peek=2 * channels,
-                      pop=2 * channels, push=2)
-    cwr = f.const_array("wr", wr)
-    cwi = f.const_array("wi", wi)
-    with f.work():
-        re = f.local("re", 0.0)
-        im = f.local("im", 0.0)
-        with f.loop("c", 0, channels) as c:
-            f.assign(re, re + cwr[c] * f.peek(2 * c)
-                     - cwi[c] * f.peek(2 * c + 1))
-            f.assign(im, im + cwr[c] * f.peek(2 * c + 1)
-                     + cwi[c] * f.peek(2 * c))
-        f.push(re)
-        f.push(im)
-        with f.loop("c", 0, 2 * channels):
-            f.pop()
-    return f.build()
+    f = load_unit("radar", "Beamform", beam, channels)
+    f.name = f"Beamform{beam}"
+    return f
 
 
 def magnitude() -> Filter:
-    f = FilterBuilder("Magnitude", peek=2, pop=2, push=1)
-    with f.work():
-        re = f.local("re", f.pop_expr())
-        im = f.local("im", f.pop_expr())
-        f.push(call("sqrt", re * re + im * im))
-    return f.build()
+    return load_unit("radar", "Magnitude")
 
 
 def detector(threshold: float = 0.5) -> Filter:
-    f = FilterBuilder("Detector", peek=1, pop=1, push=1)
-    with f.work():
-        v = f.local("v", f.pop_expr())
-        hit = f.if_(v > threshold)
-        with hit:
-            f.push(v)
-        with hit.otherwise():
-            f.push(0.0)
-    return f.build()
+    return load_unit("radar", "Detector", threshold)
 
 
 def build(channels: int = 12, beams: int = 4, fir1_taps: int = 8,
           fir2_taps: int = 4, mf_taps: int = 8,
           decimation: int = 1) -> Pipeline:
-    channel_pipes = [
-        Pipeline([
-            input_generate(c),
-            complex_fir(f"BeamFir1_{c}", fir1_taps, decimation, seed=c),
-            complex_fir(f"BeamFir2_{c}", fir2_taps, 1, seed=c + 31),
-        ], name=f"channel{c}")
-        for c in range(channels)
-    ]
-    # Channels are independent sources (pop 0), so the splitter is
-    # vestigial — only the roundrobin(2, ...) joiner shapes the data
-    # (StreamIt uses a null splitter here).
-    channel_sj = SplitJoin(
-        Duplicate(), channel_pipes, RoundRobin(tuple([2] * channels)),
-        name="ChannelSplitJoin")
-    beam_pipes = [
-        Pipeline([
-            beamform(b, channels),
-            complex_fir(f"BeamFirMF_{b}", mf_taps, 1, seed=300 + b),
-            magnitude(),
-            detector(),
-        ], name=f"beam{b}")
-        for b in range(beams)
-    ]
-    beam_sj = SplitJoin(Duplicate(), beam_pipes,
-                        RoundRobin(tuple([1] * beams)),
-                        name="BeamSplitJoin")
-    return Pipeline([
-        channel_sj,
-        beam_sj,
-        printer(),
-    ], name="Radar")
+    g = load_app("radar", "Radar", channels, beams, fir1_taps, fir2_taps,
+                 mf_taps, decimation)
+    for c, chan in enumerate(g.children[0].children):
+        chan.name = f"channel{c}"
+        chan.children[0].name = f"InputGenerate{c}"
+        chan.children[1].name = f"BeamFir1_{c}"
+        chan.children[2].name = f"BeamFir2_{c}"
+    for b, beam in enumerate(g.children[1].children):
+        beam.name = f"beam{b}"
+        beam.children[0].name = f"Beamform{b}"
+        beam.children[1].name = f"BeamFirMF_{b}"
+    return g

@@ -1,26 +1,18 @@
 """RateConvert benchmark: non-integral sampling-rate conversion.
 
-Upsample by 2, low-pass interpolate, downsample by 3 (thesis Figure A-6).
+Upsample by 2, low-pass interpolate, downsample by 3 (thesis Figure
+A-6), elaborated from ``apps/dsl/ratec.str``.
 """
 
 from __future__ import annotations
 
-import math
-
 from ..graph.streams import Pipeline
-from .common import (compressor, cosine_source, expander, low_pass_filter,
-                     printer)
+from ._loader import load_app
 
 NAME = "RateConvert"
 
 
 def build(taps: int = 300) -> Pipeline:
-    return Pipeline([
-        cosine_source(math.pi / 10),
-        Pipeline([
-            expander(2),
-            low_pass_filter(3.0, math.pi / 3, taps),
-            compressor(3),
-        ], name="converter"),
-        printer(),
-    ], name="SamplingRateConverter")
+    g = load_app(("common", "ratec"), "SamplingRateConverter", taps)
+    g.children[1].name = "converter"
+    return g

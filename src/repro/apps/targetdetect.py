@@ -1,80 +1,32 @@
 """TargetDetect benchmark: four parallel matched filters with threshold
-detection (thesis Figures A-7, A-8)."""
+detection (thesis Figures A-7, A-8), elaborated from
+``apps/dsl/targetdetect.str``."""
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
-from ..ir import FilterBuilder
-from .common import fir_filter, printer
+from ..graph.streams import Filter, Pipeline
+from ._loader import load_app, load_unit
 
 NAME = "TargetDetect"
 
-
-def _matched_coeffs(kind: int, n: int) -> list[float]:
-    coeffs = []
-    for i in range(n):
-        pos = float(i)
-        if kind == 1:  # triangle minus mean
-            v = (pos * 2 / n) if pos < n / 2 else (2 - pos * 2 / n)
-            coeffs.append(v - 0.5)
-        elif kind == 2:  # half sine, shifted
-            coeffs.append(math.sin(math.pi * pos / n) / (2 * math.pi) - 1.0)
-        elif kind == 3:  # full sine (zero mean)
-            coeffs.append(math.sin(2 * math.pi * pos / n) / (2 * math.pi))
-        else:  # time-reversed ramp
-            coeffs.append(0.0)
-    if kind == 4:
-        for i in range(n):
-            coeffs[n - 1 - i] = 0.5 * (float(i) / n - 0.5)
-    return coeffs
+_FILES = ("common", "targetdetect")
 
 
 def target_source(n: int) -> Filter:
     """Quiet / triangle-target / quiet cycle, period 4n."""
-    f = FilterBuilder("TargetSource", peek=0, pop=0, push=1)
-    pos = f.state("currentPosition", 0)
-    nn = f.const("N", n)
-    with f.work():
-        v = f.local("v", 0.0)
-        in_target = f.if_((pos >= nn).logical_and(pos < 2 * nn))
-        with in_target:
-            tri = f.local("tri", 0.0)
-            f.assign(tri, pos - nn)
-            first_half = f.if_(tri < nn / 2)
-            with first_half:
-                f.assign(v, tri * 2.0 / nn)
-            with first_half.otherwise():
-                f.assign(v, 2.0 - tri * 2.0 / nn)
-        f.push(v)
-        f.assign(pos, (pos + 1) % (4 * nn))
-    return f.build()
+    return load_unit(_FILES, "TargetSource", n)
 
 
 def threshold_detector(number: int, threshold: float) -> Filter:
-    f = FilterBuilder(f"ThresholdDetector{number}", peek=1, pop=1, push=1)
-    with f.work():
-        t = f.local("t", f.pop_expr())
-        cond = f.if_(t > threshold)
-        with cond:
-            f.push(float(number))
-        with cond.otherwise():
-            f.push(0.0)
-    return f.build()
+    f = load_unit(_FILES, "ThresholdDetector", number, threshold)
+    f.name = f"ThresholdDetector{number}"
+    return f
 
 
 def build(n: int = 300, threshold: float = 8.0) -> Pipeline:
-    branches = [
-        Pipeline([
-            fir_filter(f"MatchedFilter{k}", _matched_coeffs(k, n)),
-            threshold_detector(k, threshold),
-        ], name=f"branch{k}")
-        for k in (1, 2, 3, 4)
-    ]
-    return Pipeline([
-        target_source(n),
-        SplitJoin(Duplicate(), branches, RoundRobin((1, 1, 1, 1)),
-                  name="TargetDetectSplitJoin"),
-        printer(),
-    ], name="TargetDetect")
+    g = load_app(_FILES, "TargetDetect", n, threshold)
+    for k, branch in enumerate(g.children[1].children, start=1):
+        branch.name = f"branch{k}"
+        branch.children[0].name = f"MatchedFilter{k}"
+        branch.children[1].name = f"ThresholdDetector{k}"
+    return g

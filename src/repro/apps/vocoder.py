@@ -10,17 +10,18 @@ one pitch value with four subband values.
 `FeedbackLoop` before analysis, exercising the plan backend's hybrid
 islanding on a real multi-stage program — the splitjoin and filter bank
 stay batched while the cycle runs as a feedback island.
+Elaborated from ``apps/dsl/vocoder.str``.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..graph.streams import Duplicate, Filter, Pipeline, RoundRobin, SplitJoin
-from ..ir import FilterBuilder
-from .common import band_pass_filter, compressor, low_pass_filter, printer
+from ..graph.streams import Filter, Pipeline, SplitJoin
+from ._loader import load_app, load_unit
 
 NAME = "Vocoder"
+
+#: The feedback variant needs echo.str for its EchoLoop.
+_FILES = ("common", "echo", "vocoder")
 
 _SOURCE_VALUES = [
     -0.70867825, 0.9750938, -0.009129746, 0.28532153, -0.42127264,
@@ -29,94 +30,49 @@ _SOURCE_VALUES = [
 
 
 def data_source() -> Filter:
-    f = FilterBuilder("DataSource", peek=0, pop=0, push=1)
-    data = f.const_array("x", _SOURCE_VALUES)
-    idx = f.state("index", 0)
-    with f.work():
-        f.push(data[idx])
-        f.assign(idx, (idx + 1) % len(_SOURCE_VALUES))
-    return f.build()
+    return load_unit(_FILES, "DataSource")
 
 
 def center_clip(lo: float = -0.75, hi: float = 0.75) -> Filter:
-    f = FilterBuilder("CenterClip", peek=1, pop=1, push=1)
-    with f.work():
-        t = f.local("t", f.pop_expr())
-        below = f.if_(t < lo)
-        with below:
-            f.push(lo)
-        with below.otherwise():
-            above = f.if_(t > hi)
-            with above:
-                f.push(hi)
-            with above.otherwise():
-                f.push(t)
-    return f.build()
+    return load_unit(_FILES, "CenterClip", lo, hi)
 
 
 def corr_peak(winsize: int, decimation: int,
               threshold: float = 0.07) -> Filter:
     """Autocorrelation peak picker — quadratic in the input, nonlinear."""
-    f = FilterBuilder("CorrPeak", peek=winsize, pop=decimation, push=1)
-    thresh = f.const("THRESHOLD", threshold)
-    w = f.const("winsize", winsize)
-    with f.work():
-        maxpeak = f.local("maxpeak", 0.0)
-        with f.loop("i", 0, winsize) as i:
-            s = f.local("sum", 0.0)
-            with f.loop("j", i, winsize) as j:
-                f.assign(s, s + f.peek(i) * f.peek(j))
-            acorr = f.local("ac", s / w)
-            bigger = f.if_(acorr > maxpeak)
-            with bigger:
-                f.assign(maxpeak, acorr)
-        over = f.if_(maxpeak > thresh)
-        with over:
-            f.push(maxpeak)
-        with over.otherwise():
-            f.push(0.0)
-        with f.loop("i", 0, decimation):
-            f.pop()
-    return f.build()
+    return load_unit(_FILES, "CorrPeak", winsize, decimation, threshold)
 
 
 def pitch_detector(window: int, decimation: int) -> Pipeline:
-    return Pipeline([center_clip(), corr_peak(window, decimation)],
-                    name="PitchDetector")
+    return load_unit(_FILES, "PitchDetector", window, decimation)
 
 
 def filter_decimate(i: int, decimation: int, taps: int,
                     rate: float = 8000.0) -> Pipeline:
-    ws = 2 * math.pi * 400.0 * i / rate
-    wp = 2 * math.pi * 400.0 * (i + 1) / rate
-    return Pipeline([
-        band_pass_filter(2.0, max(ws, 1e-3), wp, taps),
-        compressor(decimation),
-    ], name=f"FilterDecimate{i}")
+    g = load_unit(_FILES, "FilterDecimate", i, decimation, taps, rate)
+    g.name = f"FilterDecimate{i}"
+    return g
 
 
 def vocoder_filter_bank(n: int, decimation: int, taps: int) -> SplitJoin:
-    return SplitJoin(
-        Duplicate(),
-        [filter_decimate(i, decimation, taps) for i in range(n)],
-        RoundRobin(tuple([1] * n)),
-        name="VocoderFilterBank")
+    sj = load_unit(_FILES, "VocoderFilterBank", n, decimation, taps)
+    for i, branch in enumerate(sj.children):
+        branch.name = f"FilterDecimate{i}"
+    return sj
+
+
+def _rename_main(main: SplitJoin) -> SplitJoin:
+    for i, branch in enumerate(main.children[1].children):
+        branch.name = f"FilterDecimate{i}"
+    return main
 
 
 def build(window: int = 100, decimation: int = 50, n_filters: int = 4,
           taps: int = 64) -> Pipeline:
-    main = SplitJoin(
-        Duplicate(),
-        [pitch_detector(window, decimation),
-         vocoder_filter_bank(n_filters, decimation, taps)],
-        RoundRobin((1, n_filters)),
-        name="MainSplitjoin")
-    return Pipeline([
-        data_source(),
-        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
-        main,
-        printer(),
-    ], name="ChannelVocoder")
+    g = load_app(_FILES, "ChannelVocoder", window, decimation, n_filters,
+                 taps)
+    _rename_main(g.children[2])
+    return g
 
 
 NAME_FEEDBACK = "VocoderEcho"
@@ -127,18 +83,8 @@ def build_feedback(window: int = 100, decimation: int = 50,
                    echo_delay: int = 256,
                    echo_gain: float = 0.35) -> Pipeline:
     """The vocoder with an IIR echo feedback stage after conditioning."""
-    from .echo import echo_loop
-
-    main = SplitJoin(
-        Duplicate(),
-        [pitch_detector(window, decimation),
-         vocoder_filter_bank(n_filters, decimation, taps)],
-        RoundRobin((1, n_filters)),
-        name="MainSplitjoin")
-    return Pipeline([
-        data_source(),
-        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
-        echo_loop(echo_delay, echo_gain, name="VocoderEchoLoop"),
-        main,
-        printer(),
-    ], name="ChannelVocoderEcho")
+    g = load_app(_FILES, "ChannelVocoderEcho", window, decimation,
+                 n_filters, taps, echo_delay, echo_gain)
+    g.children[2].name = "VocoderEchoLoop"
+    _rename_main(g.children[3])
+    return g

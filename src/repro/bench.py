@@ -269,6 +269,46 @@ def _measurement_record(app: str, config: str, backend: str,
     }
 
 
+def _parse_dsl_args(text: str | None) -> tuple:
+    """``"16,0.5"`` -> ``(16, 0.5)`` — ints where they parse as ints."""
+    if not text:
+        return ()
+    values = []
+    for part in text.replace(",", " ").split():
+        try:
+            values.append(int(part))
+        except ValueError:
+            values.append(float(part))
+    return tuple(values)
+
+
+def load_dsl_program(paths, top: str | None = None,
+                     args: tuple = ()) -> Stream:
+    """Elaborate ``.str`` file(s) into a runnable benchmark program.
+
+    Multiple files are concatenated in order (the app-library
+    convention: pass ``common.str`` before the files that use it).  The
+    named ``top`` (default: the last declaration) must elaborate to a
+    ``void->float`` stream; a Collector sink is appended so the result
+    is a complete program for :func:`measure`.
+    """
+    from .dsl import compile_source
+    from .graph.streams import Pipeline
+    from .runtime import Collector
+
+    if isinstance(paths, str):
+        paths = [paths]
+    parts = []
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            parts.append(fh.read())
+    graph = compile_source("\n".join(parts), top, *args)
+    children = list(graph.children) if isinstance(graph, Pipeline) \
+        else [graph]
+    children.append(Collector("BenchSink"))
+    return Pipeline(children, name=graph.name or "DSLProgram")
+
+
 def main(argv=None) -> int:
     """``python -m repro.bench``: run one app, emit a one-line JSON result.
 
@@ -279,6 +319,15 @@ def main(argv=None) -> int:
         python -m repro.bench --app radar --config linear --backend plan
         python -m repro.bench --app fir --backend plan --optimize auto
         python -m repro.bench --app radar --plan-report --optimize auto
+        python -m repro.bench --dsl examples/fir_bench.str --outputs 4096
+        python -m repro.bench --dsl src/repro/apps/dsl/common.str \\
+            --dsl src/repro/apps/dsl/fir.str --top FIRProgram \\
+            --dsl-args 64 --compare
+
+    ``--dsl`` benchmarks any DSL source file — the canonical frontend —
+    through the same measurement machinery as the named apps (including
+    ``--compare`` and ``--plan-report``); DSL diagnostics are rendered
+    with caret snippets on parse failure.
 
     With ``--compare`` the app runs over the full backend x optimize
     matrix (``compiled``/``plan`` x ``none``/``linear``/``freq``/``auto``)
@@ -297,8 +346,18 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="Run one benchmark app and print a one-line JSON "
                     "result (FLOPs, mults, wall-clock).")
-    parser.add_argument("--app", required=True,
+    parser.add_argument("--app",
                         help="app name, case-insensitive (fir, radar, ...)")
+    parser.add_argument("--dsl", action="append", metavar="FILE",
+                        help="benchmark a DSL source file instead of a "
+                             "named app (repeatable: files are "
+                             "concatenated in order)")
+    parser.add_argument("--top", default=None,
+                        help="top-level stream in the --dsl source "
+                             "(default: the last declaration)")
+    parser.add_argument("--dsl-args", default=None, metavar="A,B,...",
+                        help="comma-separated numeric arguments for the "
+                             "--dsl top stream")
     parser.add_argument("--backend", default=None,
                         choices=["interp", "compiled", "plan"],
                         help="execution backend (default: plan)")
@@ -347,6 +406,13 @@ def main(argv=None) -> int:
                              "results/chaos.txt; 'none' to skip)")
     args = parser.parse_args(argv)
 
+    if (args.app is None) == (not args.dsl):
+        parser.error("exactly one of --app or --dsl is required")
+    if not args.dsl and (args.top is not None or args.dsl_args is not None):
+        parser.error("--top/--dsl-args require --dsl")
+    if args.dsl and args.serve:
+        parser.error("--serve runs named apps from the registry; it "
+                     "conflicts with --dsl")
     if args.outputs is not None and args.outputs < 1:
         parser.error("--outputs must be a positive integer")
     if args.compare and (args.backend is not None
@@ -373,16 +439,40 @@ def main(argv=None) -> int:
         parser.error("--chunk-size must be a positive integer")
     backend = args.backend if args.backend is not None else "plan"
     optimize = args.optimize if args.optimize is not None else "none"
-    try:
-        app_name = resolve_app(args.app)
-    except KeyError as exc:
-        parser.error(str(exc.args[0]))
-    n_outputs = args.outputs if args.outputs is not None else \
-        DEFAULT_OUTPUTS[app_name]
+    if args.dsl:
+        import sys
+
+        from .errors import DSLError
+        from .graph.streams import clone_stream
+        try:
+            prototype = load_dsl_program(args.dsl, args.top,
+                                         _parse_dsl_args(args.dsl_args))
+        except DSLError as exc:
+            print(exc.render(), file=sys.stderr)
+            return 2
+        except OSError as exc:
+            parser.error(str(exc))
+        app_name = prototype.name
+
+        def make_program():
+            return clone_stream(prototype)
+
+        n_outputs = args.outputs if args.outputs is not None else 4096
+    else:
+        try:
+            app_name = resolve_app(args.app)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+
+        def make_program():
+            return BENCHMARKS[app_name]()
+
+        n_outputs = args.outputs if args.outputs is not None else \
+            DEFAULT_OUTPUTS[app_name]
 
     if args.plan_report:
         from .exec import plan_report
-        program = build_config(BENCHMARKS[app_name](), args.config)
+        program = build_config(make_program(), args.config)
         print(plan_report(program, optimize=optimize))
         return 0
 
@@ -429,9 +519,9 @@ def main(argv=None) -> int:
     if args.chunked:
         chunk_size = (args.chunk_size if args.chunk_size is not None
                       else DEFAULT_CHUNK_SIZE)
-        batch = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+        batch = measure(make_program(), args.config, n_outputs,
                         backend=backend, optimize=optimize)
-        chunked = measure_chunked(BENCHMARKS[app_name](), args.config,
+        chunked = measure_chunked(make_program(), args.config,
                                   n_outputs, backend=backend,
                                   optimize=optimize, chunk_size=chunk_size)
         # throughput ratio: >= 1.0 means chunked streaming is at least
@@ -458,7 +548,7 @@ def main(argv=None) -> int:
         by = {}
         for backend in ("compiled", "plan"):
             for mode in OPTIMIZE_MODES:
-                m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+                m = measure(make_program(), args.config, n_outputs,
                             backend=backend, optimize=mode)
                 rec = _measurement_record(app_name, args.config, backend, m,
                                           optimize=mode)
@@ -482,7 +572,7 @@ def main(argv=None) -> int:
             "auto_vs_plan": ratio(plan, auto),
         }
     else:
-        m = measure(BENCHMARKS[app_name](), args.config, n_outputs,
+        m = measure(make_program(), args.config, n_outputs,
                     backend=backend, optimize=optimize)
         result = _measurement_record(app_name, args.config, backend, m,
                                      optimize=optimize)

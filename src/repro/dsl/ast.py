@@ -1,8 +1,22 @@
-"""AST node definitions for the mini-StreamIt DSL."""
+"""AST node definitions for the mini-StreamIt DSL.
+
+Every node carries an optional ``span`` locating it in the source text
+(threaded through from the lexer by the parser), so elaboration errors —
+unknown stream, bad arity, rate mismatch — can point at the offending
+source instead of a Python frame.  ``span`` is excluded from equality
+and repr: two parses of the same program produce equal ASTs regardless
+of formatting.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..errors import SourceSpan
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False, kw_only=True)
 
 
 # -- expressions -------------------------------------------------------------
@@ -10,47 +24,47 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Expr:
-    pass
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Num(Expr):
-    value: float | int
+    value: float | int = 0
 
 
 @dataclass(frozen=True)
 class Name(Expr):
-    ident: str
+    ident: str = ""
 
 
 @dataclass(frozen=True)
 class BinOp(Expr):
-    op: str
-    left: Expr
-    right: Expr
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
 
 
 @dataclass(frozen=True)
 class UnOp(Expr):
-    op: str
-    operand: Expr
+    op: str = ""
+    operand: Expr = None
 
 
 @dataclass(frozen=True)
 class CallExpr(Expr):
-    fn: str
-    args: tuple[Expr, ...]
+    fn: str = ""
+    args: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class IndexExpr(Expr):
-    base: str
-    index: Expr
+    base: str = ""
+    index: Expr = None
 
 
 @dataclass(frozen=True)
 class PeekExpr(Expr):
-    index: Expr
+    index: Expr = None
 
 
 @dataclass(frozen=True)
@@ -63,27 +77,27 @@ class PopExpr(Expr):
 
 @dataclass(frozen=True)
 class Stmt:
-    pass
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
 class VarDecl(Stmt):
-    ty: str  # 'float' | 'int'
-    size: Expr | None
-    name: str
-    init: Expr | None
+    ty: str = "int"  # 'float' | 'int'
+    size: Expr | None = None
+    name: str = ""
+    init: Expr | None = None
 
 
 @dataclass(frozen=True)
 class AssignStmt(Stmt):
-    target: Name | IndexExpr
-    op: str  # '=', '+=', '-=', '*=', '/='
-    value: Expr
+    target: Name | IndexExpr = None
+    op: str = "="  # '=', '+=', '-=', '*=', '/='
+    value: Expr = None
 
 
 @dataclass(frozen=True)
 class PushStmt(Stmt):
-    value: Expr
+    value: Expr = None
 
 
 @dataclass(frozen=True)
@@ -93,23 +107,23 @@ class PopStmt(Stmt):
 
 @dataclass(frozen=True)
 class ExprStmt(Stmt):
-    expr: Expr
+    expr: Expr = None
 
 
 @dataclass(frozen=True)
 class IfStmt(Stmt):
-    cond: Expr
-    then: tuple[Stmt, ...]
-    orelse: tuple[Stmt, ...]
+    cond: Expr = None
+    then: tuple[Stmt, ...] = ()
+    orelse: tuple[Stmt, ...] = ()
 
 
 @dataclass(frozen=True)
 class ForStmt(Stmt):
-    var: str
-    start: Expr
-    stop: Expr  # loop runs while var < stop
-    step: Expr
-    body: tuple[Stmt, ...]
+    var: str = ""
+    start: Expr = None
+    stop: Expr = None  # loop runs while var < stop
+    step: Expr = None
+    body: tuple[Stmt, ...] = ()
 
 
 # -- stream-level constructs -------------------------------------------------
@@ -120,6 +134,7 @@ class Param:
     ty: str
     size: Expr | None
     name: str
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -129,6 +144,7 @@ class WorkDecl:
     pop: Expr | None
     push: Expr | None
     body: tuple[Stmt, ...]
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -137,6 +153,7 @@ class FieldDecl:
     size: Expr | None
     name: str
     init: Expr | None
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -146,42 +163,43 @@ class FilterDecl:
     fields: tuple[FieldDecl, ...]
     init: tuple[Stmt, ...]
     works: tuple[WorkDecl, ...]
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass(frozen=True)
 class AddStmt(Stmt):
     """``add Stream(args);`` inside a pipeline or splitjoin body."""
 
-    stream: str
-    args: tuple[Expr, ...]
+    stream: str = ""
+    args: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class SplitDecl(Stmt):
-    kind: str  # 'duplicate' | 'roundrobin'
-    weights: tuple[Expr, ...]
+    kind: str = "duplicate"  # 'duplicate' | 'roundrobin'
+    weights: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class JoinDecl(Stmt):
-    weights: tuple[Expr, ...]
+    weights: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class EnqueueStmt(Stmt):
-    value: Expr
+    value: Expr = None
 
 
 @dataclass(frozen=True)
 class BodyDecl(Stmt):
-    stream: str
-    args: tuple[Expr, ...]
+    stream: str = ""
+    args: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class LoopDecl(Stmt):
-    stream: str
-    args: tuple[Expr, ...]
+    stream: str = ""
+    args: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -190,9 +208,11 @@ class CompositeDecl:
     name: str
     params: tuple[Param, ...]
     body: tuple[Stmt, ...]  # Add/Split/Join/For/If/var-decl statements
+    span: SourceSpan | None = _span_field()
 
 
 @dataclass
 class Program:
     decls: dict[str, FilterDecl | CompositeDecl] = field(default_factory=dict)
     order: list[str] = field(default_factory=list)
+    source: str | None = None

@@ -15,7 +15,7 @@ import math
 
 import numpy as np
 
-from ..errors import DSLError
+from ..errors import Diagnostic, DSLError, SourceSpan
 from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                              RoundRobin, SplitJoin, Stream)
 from ..ir import nodes as N
@@ -31,6 +31,12 @@ _INTRINSICS = {"sin", "cos", "tan", "atan", "atan2", "exp", "log", "sqrt",
 _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
 
 
+def _err(code: str, message: str, span: SourceSpan | None = None,
+         hint: str | None = None):
+    """Raise a DSLError carrying one coded, source-located diagnostic."""
+    raise DSLError(diagnostics=(Diagnostic(code, message, span, hint),))
+
+
 def _const_eval(expr: ast.Expr, env: dict) -> float | int:
     """Evaluate a structural/rate expression over constants."""
     if isinstance(expr, ast.Num):
@@ -40,7 +46,9 @@ def _const_eval(expr: ast.Expr, env: dict) -> float | int:
             v = env[expr.ident]
             if isinstance(v, (int, float)):
                 return v
-        raise DSLError(f"{expr.ident!r} is not a constant here")
+        _err("elab-not-constant",
+             f"{expr.ident!r} is not a constant here", expr.span,
+             hint="only parameters and loop indices are usable here")
     if isinstance(expr, ast.BinOp):
         a = _const_eval(expr.left, env)
         b = _const_eval(expr.right, env)
@@ -65,7 +73,8 @@ def _const_eval(expr: ast.Expr, env: dict) -> float | int:
         return -v if expr.op == "-" else int(not v)
     if isinstance(expr, ast.CallExpr):
         if expr.fn not in _INTRINSICS:
-            raise DSLError(f"unknown function {expr.fn!r}")
+            _err("elab-unknown-function",
+                 f"unknown function {expr.fn!r}", expr.span)
         args = [_const_eval(a, env) for a in expr.args]
         return getattr(math, expr.fn, {"abs": abs, "pow": pow, "min": min,
                                        "max": max, "round": round
@@ -73,13 +82,54 @@ def _const_eval(expr: ast.Expr, env: dict) -> float | int:
     if isinstance(expr, ast.IndexExpr):
         arr = env.get(expr.base)
         if arr is None:
-            raise DSLError(f"unknown array {expr.base!r}")
+            _err("elab-unknown-array",
+                 f"unknown array {expr.base!r}", expr.span)
         return arr[int(_const_eval(expr.index, env))]
-    raise DSLError(f"expression is not constant: {expr!r}")
+    _err("elab-not-constant",
+         f"{type(expr).__name__} expression is not constant", expr.span)
+
+
+def _fold_bin(op: str, a, b):
+    """Fold a binary op over constants with the interpreter's semantics
+    (C-truncating int division/remainder, int-valued comparisons)."""
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+        return a / b
+    if op == "%":
+        if isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            q = q if (a >= 0) == (b >= 0) else -q
+            return a - q * b
+        return math.fmod(a, b)
+    table = {
+        "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+        "==": lambda: int(a == b), "!=": lambda: int(a != b),
+        "<": lambda: int(a < b), "<=": lambda: int(a <= b),
+        ">": lambda: int(a > b), ">=": lambda: int(a >= b),
+        "&&": lambda: int(bool(a) and bool(b)),
+        "||": lambda: int(bool(a) or bool(b)),
+        "&": lambda: int(a) & int(b), "|": lambda: int(a) | int(b),
+        "^": lambda: int(a) ^ int(b), "<<": lambda: int(a) << int(b),
+        ">>": lambda: int(a) >> int(b),
+    }
+    return table[op]()
+
+
+def _call_intrinsic(fn: str, args):
+    return getattr(math, fn, {"abs": abs, "pow": pow, "min": min,
+                              "max": max, "round": round}.get(fn))(*args)
 
 
 def _lower_expr(expr: ast.Expr, consts: dict) -> N.Expr:
-    """Lower a work-body expression to IR, folding parameter names."""
+    """Lower a work-body expression to IR, folding parameter names.
+
+    Operations whose operands are all constants fold at elaboration
+    time (exactly as the Python graph builders precompute them), so
+    e.g. a ``2 * dec`` loop bound costs nothing at run time and the
+    FLOP accounting matches a hand-built graph op for op.
+    """
     if isinstance(expr, ast.Num):
         return N.Const(expr.value)
     if isinstance(expr, ast.Name):
@@ -87,24 +137,34 @@ def _lower_expr(expr: ast.Expr, consts: dict) -> N.Expr:
             return N.Const(consts[expr.ident])
         return N.Var(expr.ident)
     if isinstance(expr, ast.BinOp):
-        return N.Bin(expr.op, _lower_expr(expr.left, consts),
-                     _lower_expr(expr.right, consts))
+        left = _lower_expr(expr.left, consts)
+        right = _lower_expr(expr.right, consts)
+        if isinstance(left, N.Const) and isinstance(right, N.Const):
+            return N.Const(_fold_bin(expr.op, left.value, right.value))
+        return N.Bin(expr.op, left, right)
     if isinstance(expr, ast.UnOp):
-        if expr.op == "-":
-            return N.Un("-", _lower_expr(expr.operand, consts))
-        return N.Un("!", _lower_expr(expr.operand, consts))
+        operand = _lower_expr(expr.operand, consts)
+        if isinstance(operand, N.Const):
+            return N.Const(-operand.value if expr.op == "-"
+                           else int(not operand.value))
+        return N.Un(expr.op, operand)
     if isinstance(expr, ast.CallExpr):
         if expr.fn not in _INTRINSICS:
-            raise DSLError(f"unknown function {expr.fn!r} in work body")
-        return N.Call(expr.fn,
-                      tuple(_lower_expr(a, consts) for a in expr.args))
+            _err("elab-unknown-function",
+                 f"unknown function {expr.fn!r} in work body", expr.span)
+        args = tuple(_lower_expr(a, consts) for a in expr.args)
+        if all(isinstance(a, N.Const) for a in args):
+            return N.Const(_call_intrinsic(expr.fn,
+                                           [a.value for a in args]))
+        return N.Call(expr.fn, args)
     if isinstance(expr, ast.IndexExpr):
         return N.Index(expr.base, _lower_expr(expr.index, consts))
     if isinstance(expr, ast.PeekExpr):
         return N.Peek(_lower_expr(expr.index, consts))
     if isinstance(expr, ast.PopExpr):
         return N.Pop()
-    raise DSLError(f"cannot lower expression {expr!r}")
+    _err("elab-bad-expr",
+         f"cannot lower {type(expr).__name__} expression", expr.span)
 
 
 def _lower_stmt(stmt: ast.Stmt, consts: dict) -> N.Stmt:
@@ -118,7 +178,8 @@ def _lower_stmt(stmt: ast.Stmt, consts: dict) -> N.Stmt:
     if isinstance(stmt, ast.AssignStmt):
         target = _lower_expr(stmt.target, consts)
         if not isinstance(target, (N.Var, N.Index)):
-            raise DSLError("assignment to a constant parameter")
+            _err("elab-bad-assign", "assignment to a constant parameter",
+                 stmt.span)
         value = _lower_expr(stmt.value, consts)
         if stmt.op != "=":
             value = N.Bin(_COMPOUND_OPS[stmt.op], target, value)
@@ -131,8 +192,9 @@ def _lower_stmt(stmt: ast.Stmt, consts: dict) -> N.Stmt:
         expr = _lower_expr(stmt.expr, consts)
         if isinstance(expr, N.Pop):
             return N.PopS()
-        raise DSLError("expression statements other than pop() are "
-                       "side-effect free")
+        _err("elab-bad-stmt",
+             "expression statements other than pop() are side-effect free",
+             stmt.span)
     if isinstance(stmt, ast.IfStmt):
         return N.If(_lower_expr(stmt.cond, consts),
                     tuple(_lower_stmt(s, consts) for s in stmt.then),
@@ -143,19 +205,20 @@ def _lower_stmt(stmt: ast.Stmt, consts: dict) -> N.Stmt:
                      _lower_expr(stmt.stop, consts),
                      tuple(_lower_stmt(s, consts) for s in stmt.body),
                      _lower_expr(stmt.step, consts))
-    raise DSLError(f"statement {type(stmt).__name__} not allowed in a "
-                   f"work body")
+    _err("elab-bad-stmt",
+         f"statement {type(stmt).__name__} not allowed in a work body",
+         stmt.span)
 
 
 class _VoidChannel(Channel):
     def push(self, v):
-        raise DSLError("init blocks cannot push")
+        _err("elab-init-io", "init blocks cannot push")
 
     def pop(self):
-        raise DSLError("init blocks cannot pop")
+        _err("elab-init-io", "init blocks cannot pop")
 
     def peek(self, i):
-        raise DSLError("init blocks cannot peek")
+        _err("elab-init-io", "init blocks cannot peek")
 
 
 class Elaborator:
@@ -168,11 +231,16 @@ class Elaborator:
     def instantiate(self, name: str, *args) -> Stream:
         decl = self.program.decls.get(name)
         if decl is None:
-            raise DSLError(f"unknown stream {name!r}")
+            known = ", ".join(self.program.order) or "none"
+            _err("elab-unknown-stream", f"unknown stream {name!r}",
+                 hint=f"declared streams: {known}")
         params = decl.params
         if len(args) != len(params):
-            raise DSLError(
-                f"{name} expects {len(params)} arguments, got {len(args)}")
+            _err("elab-arity",
+                 f"{name} expects {len(params)} argument(s), "
+                 f"got {len(args)}", decl.span,
+                 hint="(" + ", ".join(
+                     f"{p.ty} {p.name}" for p in params) + ")")
         env = {}
         for param, arg in zip(params, args):
             if param.size is not None or isinstance(arg, (list, np.ndarray)):
@@ -217,8 +285,16 @@ class Elaborator:
             rates = {}
             for which, expr in (("peek", wd.peek), ("pop", wd.pop),
                                 ("push", wd.push)):
-                rates[which] = 0 if expr is None else \
-                    int(_const_eval(expr, scalar_consts))
+                if expr is None:
+                    rates[which] = 0
+                    continue
+                value = _const_eval(expr, scalar_consts)
+                if value != int(value) or int(value) < 0:
+                    _err("elab-bad-rate",
+                         f"{which} rate of filter {decl.name!r} must be "
+                         f"a non-negative integer, got {value!r}",
+                         expr.span)
+                rates[which] = int(value)
             if wd.peek is None:
                 rates["peek"] = rates["pop"]
             body = tuple(_lower_stmt(s, scalar_consts) for s in wd.body)
@@ -229,7 +305,8 @@ class Elaborator:
             else:
                 prework = wf
         if work is None:
-            raise DSLError(f"filter {decl.name} has no steady work")
+            _err("elab-no-work",
+                 f"filter {decl.name} has no steady work", decl.span)
         mutable = N.assigned_names(work.body) & set(fields)
         if prework is not None:
             mutable |= N.assigned_names(prework.body) & set(fields)
@@ -257,12 +334,10 @@ class Elaborator:
                     if stmt.kind == "duplicate":
                         splitter = Duplicate()
                     else:
-                        splitter = RoundRobin(tuple(
-                            int(_const_eval(w, scalars))
-                            for w in stmt.weights) or (1,))
+                        splitter = RoundRobin(
+                            _weights(stmt, scalars, "split"))
                 elif isinstance(stmt, ast.JoinDecl):
-                    join_weights = tuple(int(_const_eval(w, scalars))
-                                         for w in stmt.weights) or (1,)
+                    join_weights = _weights(stmt, scalars, "join")
                 elif isinstance(stmt, ast.BodyDecl):
                     args = [_const_eval(a, scalars) for a in stmt.args]
                     body_stream = self.instantiate(stmt.stream, *args)
@@ -293,8 +368,9 @@ class Elaborator:
                         else float(v)
                 elif isinstance(stmt, ast.AssignStmt):
                     if not isinstance(stmt.target, ast.Name):
-                        raise DSLError("structural assignment must be to a "
-                                       "scalar")
+                        _err("elab-bad-stmt",
+                             "structural assignment must be to a scalar",
+                             stmt.span)
                     v = _const_eval(stmt.value, scalars)
                     if stmt.op != "=":
                         base = scalars[stmt.target.ident]
@@ -303,20 +379,22 @@ class Elaborator:
                                       ast.Num(base), ast.Num(v)), {})
                     scalars[stmt.target.ident] = v
                 else:
-                    raise DSLError(
-                        f"{type(stmt).__name__} not allowed in a "
-                        f"{decl.kind} body")
+                    _err("elab-bad-stmt",
+                         f"{type(stmt).__name__} not allowed in a "
+                         f"{decl.kind} body", stmt.span)
 
         run_body(decl.body)
 
         if decl.kind == "pipeline":
             if not children:
-                raise DSLError(f"pipeline {decl.name} adds no streams")
+                _err("elab-empty-pipeline",
+                     f"pipeline {decl.name} adds no streams", decl.span)
             return Pipeline(children, name=decl.name)
         if decl.kind == "splitjoin":
             if splitter is None or join_weights is None:
-                raise DSLError(
-                    f"splitjoin {decl.name} needs split and join")
+                _err("elab-missing-split-join",
+                     f"splitjoin {decl.name} needs split and join",
+                     decl.span)
             if len(join_weights) == 1 and len(children) > 1:
                 join_weights = tuple([join_weights[0]] * len(children))
             if isinstance(splitter, RoundRobin) and \
@@ -328,22 +406,48 @@ class Elaborator:
         # feedbackloop
         if body_stream is None or loop_stream is None or \
                 join_weights is None or splitter is None:
-            raise DSLError(f"feedbackloop {decl.name} needs join, body, "
-                           f"loop and split")
+            _err("elab-missing-split-join",
+                 f"feedbackloop {decl.name} needs join, body, "
+                 f"loop and split", decl.span)
         if isinstance(splitter, Duplicate):
-            raise DSLError("feedbackloop splitter must be roundrobin")
+            _err("elab-bad-splitter",
+                 "feedbackloop splitter must be roundrobin", decl.span)
         return FeedbackLoop(body_stream, loop_stream,
                             RoundRobin(join_weights),
                             RoundRobin(splitter.weights), enqueued,
                             name=decl.name)
 
 
+def _weights(stmt, scalars, which: str) -> tuple[int, ...]:
+    """Const-eval roundrobin weights, validating positive integers."""
+    out = []
+    for w in stmt.weights:
+        value = _const_eval(w, scalars)
+        if value != int(value) or int(value) < 0:
+            _err("elab-bad-rate",
+                 f"{which} roundrobin weight must be a non-negative "
+                 f"integer, got {value!r}", w.span)
+        out.append(int(value))
+    return tuple(out) or (1,)
+
+
 def compile_source(source: str, top: str | None = None, *args) -> Stream:
     """Parse + elaborate DSL source; instantiate ``top`` (or the last
-    declared stream) with ``args``."""
+    declared stream) with ``args``.
+
+    Elaboration errors surface as :class:`DSLError` with the source
+    text attached, so ``e.render()`` shows caret snippets.
+    """
     program = parse(source)
     if not program.order:
-        raise DSLError("no stream declarations found")
+        raise DSLError(diagnostics=(
+            Diagnostic("elab-empty-program",
+                       "no stream declarations found"),), source=source)
     elab = Elaborator(program)
-    return elab.instantiate(top if top is not None else program.order[-1],
-                            *args)
+    try:
+        return elab.instantiate(
+            top if top is not None else program.order[-1], *args)
+    except DSLError as e:
+        if e.source is None:
+            e.source = source
+        raise

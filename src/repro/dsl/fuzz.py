@@ -1,0 +1,576 @@
+"""Grammar-driven differential fuzzer for the DSL frontend.
+
+Generates random-but-valid DSL programs straight from the grammar —
+filters with randomized rates and bodies, pipelines, rate-consistent
+splitjoins (duplicate and roundrobin), and echo-template feedback
+loops — then runs every program through all three backends and demands
+the frontend contract:
+
+* **interp** and **compiled** outputs are bitwise identical (both
+  scalar-evaluate the same elaborated IR);
+* **plan** agrees to 1e-9 (batched kernels may reassociate float sums).
+
+Two design rules keep the differential sound rather than flaky:
+
+* *Rate consistency by construction.*  Every generated stream carries
+  its reduced steady-state ``(pop, push)`` signature.  Duplicate-split
+  joiner weights are ``w_i = (lcm(pop_*) / pop_i) * push_i``; roundrobin
+  splitters use ``(pop_i, push_i)`` directly.  The rate simulator never
+  sees an unschedulable program, so any failure is a backend bug, not a
+  generator bug.
+* *Continuity at branch points.*  Nonlinear bodies only use constructs
+  that are continuous where they branch (clips, ``abs``, ``atan``,
+  ``min``/``max``): a 1-ulp upstream difference between the scalar and
+  batched paths can flip a comparison, but never produce an O(1) output
+  divergence.  Discontinuous quantizers would make 1e-9 unfalsifiable.
+
+CLI::
+
+    python -m repro.dsl.fuzz --count 200 --seed 0
+
+exits non-zero on the first mismatch, printing the offending program's
+source so it can be replayed as a regression test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import sys
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.streams import Pipeline, Stream
+from ..runtime import run_graph
+from ..runtime.builtins import Collector
+from .elaborator import compile_source
+
+__all__ = ["FuzzProgram", "Mismatch", "generate", "check_program",
+           "run_fuzz", "main"]
+
+TOP = "FuzzProgram"
+PLAN_RTOL = 1e-9
+PLAN_ATOL = 1e-9
+
+
+@dataclass
+class FuzzProgram:
+    """One generated program: source text plus its provenance."""
+    seed: int
+    source: str
+    top: str = TOP
+    #: reduced steady-state signature of the float->float body
+    pop: int = 1
+    push: int = 1
+    #: construct census, e.g. {"filter": 4, "splitjoin": 1}
+    census: dict = field(default_factory=dict)
+
+
+@dataclass
+class Mismatch:
+    """A differential failure, with enough context to replay it."""
+    program: FuzzProgram
+    kind: str      # "elaborate" | "run:<backend>" | "diverge:<backend>"
+    detail: str
+
+    def render(self) -> str:
+        return (f"seed {self.program.seed}: {self.kind}\n{self.detail}\n"
+                f"--- program ---\n{self.program.source}")
+
+
+def _reduce(pop: int, push: int) -> tuple[int, int]:
+    g = math.gcd(pop, push)
+    return (pop // g, push // g) if g > 1 else (pop, push)
+
+
+def _compose(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    """Steady-state signature of ``a`` feeding ``b``."""
+    (p1, q1), (p2, q2) = a, b
+    m = math.lcm(q1, p2)
+    return _reduce(p1 * (m // q1), q2 * (m // p2))
+
+
+class _Gen:
+    """Emits declarations bottom-up; every method returns
+    ``(name, pop, push)`` for the stream it declared."""
+
+    def __init__(self, rng: random.Random, max_depth: int):
+        self.rng = rng
+        self.max_depth = max_depth
+        self.decls: list[str] = []
+        self.uid = 0
+        self.census: dict[str, int] = {}
+
+    def _fresh(self, prefix: str) -> str:
+        self.uid += 1
+        return f"{prefix}{self.uid}"
+
+    def _count(self, kind: str) -> None:
+        self.census[kind] = self.census.get(kind, 0) + 1
+
+    def _lit(self, x: float) -> str:
+        return f"{x:.6f}"
+
+    # ------------------------------------------------------------------
+    # leaf filters (float -> float)
+    # ------------------------------------------------------------------
+
+    def _fir(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Fir")
+        taps = rng.randint(2, 6)
+        dec = rng.choice((0, 0, 1, 2))
+        pop = 1 + dec
+        freq = self._lit(rng.uniform(0.3, 1.2))
+        phase = self._lit(rng.uniform(0.0, 3.0))
+        self.decls.append(f"""\
+float->float filter {name} {{
+    float[{taps}] h;
+    init {{
+        for (int i = 0; i < {taps}; i++) {{
+            h[i] = sin({freq} * i + {phase}) / {taps};
+        }}
+    }}
+    work peek {max(taps, pop)} pop {pop} push 1 {{
+        float sum = 0.0;
+        for (int i = 0; i < {taps}; i++) {{
+            sum = sum + h[i] * peek(i);
+        }}
+        push(sum);
+        for (int i = 0; i < {pop}; i++) {{
+            pop();
+        }}
+    }}
+}}
+""")
+        self._count("filter")
+        return name, pop, 1
+
+    def _map(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Map")
+        k = rng.randint(1, 3)
+        pops = "\n".join(f"        float x{i} = pop();" for i in range(k))
+        pushes = []
+        for i in range(k):
+            a = self._lit(rng.uniform(-1.0, 1.0))
+            b = self._lit(rng.uniform(-0.5, 0.5))
+            j = rng.randrange(k)
+            if j != i and rng.random() < 0.5:
+                pushes.append(f"        push({a} * x{i} - {b} * x{j});")
+            else:
+                pushes.append(f"        push({a} * x{i} + {b});")
+        body = "\n".join(pushes)
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek {k} pop {k} push {k} {{
+{pops}
+{body}
+    }}
+}}
+""")
+        self._count("filter")
+        return name, k, k
+
+    def _expander(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Expand")
+        n = rng.randint(2, 3)
+        gain = self._lit(rng.uniform(0.2, 0.8))
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek 1 pop 1 push {n} {{
+        float x = pop();
+        push(x);
+        for (int i = 0; i < {n - 1}; i++) {{
+            push({gain} * x);
+        }}
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 1, n
+
+    def _compressor(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Compress")
+        n = rng.randint(2, 3)
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek {n} pop {n} push 1 {{
+        float sum = 0.0;
+        for (int i = 0; i < {n}; i++) {{
+            sum = sum + peek(i);
+        }}
+        push(sum / {n}.0);
+        for (int i = 0; i < {n}; i++) {{
+            pop();
+        }}
+    }}
+}}
+""")
+        self._count("filter")
+        return name, n, 1
+
+    def _nonlinear(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Shape")
+        t = self._lit(rng.uniform(0.5, 4.0))
+        g = self._lit(rng.uniform(0.2, 0.9))
+        # Continuous at every branch point — see module docstring.
+        variant = rng.randrange(4)
+        if variant == 0:
+            body = f"""\
+        float x = pop();
+        if (x > {t}) {{
+            push({t});
+        }} else {{
+            push(x);
+        }}"""
+        elif variant == 1:
+            body = f"""\
+        float x = pop();
+        push(atan({g} * x));"""
+        elif variant == 2:
+            body = f"""\
+        float x = pop();
+        push(abs(x) - {t});"""
+        else:
+            body = f"""\
+        float x = pop();
+        push(min(max(x, 0.0 - {t}), {t}));"""
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek 1 pop 1 push 1 {{
+{body}
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 1, 1
+
+    def _stateful(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Leaky")
+        a = self._lit(rng.uniform(0.3, 0.9))
+        self.decls.append(f"""\
+float->float filter {name} {{
+    float s;
+    work peek 1 pop 1 push 1 {{
+        s = {a} * s + pop();
+        push(s);
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 1, 1
+
+    def _delay(self) -> tuple[str, int, int]:
+        name = self._fresh("Lag")
+        self.decls.append(f"""\
+float->float filter {name} {{
+    prework push 1 {{
+        push(0.0);
+    }}
+    work peek 1 pop 1 push 1 {{
+        push(pop());
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 1, 1
+
+    def _leaf(self) -> tuple[str, int, int]:
+        return self.rng.choice((
+            self._fir, self._map, self._map, self._expander,
+            self._compressor, self._nonlinear, self._stateful,
+            self._delay))()
+
+    # ------------------------------------------------------------------
+    # composites
+    # ------------------------------------------------------------------
+
+    def _pipeline(self, depth: int) -> tuple[str, int, int]:
+        name = self._fresh("Pipe")
+        rates = (1, 1)
+        adds = []
+        for _ in range(self.rng.randint(2, 3)):
+            child, p, q = self._stream(depth - 1)
+            adds.append(f"    add {child}();")
+            rates = _compose(rates, (p, q))
+            if max(rates) > 24:
+                break
+        body = "\n".join(adds)
+        self.decls.append(
+            f"float->float pipeline {name} {{\n{body}\n}}\n")
+        self._count("pipeline")
+        return name, *rates
+
+    def _splitjoin(self, depth: int) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Split")
+        duplicate = rng.random() < 0.6
+        children: list[tuple[str, int, int]] = []
+        for _ in range(6):  # draw until the steady state stays small
+            children = [self._stream(depth - 1)
+                        for _ in range(rng.randint(2, 3))]
+            if duplicate:
+                big = math.lcm(*(p for _, p, _ in children)) > 12
+            else:
+                big = sum(p for _, p, _ in children) > 12
+            if not big:
+                break
+        else:
+            children = [self._map() for _ in range(2)]
+        adds = "\n".join(f"    add {c}();" for c, _, _ in children)
+        if duplicate:
+            lcm = math.lcm(*(p for _, p, _ in children))
+            weights = [q * (lcm // p) for _, p, q in children]
+            pop, push = lcm, sum(weights)
+            split = "split duplicate;"
+        else:
+            weights = [q for _, _, q in children]
+            pop, push = (sum(p for _, p, _ in children), sum(weights))
+            split = ("split roundrobin("
+                     + ", ".join(str(p) for _, p, _ in children) + ");")
+        join = "join roundrobin(" + ", ".join(map(str, weights)) + ");"
+        self.decls.append(
+            f"float->float splitjoin {name} {{\n    {split}\n{adds}\n"
+            f"    {join}\n}}\n")
+        self._count("splitjoin")
+        return name, *_reduce(pop, push)
+
+    def _feedback(self) -> tuple[str, int, int]:
+        rng = self.rng
+        name = self._fresh("Loop")
+        mix, _, _ = self._map_mixer()
+        damp, _, _ = self._damp()
+        delay = rng.randint(1, 6)
+        enq = "\n".join(
+            f"    enqueue {self._lit(rng.uniform(-0.5, 0.5))};"
+            for _ in range(delay))
+        self.decls.append(f"""\
+float->float feedbackloop {name} {{
+    join roundrobin(1, 1);
+    body {mix}();
+    loop {damp}();
+    split roundrobin(1, 1);
+{enq}
+}}
+""")
+        self._count("feedbackloop")
+        return name, 1, 1
+
+    def _map_mixer(self) -> tuple[str, int, int]:
+        name = self._fresh("Mix")
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek 2 pop 2 push 2 {{
+        float x = pop();
+        float fb = pop();
+        float y = x + fb;
+        push(y);
+        push(y);
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 2, 2
+
+    def _damp(self) -> tuple[str, int, int]:
+        g = self._lit(self.rng.uniform(0.1, 0.6)
+                      * self.rng.choice((-1.0, 1.0)))
+        name = self._fresh("Damp")
+        self.decls.append(f"""\
+float->float filter {name} {{
+    work peek 1 pop 1 push 1 {{
+        push({g} * pop());
+    }}
+}}
+""")
+        self._count("filter")
+        return name, 1, 1
+
+    def _stream(self, depth: int) -> tuple[str, int, int]:
+        if depth <= 0:
+            return self._leaf()
+        roll = self.rng.random()
+        if roll < 0.40:
+            return self._leaf()
+        if roll < 0.70:
+            return self._pipeline(depth)
+        if roll < 0.90:
+            return self._splitjoin(depth)
+        return self._feedback()
+
+    def _source(self) -> str:
+        rng = self.rng
+        name = self._fresh("Src")
+        if rng.random() < 0.5:
+            period = rng.randint(3, 12)
+            amp = self._lit(rng.uniform(0.5, 2.0))
+            self.decls.append(f"""\
+void->float filter {name} {{
+    float[{period}] table;
+    int idx;
+    init {{
+        for (int i = 0; i < {period}; i++) {{
+            table[i] = {amp} * sin(0.9 * i);
+        }}
+    }}
+    work push 1 {{
+        push(table[idx]);
+        idx = (idx + 1) % {period};
+    }}
+}}
+""")
+        else:
+            w = self._lit(rng.uniform(0.05, 0.9))
+            self.decls.append(f"""\
+void->float filter {name} {{
+    int n;
+    work push 1 {{
+        push(cos({w} * n));
+        n = n + 1;
+    }}
+}}
+""")
+        self._count("filter")
+        return name
+
+
+def generate(seed: int, max_depth: int = 3) -> FuzzProgram:
+    """Deterministically generate one program from ``seed``."""
+    rng = random.Random(seed)
+    gen = _Gen(rng, max_depth)
+    src = gen._source()
+    body, pop, push = gen._stream(max_depth)
+    gen.decls.append(
+        f"void->float pipeline {TOP} {{\n    add {src}();\n"
+        f"    add {body}();\n}}\n")
+    return FuzzProgram(seed=seed, source="\n".join(gen.decls),
+                       pop=pop, push=push, census=dict(gen.census))
+
+
+def _run(program: FuzzProgram, n_outputs: int, backend: str,
+         optimize: str = "none") -> list[float]:
+    graph = compile_source(program.source, program.top)
+    wrapped = Pipeline(list(graph.children) + [Collector("FuzzSink")],
+                       name=graph.name)
+    return run_graph(wrapped, n_outputs, backend=backend,
+                     optimize=optimize)
+
+
+def check_program(program: FuzzProgram, n_outputs: int = 64,
+                  optimize: str = "none") -> Mismatch | None:
+    """Run one program through all three backends; ``None`` means OK.
+
+    ``optimize`` additionally reruns the plan backend with that rewrite
+    pipeline (at the same 1e-9 tolerance) when not ``"none"``.
+    """
+    try:
+        reference = _run(program, n_outputs, "interp")
+    except Exception:
+        return Mismatch(program, "run:interp", traceback.format_exc())
+
+    try:
+        compiled = _run(program, n_outputs, "compiled")
+    except Exception:
+        return Mismatch(program, "run:compiled", traceback.format_exc())
+    if compiled != reference:
+        delta = max(abs(a - b) for a, b in zip(reference, compiled))
+        return Mismatch(program, "diverge:compiled",
+                        f"interp vs compiled max|delta| = {delta!r}")
+
+    plan_modes = ["none"] + ([optimize] if optimize != "none" else [])
+    for mode in plan_modes:
+        try:
+            plan = _run(program, n_outputs, "plan", optimize=mode)
+        except Exception:
+            return Mismatch(program, f"run:plan/{mode}",
+                            traceback.format_exc())
+        if not np.allclose(plan, reference,
+                           rtol=PLAN_RTOL, atol=PLAN_ATOL):
+            delta = float(np.max(np.abs(np.asarray(plan)
+                                        - np.asarray(reference))))
+            return Mismatch(program, f"diverge:plan/{mode}",
+                            f"interp vs plan max|delta| = {delta!r}")
+    return None
+
+
+def run_fuzz(count: int, seed: int = 0, max_depth: int = 3,
+             n_outputs: int = 64, optimize: str = "none",
+             stop_on_first: bool = True,
+             progress=None) -> list[Mismatch]:
+    """Fuzz ``count`` programs; return every mismatch found."""
+    mismatches: list[Mismatch] = []
+    for i in range(count):
+        program = generate(seed * 1_000_003 + i, max_depth=max_depth)
+        bad = check_program(program, n_outputs=n_outputs,
+                            optimize=optimize)
+        if bad is not None:
+            mismatches.append(bad)
+            if stop_on_first:
+                break
+        if progress is not None:
+            progress(i + 1, program)
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dsl.fuzz",
+        description="Differentially fuzz the DSL frontend across the "
+                    "interp, compiled and plan backends.")
+    parser.add_argument("--count", type=int, default=200,
+                        help="programs to generate (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (default 0)")
+    parser.add_argument("--max-depth", type=int, default=3,
+                        help="composite nesting bound (default 3)")
+    parser.add_argument("--outputs", type=int, default=64,
+                        help="samples to collect per program (default 64)")
+    parser.add_argument("--optimize", default="none",
+                        choices=("none", "linear", "freq", "auto"),
+                        help="also differentially test this rewrite "
+                             "pipeline under the plan backend")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="report every mismatch instead of stopping "
+                             "at the first")
+    parser.add_argument("--print-source", action="store_true",
+                        help="dump each generated program to stdout")
+    args = parser.parse_args(argv)
+
+    census: dict[str, int] = {}
+
+    def progress(done: int, program: FuzzProgram) -> None:
+        for kind, n in program.census.items():
+            census[kind] = census.get(kind, 0) + n
+        if args.print_source:
+            print(f"// ---- seed {program.seed} ----")
+            print(program.source)
+        if done % 50 == 0 or done == args.count:
+            print(f"[fuzz] {done}/{args.count} programs OK")
+
+    mismatches = run_fuzz(args.count, seed=args.seed,
+                          max_depth=args.max_depth,
+                          n_outputs=args.outputs,
+                          optimize=args.optimize,
+                          stop_on_first=not args.keep_going,
+                          progress=progress)
+    if mismatches:
+        for bad in mismatches:
+            print(bad.render(), file=sys.stderr)
+        print(f"[fuzz] FAILED: {len(mismatches)} mismatch(es)",
+              file=sys.stderr)
+        return 1
+    shape = ", ".join(f"{n} {kind}" for kind, n in sorted(census.items()))
+    print(f"[fuzz] OK: {args.count} programs, 0 mismatches ({shape})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,20 @@
 Tokenizes a StreamIt-like surface syntax (thesis §2.1, Figure 2-2):
 stream declarations, filter work functions with push/pop/peek, pipelines,
 splitjoins and feedbackloops.
+
+Every token carries its full source span (start *and* end), so
+multi-character tokens, numbers, and comments that span newlines all
+report the extent of the offending text rather than a single start
+position.  The :class:`Lexer` recovers from bad input — it records a
+:class:`~repro.errors.Diagnostic` and keeps scanning — so a single pass
+surfaces every lexical error alongside the parser's syntax errors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DSLError
+from ..errors import Diagnostic, DSLError, SourceSpan
 
 KEYWORDS = frozenset({
     "filter", "pipeline", "splitjoin", "feedbackloop",
@@ -35,90 +42,163 @@ class Token:
     text: str
     line: int
     col: int
+    end_line: int = 0
+    end_col: int = 0
+
+    def __post_init__(self):
+        if self.end_line <= 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_col <= 0:
+            object.__setattr__(self, "end_col", self.col + len(self.text))
+
+    @property
+    def span(self) -> SourceSpan:
+        return SourceSpan(self.line, self.col, self.end_line, self.end_col)
 
     def __repr__(self):
         return f"Token({self.kind}:{self.text!r}@{self.line}:{self.col})"
 
 
-def tokenize(source: str) -> list[Token]:
-    tokens: list[Token] = []
-    i, line, col = 0, 1, 1
-    n = len(source)
+class Lexer:
+    """Scans source text into tokens, collecting diagnostics on the way.
 
-    def error(msg):
-        raise DSLError(msg, line, col)
+    ``scan()`` always returns a complete token list (terminated by an
+    ``eof`` token); lexical errors land in ``self.diagnostics`` instead
+    of aborting the scan, so the parser can report them together with
+    its own errors.
+    """
 
-    while i < n:
-        c = source[i]
-        # whitespace
-        if c in " \t\r":
-            i += 1
-            col += 1
-            continue
-        if c == "\n":
-            i += 1
-            line += 1
-            col = 1
-            continue
-        # comments
-        if source.startswith("//", i):
-            while i < n and source[i] != "\n":
-                i += 1
-            continue
-        if source.startswith("/*", i):
-            end = source.find("*/", i + 2)
-            if end < 0:
-                error("unterminated block comment")
-            for ch in source[i:end + 2]:
-                if ch == "\n":
-                    line += 1
-                    col = 1
-                else:
-                    col += 1
-            i = end + 2
-            continue
-        # numbers
-        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
-            j = i
-            is_float = False
-            while j < n and (source[j].isdigit() or source[j] == "."):
-                if source[j] == ".":
-                    if is_float:
-                        error("malformed number")
-                    is_float = True
-                j += 1
-            if j < n and source[j] in "eE":
+    def __init__(self, source: str):
+        self.source = source
+        self.diagnostics: list[Diagnostic] = []
+        self._i = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor --------------------------------------------------
+    def _advance_over(self, text: str) -> None:
+        """Move the cursor past ``text`` (which starts at the cursor),
+        tracking line/column across embedded newlines."""
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._i += len(text)
+
+    def _error(self, code: str, message: str, span: SourceSpan,
+               hint: str | None = None) -> None:
+        self.diagnostics.append(Diagnostic(code, message, span, hint))
+
+    # -- scanning ----------------------------------------------------------
+    def scan(self) -> list[Token]:
+        tokens: list[Token] = []
+        src = self.source
+        n = len(src)
+        while self._i < n:
+            c = src[self._i]
+            start_line, start_col = self._line, self._col
+            # whitespace
+            if c in " \t\r":
+                self._advance_over(c)
+                continue
+            if c == "\n":
+                self._advance_over(c)
+                continue
+            # comments
+            if src.startswith("//", self._i):
+                end = src.find("\n", self._i)
+                end = n if end < 0 else end
+                self._advance_over(src[self._i:end])
+                continue
+            if src.startswith("/*", self._i):
+                end = src.find("*/", self._i + 2)
+                if end < 0:
+                    # the offending text is the whole unterminated
+                    # comment, through end of input
+                    self._advance_over(src[self._i:])
+                    self._error(
+                        "dsl-unterminated-comment",
+                        "unterminated block comment",
+                        SourceSpan(start_line, start_col,
+                                   self._line, self._col),
+                        hint="close it with '*/'")
+                    continue
+                self._advance_over(src[self._i:end + 2])
+                continue
+            # numbers
+            if c.isdigit() or (c == "." and self._i + 1 < n
+                               and src[self._i + 1].isdigit()):
+                self._scan_number(tokens)
+                continue
+            # identifiers / keywords
+            if c.isalpha() or c == "_":
+                j = self._i
+                while j < n and (src[j].isalnum() or src[j] == "_"):
+                    j += 1
+                text = src[self._i:j]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                self._advance_over(text)
+                tokens.append(Token(kind, text, start_line, start_col,
+                                    self._line, self._col))
+                continue
+            # operators
+            for op in OPERATORS:
+                if src.startswith(op, self._i):
+                    self._advance_over(op)
+                    tokens.append(Token("op", op, start_line, start_col,
+                                        self._line, self._col))
+                    break
+            else:
+                self._advance_over(c)
+                self._error("dsl-bad-char",
+                            f"unexpected character {c!r}",
+                            SourceSpan(start_line, start_col,
+                                       self._line, self._col))
+        tokens.append(Token("eof", "", self._line, self._col,
+                            self._line, self._col))
+        return tokens
+
+    def _scan_number(self, tokens: list[Token]) -> None:
+        src = self.source
+        n = len(src)
+        start_line, start_col = self._line, self._col
+        j = self._i
+        is_float = False
+        malformed = False
+        while j < n and (src[j].isdigit() or src[j] == "."):
+            if src[j] == ".":
+                if is_float:
+                    malformed = True
                 is_float = True
+            j += 1
+        if j < n and src[j] in "eE":
+            is_float = True
+            j += 1
+            if j < n and src[j] in "+-":
                 j += 1
-                if j < n and source[j] in "+-":
-                    j += 1
-                while j < n and source[j].isdigit():
-                    j += 1
-            text = source[i:j]
-            tokens.append(Token("float" if is_float else "int", text,
-                                line, col))
-            col += j - i
-            i = j
-            continue
-        # identifiers / keywords
-        if c.isalpha() or c == "_":
-            j = i
-            while j < n and (source[j].isalnum() or source[j] == "_"):
+            while j < n and src[j].isdigit():
                 j += 1
-            text = source[i:j]
-            kind = "keyword" if text in KEYWORDS else "ident"
-            tokens.append(Token(kind, text, line, col))
-            col += j - i
-            i = j
-            continue
-        # operators
-        for op in OPERATORS:
-            if source.startswith(op, i):
-                tokens.append(Token("op", op, line, col))
-                i += len(op)
-                col += len(op)
-                break
-        else:
-            error(f"unexpected character {c!r}")
-    tokens.append(Token("eof", "", line, col))
+        text = src[self._i:j]
+        self._advance_over(text)
+        if malformed:
+            # the span covers the whole malformed literal, not just
+            # where scanning started
+            self._error("dsl-bad-number",
+                        f"malformed number {text!r}",
+                        SourceSpan(start_line, start_col,
+                                   self._line, self._col))
+            return
+        tokens.append(Token("float" if is_float else "int", text,
+                            start_line, start_col, self._line, self._col))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`DSLError` carrying *all*
+    lexical diagnostics if any text failed to scan."""
+    lexer = Lexer(source)
+    tokens = lexer.scan()
+    if lexer.diagnostics:
+        raise DSLError(diagnostics=lexer.diagnostics, source=source)
     return tokens

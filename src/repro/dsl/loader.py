@@ -1,0 +1,103 @@
+"""Cached DSL source -> stream-graph loading.
+
+``load_source`` is the memoized path from source text to an
+instantiated graph: parsing is cached per source string and elaboration
+per ``(source digest, top, args)`` triple, with every call returning a
+fresh :func:`~repro.graph.streams.clone_stream` copy so callers can run
+or mutate their graph without perturbing the cache.
+
+``fingerprint=True`` stamps the clone with its *source* fingerprint —
+the digest of the (source, top, args) triple — which
+:func:`~repro.exec.cache.fingerprint_stream` uses as the plan-cache key,
+so recompiling the same program text hits the plan cache directly.
+This is what ``repro.compile(dsl_source)`` and the serve OPEN handler
+use; the app loaders deliberately do not (their graphs are handed to
+user code that may mutate coefficients, which must change the
+fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import DSLError
+from ..graph.streams import Stream, clone_stream
+from .ast import Program
+from .elaborator import Elaborator
+from .parser import parse
+
+#: elaborated prototypes kept per process; beyond this the oldest
+#: entries are dropped (insertion order ~ LRU for our access pattern)
+_MAX_GRAPHS = 128
+
+_graphs: dict[tuple, Stream] = {}
+
+
+@lru_cache(maxsize=64)
+def _parsed(source: str) -> Program:
+    return parse(source)
+
+
+def _freeze(arg):
+    """A hashable, content-identifying form of an instantiation arg."""
+    if isinstance(arg, (list, tuple, np.ndarray)):
+        a = np.asarray(arg, dtype=float)
+        return ("arr", a.shape, a.tobytes())
+    if isinstance(arg, (bool, np.bool_)):
+        return ("b", bool(arg))
+    if isinstance(arg, (int, np.integer)):
+        return ("i", int(arg))
+    if isinstance(arg, (float, np.floating)):
+        return ("f", float(arg))
+    raise TypeError(f"cannot use {type(arg).__name__} as a DSL argument")
+
+
+def source_digest(source: str, top: str | None = None, args=()) -> bytes:
+    """Digest identifying a (source text, top stream, args) compilation."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update((top or "").encode())
+    for frozen in map(_freeze, args):
+        h.update(repr(frozen).encode())
+    return h.digest()
+
+
+def load_source(source: str, top: str | None = None, *args,
+                fingerprint: bool = False) -> Stream:
+    """Parse + elaborate (cached), returning a fresh graph clone.
+
+    With ``fingerprint=True`` the clone carries its source digest as
+    ``_source_fingerprint``, making the source text the plan-cache key.
+    """
+    key = (source_digest(source, top, args),)
+    proto = _graphs.get(key)
+    if proto is None:
+        program = _parsed(source)
+        if not program.order:
+            # defer to compile_source's error path for the diagnostic
+            from .elaborator import compile_source
+            return compile_source(source, top, *args)
+        name = top if top is not None else program.order[-1]
+        try:
+            proto = Elaborator(program).instantiate(name, *args)
+        except DSLError as e:
+            if e.source is None:
+                e.source = source
+            raise
+        while len(_graphs) >= _MAX_GRAPHS:
+            del _graphs[next(iter(_graphs))]
+        _graphs[key] = proto
+    clone = clone_stream(proto)
+    if fingerprint:
+        clone._source_fingerprint = (key[0], False)
+    return clone
+
+
+def clear_source_cache() -> None:
+    """Drop all cached parses and elaborated prototypes (for tests)."""
+    _parsed.cache_clear()
+    _graphs.clear()

@@ -1,10 +1,24 @@
-"""Recursive-descent parser for the mini-StreamIt DSL."""
+"""Recursive-descent parser for the mini-StreamIt DSL.
+
+Built around an efilter-style :class:`TokenStream` (``accept`` /
+``expect`` / ``reject`` / ``peek``) with panic-mode error recovery: a
+syntax error records a structured :class:`~repro.errors.Diagnostic` and
+resynchronizes at the nearest ``;`` or ``}`` (or the next stream
+declaration), so a single parse reports *every* error in the program.
+Missing semicolons use insertion recovery — the diagnostic points at
+the gap and parsing continues as if the ``;`` were present.
+
+Source spans from the lexer are threaded onto every AST node, so later
+phases (elaboration) can point their own errors at source text.
+"""
 
 from __future__ import annotations
 
-from ..errors import DSLError
+import math
+
+from ..errors import Diagnostic, DSLError, SourceSpan
 from . import ast
-from .lexer import Token, tokenize
+from .lexer import Lexer, Token
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
 
@@ -21,56 +35,206 @@ _PRECEDENCE = [
     ["*", "/", "%"],
 ]
 
+_TYPES = ("float", "int", "void", "boolean")
+_STREAM_KINDS = ("filter", "pipeline", "splitjoin", "feedbackloop")
 
-class Parser:
-    def __init__(self, source: str):
-        self.tokens = tokenize(source)
+#: stop reporting after this many diagnostics — a garbage input should
+#: not produce a thousand-line error cascade
+MAX_ERRORS = 25
+
+
+class _Recover(Exception):
+    """Internal: unwind to the nearest recovery point."""
+
+
+class _TooManyErrors(Exception):
+    """Internal: abandon the parse once MAX_ERRORS is reached."""
+
+
+class TokenStream:
+    """Cursor over a token list with efilter-style combinators.
+
+    ``accept`` consumes a matching token (recording it as ``matched``)
+    and returns it, or returns ``None`` without consuming; ``expect``
+    is ``accept`` or error; ``reject`` is an error *if* the token
+    matches.  ``peek`` looks ahead without consuming.
+    """
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
         self.pos = 0
+        self.matched: Token | None = None
 
-    # -- token helpers ------------------------------------------------
     @property
     def cur(self) -> Token:
         return self.tokens[self.pos]
 
-    def error(self, msg: str):
-        t = self.cur
-        raise DSLError(f"{msg} (found {t.kind} {t.text!r})", t.line, t.col)
+    @property
+    def prev(self) -> Token:
+        return self.tokens[max(self.pos - 1, 0)]
+
+    def at_end(self) -> bool:
+        return self.cur.kind == "eof"
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
 
     def advance(self) -> Token:
         t = self.cur
-        self.pos += 1
+        if t.kind != "eof":
+            self.pos += 1
+        self.matched = t
         return t
 
-    def accept(self, text: str) -> bool:
-        if self.cur.text == text and self.cur.kind in ("op", "keyword"):
-            self.pos += 1
-            return True
-        return False
+    def accept(self, *texts: str) -> Token | None:
+        """Consume the current token if it is one of ``texts``
+        (operator or keyword); returns it, else ``None``."""
+        t = self.cur
+        if t.kind in ("op", "keyword") and t.text in texts:
+            return self.advance()
+        return None
 
-    def expect(self, text: str) -> Token:
-        if self.cur.text != text:
-            self.error(f"expected {text!r}")
-        return self.advance()
+    def accept_kind(self, kind: str) -> Token | None:
+        if self.cur.kind == kind:
+            return self.advance()
+        return None
 
-    def expect_ident(self) -> str:
-        if self.cur.kind != "ident":
-            self.error("expected identifier")
-        return self.advance().text
+
+class Parser:
+    def __init__(self, source: str):
+        self.source = source
+        lexer = Lexer(source)
+        self.stream = TokenStream(lexer.scan())
+        self.diagnostics: list[Diagnostic] = list(lexer.diagnostics)
+        if len(self.diagnostics) > MAX_ERRORS:
+            del self.diagnostics[MAX_ERRORS:]
+
+    # -- token helpers ------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.stream.cur
+
+    def advance(self) -> Token:
+        return self.stream.advance()
+
+    def accept(self, *texts: str) -> Token | None:
+        return self.stream.accept(*texts)
+
+    # -- diagnostics --------------------------------------------------
+    def diagnose(self, code: str, message: str,
+                 span: SourceSpan | None = None,
+                 hint: str | None = None) -> None:
+        """Record a diagnostic without unwinding (caller continues)."""
+        if len(self.diagnostics) >= MAX_ERRORS:
+            raise _TooManyErrors
+        if span is None:
+            span = self.cur.span
+        self.diagnostics.append(Diagnostic(code, message, span, hint))
+
+    def error(self, code: str, message: str,
+              span: SourceSpan | None = None,
+              hint: str | None = None):
+        """Record a diagnostic describing the found token and unwind
+        to the nearest recovery point."""
+        t = self.cur
+        found = "end of input" if t.kind == "eof" \
+            else f"{t.kind} {t.text!r}"
+        self.diagnose(code, f"{message} (found {found})", span, hint)
+        raise _Recover
+
+    def expect(self, text: str, code: str = "dsl-expected") -> Token:
+        tok = self.accept(text)
+        if tok is None:
+            self.error(code, f"expected {text!r}")
+        return tok
+
+    def expect_semi(self) -> None:
+        """Expect ``;`` with insertion recovery: on a missing semicolon
+        the diagnostic points at the gap after the previous token and
+        parsing continues as if it were present."""
+        if self.accept(";"):
+            return
+        prev = self.stream.prev
+        span = SourceSpan(prev.end_line, prev.end_col,
+                          prev.end_line, prev.end_col)
+        self.diagnose("dsl-expected", "expected ';' after statement", span)
+
+    def expect_ident(self) -> Token:
+        tok = self.stream.accept_kind("ident")
+        if tok is None:
+            self.error("dsl-expected-ident", "expected identifier")
+        return tok
+
+    def reject(self, *texts: str) -> None:
+        if self.cur.kind in ("op", "keyword") and self.cur.text in texts:
+            self.error("dsl-unexpected",
+                       f"unexpected {self.cur.text!r}")
+
+    # -- recovery -----------------------------------------------------
+    def _sync_stmt(self) -> None:
+        """Panic-mode resync after a bad statement: skip to just past
+        the next ``;`` or to the enclosing ``}`` (left unconsumed),
+        tracking nested braces."""
+        depth = 0
+        while not self.stream.at_end():
+            t = self.cur
+            if t.kind == "op":
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    if depth == 0:
+                        return
+                    depth -= 1
+                elif t.text == ";" and depth == 0:
+                    self.advance()
+                    return
+            self.advance()
+
+    def _sync_decl(self) -> None:
+        """Resync after a bad stream declaration: skip to the next
+        plausible declaration start (a type name at brace depth 0)."""
+        depth = 0
+        first = True
+        while not self.stream.at_end():
+            t = self.cur
+            if depth == 0 and not first and t.kind == "keyword" \
+                    and t.text in _TYPES:
+                return
+            if t.kind == "op":
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth = max(depth - 1, 0)
+            self.advance()
+            first = False
 
     # -- program --------------------------------------------------------
     def parse_program(self) -> ast.Program:
-        program = ast.Program()
-        while self.cur.kind != "eof":
-            decl = self.parse_stream_decl()
-            if decl.name in program.decls:
-                self.error(f"duplicate stream {decl.name!r}")
-            program.decls[decl.name] = decl
-            program.order.append(decl.name)
+        program = ast.Program(source=self.source)
+        try:
+            while not self.stream.at_end():
+                try:
+                    decl = self.parse_stream_decl()
+                except _Recover:
+                    self._sync_decl()
+                    continue
+                if decl.name in program.decls:
+                    self.diagnose(
+                        "dsl-duplicate-stream",
+                        f"duplicate stream {decl.name!r}", decl.span)
+                    continue
+                program.decls[decl.name] = decl
+                program.order.append(decl.name)
+        except _TooManyErrors:
+            pass
+        if self.diagnostics:
+            raise DSLError(diagnostics=self.diagnostics, source=self.source)
         return program
 
     def parse_type(self) -> tuple[str, ast.Expr | None]:
-        if self.cur.text not in ("float", "int", "void", "boolean"):
-            self.error("expected a type")
+        if self.cur.text not in _TYPES or self.cur.kind != "keyword":
+            self.error("dsl-expected-type", "expected a type")
         ty = self.advance().text
         size = None
         if self.accept("["):
@@ -83,55 +247,71 @@ class Parser:
         self.expect("->")
         self.parse_type()  # output type
         kind = self.cur.text
-        if kind not in ("filter", "pipeline", "splitjoin", "feedbackloop"):
-            self.error("expected filter/pipeline/splitjoin/feedbackloop")
+        if kind not in _STREAM_KINDS or self.cur.kind != "keyword":
+            self.error("dsl-expected-stream-kind",
+                       "expected filter/pipeline/splitjoin/feedbackloop")
         self.advance()
-        name = self.expect_ident()
+        name_tok = self.expect_ident()
         params = self.parse_params()
         if kind == "filter":
-            return self.parse_filter_body(name, params)
-        return self.parse_composite_body(kind, name, params)
+            return self.parse_filter_body(name_tok, params)
+        return self.parse_composite_body(kind, name_tok, params)
 
     def parse_params(self) -> tuple[ast.Param, ...]:
         params = []
         if self.accept("("):
             while not self.accept(")"):
+                if self.stream.at_end():
+                    self.error("dsl-unclosed", "unclosed parameter list")
                 ty, size = self.parse_type()
                 pname = self.expect_ident()
-                params.append(ast.Param(ty, size, pname))
+                params.append(ast.Param(ty, size, pname.text,
+                                        span=pname.span))
                 if self.cur.text != ")":
                     self.expect(",")
         return tuple(params)
 
     # -- filters ----------------------------------------------------------
-    def parse_filter_body(self, name, params) -> ast.FilterDecl:
+    def parse_filter_body(self, name_tok: Token, params) -> ast.FilterDecl:
+        name = name_tok.text
         self.expect("{")
         fields: list[ast.FieldDecl] = []
         init: tuple[ast.Stmt, ...] = ()
         works: list[ast.WorkDecl] = []
         while not self.accept("}"):
-            if self.cur.text == "init":
-                self.advance()
-                init = self.parse_block()
-            elif self.cur.text in ("work", "prework"):
-                works.append(self.parse_work())
-            elif self.cur.text in ("float", "int", "boolean"):
-                ty, size = self.parse_type()
-                fname = self.expect_ident()
-                finit = self.parse_expr() if self.accept("=") else None
-                self.expect(";")
-                fields.append(ast.FieldDecl(ty, size, fname, finit))
-            else:
-                self.error("expected field, init, work or prework")
+            if self.stream.at_end():
+                self.error("dsl-unclosed",
+                           f"unclosed body of filter {name!r}")
+            try:
+                if self.cur.text == "init":
+                    self.advance()
+                    init = self.parse_block()
+                elif self.cur.text in ("work", "prework"):
+                    works.append(self.parse_work())
+                elif self.cur.text in ("float", "int", "boolean"):
+                    ty, size = self.parse_type()
+                    fname = self.expect_ident()
+                    finit = self.parse_expr() if self.accept("=") else None
+                    self.expect_semi()
+                    fields.append(ast.FieldDecl(ty, size, fname.text, finit,
+                                                span=fname.span))
+                else:
+                    self.error("dsl-expected-member",
+                               "expected field, init, work or prework")
+            except _Recover:
+                self._sync_stmt()
         if not works:
-            self.error(f"filter {name!r} has no work function")
+            self.diagnose("dsl-no-work",
+                          f"filter {name!r} has no work function",
+                          name_tok.span)
         return ast.FilterDecl(name, params, tuple(fields), init,
-                              tuple(works))
+                              tuple(works), span=name_tok.span)
 
     def parse_work(self) -> ast.WorkDecl:
-        kind = self.advance().text
+        head = self.advance()
         peek = pop = push = None
-        while self.cur.text in ("push", "pop", "peek"):
+        while self.cur.text in ("push", "pop", "peek") \
+                and self.cur.kind == "keyword":
             which = self.advance().text
             rate = self.parse_unary()
             if which == "push":
@@ -141,98 +321,108 @@ class Parser:
             else:
                 peek = rate
         body = self.parse_block()
-        return ast.WorkDecl(kind, peek, pop, push, body)
+        return ast.WorkDecl(head.text, peek, pop, push, body,
+                            span=head.span)
 
     # -- statements -------------------------------------------------------
     def parse_block(self) -> tuple[ast.Stmt, ...]:
         self.expect("{")
         stmts = []
         while not self.accept("}"):
-            stmts.append(self.parse_stmt())
+            if self.stream.at_end():
+                self.error("dsl-unclosed", "unclosed block")
+            try:
+                stmts.append(self.parse_stmt())
+            except _Recover:
+                self._sync_stmt()
         return tuple(stmts)
 
     def parse_stmt(self) -> ast.Stmt:
         t = self.cur
-        if t.text in ("float", "int", "boolean"):
+        self.reject("else")
+        if t.text in ("float", "int", "boolean") and t.kind == "keyword":
             ty, size = self.parse_type()
             name = self.expect_ident()
             init = self.parse_expr() if self.accept("=") else None
-            self.expect(";")
+            self.expect_semi()
             return ast.VarDecl("int" if ty == "boolean" else ty,
-                               size, name, init)
+                               size, name.text, init, span=name.span)
         if t.text == "push":
             self.advance()
             self.expect("(")
             value = self.parse_expr()
             self.expect(")")
-            self.expect(";")
-            return ast.PushStmt(value)
+            self.expect_semi()
+            return ast.PushStmt(value, span=t.span)
         if t.text == "pop":
             self.advance()
             self.expect("(")
             self.expect(")")
-            self.expect(";")
-            return ast.PopStmt()
+            self.expect_semi()
+            return ast.PopStmt(span=t.span)
         if t.text == "if":
             return self.parse_if()
         if t.text == "for":
             return self.parse_for()
         if t.text == "add":
             self.advance()
-            stream, args = self.parse_stream_ref()
-            self.expect(";")
-            return ast.AddStmt(stream, args)
+            stream, args, span = self.parse_stream_ref()
+            self.expect_semi()
+            return ast.AddStmt(stream, args, span=span)
         if t.text == "split":
             self.advance()
             if self.accept("duplicate"):
-                decl = ast.SplitDecl("duplicate", ())
+                decl = ast.SplitDecl("duplicate", (), span=t.span)
             else:
-                self.expect("roundrobin")
-                decl = ast.SplitDecl("roundrobin", self.parse_arg_list())
-            self.expect(";")
+                self.expect("roundrobin", "dsl-expected-splitter")
+                decl = ast.SplitDecl("roundrobin", self.parse_arg_list(),
+                                     span=t.span)
+            self.expect_semi()
             return decl
         if t.text == "join":
             self.advance()
-            self.expect("roundrobin")
+            self.expect("roundrobin", "dsl-expected-joiner")
             weights = self.parse_arg_list()
-            self.expect(";")
-            return ast.JoinDecl(weights)
+            self.expect_semi()
+            return ast.JoinDecl(weights, span=t.span)
         if t.text == "body":
             self.advance()
-            stream, args = self.parse_stream_ref()
-            self.expect(";")
-            return ast.BodyDecl(stream, args)
+            stream, args, span = self.parse_stream_ref()
+            self.expect_semi()
+            return ast.BodyDecl(stream, args, span=span)
         if t.text == "loop":
             self.advance()
-            stream, args = self.parse_stream_ref()
-            self.expect(";")
-            return ast.LoopDecl(stream, args)
+            stream, args, span = self.parse_stream_ref()
+            self.expect_semi()
+            return ast.LoopDecl(stream, args, span=span)
         if t.text == "enqueue":
             self.advance()
             value = self.parse_expr()
-            self.expect(";")
-            return ast.EnqueueStmt(value)
+            self.expect_semi()
+            return ast.EnqueueStmt(value, span=t.span)
         # assignment or bare expression
         expr = self.parse_expr()
-        if self.cur.text in _ASSIGN_OPS:
+        if self.cur.text in _ASSIGN_OPS and self.cur.kind == "op":
             op = self.advance().text
             if not isinstance(expr, (ast.Name, ast.IndexExpr)):
-                self.error("invalid assignment target")
+                self.error("dsl-bad-assign-target",
+                           "invalid assignment target", expr.span)
             value = self.parse_expr()
-            self.expect(";")
-            return ast.AssignStmt(expr, op, value)
+            self.expect_semi()
+            return ast.AssignStmt(expr, op, value, span=expr.span)
         if self.cur.text in ("++", "--"):
             op = self.advance().text
             if not isinstance(expr, (ast.Name, ast.IndexExpr)):
-                self.error("invalid increment target")
-            self.expect(";")
+                self.error("dsl-bad-assign-target",
+                           "invalid increment target", expr.span)
+            self.expect_semi()
             delta = ast.Num(1) if op == "++" else ast.Num(-1)
-            return ast.AssignStmt(expr, "+=", delta)
-        self.expect(";")
-        return ast.ExprStmt(expr)
+            return ast.AssignStmt(expr, "+=", delta, span=expr.span)
+        self.expect_semi()
+        return ast.ExprStmt(expr, span=expr.span)
 
     def parse_if(self) -> ast.IfStmt:
-        self.expect("if")
+        head = self.expect("if")
         self.expect("(")
         cond = self.parse_expr()
         self.expect(")")
@@ -242,10 +432,10 @@ class Parser:
         if self.accept("else"):
             orelse = self.parse_block() if self.cur.text == "{" \
                 else (self.parse_stmt(),)
-        return ast.IfStmt(cond, then, orelse)
+        return ast.IfStmt(cond, then, orelse, span=head.span)
 
     def parse_for(self) -> ast.ForStmt:
-        self.expect("for")
+        head = self.expect("for")
         self.expect("(")
         # init: 'int i = e' or 'i = e'
         if self.cur.text == "int":
@@ -256,25 +446,31 @@ class Parser:
         self.expect(";")
         # cond: i < e | i <= e | i > e | i >= e
         cvar = self.expect_ident()
-        if cvar != var:
-            self.error("for-loop condition must test the loop variable")
-        rel = self.advance().text
+        if cvar.text != var.text:
+            self.error("dsl-bad-for",
+                       "for-loop condition must test the loop variable",
+                       cvar.span)
+        rel_tok = self.advance()
+        rel = rel_tok.text
         bound = self.parse_expr()
         if rel == "<":
             stop = bound
         elif rel == "<=":
-            stop = ast.BinOp("+", bound, ast.Num(1))
+            stop = ast.BinOp("+", bound, ast.Num(1), span=bound.span)
         elif rel == ">":
             stop = bound
         elif rel == ">=":
-            stop = ast.BinOp("-", bound, ast.Num(1))
+            stop = ast.BinOp("-", bound, ast.Num(1), span=bound.span)
         else:
-            self.error("unsupported for-loop condition")
+            self.error("dsl-bad-for", "unsupported for-loop condition",
+                       rel_tok.span)
         self.expect(";")
         # update: i++ | i-- | i += e | i = i + e
         uvar = self.expect_ident()
-        if uvar != var:
-            self.error("for-loop update must modify the loop variable")
+        if uvar.text != var.text:
+            self.error("dsl-bad-for",
+                       "for-loop update must modify the loop variable",
+                       uvar.span)
         if self.accept("++"):
             step: ast.Expr = ast.Num(1)
         elif self.accept("--"):
@@ -285,28 +481,35 @@ class Parser:
             lhs = self.parse_expr()
             if (isinstance(lhs, ast.BinOp) and lhs.op == "+"
                     and isinstance(lhs.left, ast.Name)
-                    and lhs.left.ident == var):
+                    and lhs.left.ident == var.text):
                 step = lhs.right
             else:
-                self.error("unsupported for-loop update")
+                self.error("dsl-bad-for", "unsupported for-loop update",
+                           uvar.span)
         else:
-            self.error("unsupported for-loop update")
+            self.error("dsl-bad-for", "unsupported for-loop update")
         self.expect(")")
         body = self.parse_block() if self.cur.text == "{" \
             else (self.parse_stmt(),)
-        return ast.ForStmt(var, start, stop, step, body)
+        return ast.ForStmt(var.text, start, stop, step, body,
+                           span=head.span)
 
-    def parse_stream_ref(self) -> tuple[str, tuple[ast.Expr, ...]]:
+    def parse_stream_ref(self) -> tuple[str, tuple[ast.Expr, ...],
+                                        SourceSpan]:
         name = self.expect_ident()
         args: tuple[ast.Expr, ...] = ()
+        span = name.span
         if self.cur.text == "(":
             args = self.parse_arg_list()
-        return name, args
+            span = span.merge(self.stream.prev.span)
+        return name.text, args, span
 
     def parse_arg_list(self) -> tuple[ast.Expr, ...]:
         self.expect("(")
         args = []
         while not self.accept(")"):
+            if self.stream.at_end():
+                self.error("dsl-unclosed", "unclosed argument list")
             args.append(self.parse_expr())
             if self.cur.text != ")":
                 self.expect(",")
@@ -321,46 +524,48 @@ class Parser:
         while self.cur.kind == "op" and self.cur.text in ops:
             op = self.advance().text
             right = self.parse_expr(level + 1)
-            left = ast.BinOp(op, left, right)
+            left = ast.BinOp(op, left, right,
+                             span=_merge(left.span, right.span))
         return left
 
     def parse_unary(self) -> ast.Expr:
-        if self.accept("-"):
-            return ast.UnOp("-", self.parse_unary())
-        if self.accept("!"):
-            return ast.UnOp("!", self.parse_unary())
+        tok = self.accept("-", "!")
+        if tok is not None:
+            operand = self.parse_unary()
+            return ast.UnOp(tok.text, operand,
+                            span=tok.span.merge(operand.span))
         return self.parse_postfix()
 
     def parse_postfix(self) -> ast.Expr:
         expr = self.parse_primary()
         while self.cur.text == "[":
             if not isinstance(expr, ast.Name):
-                self.error("only plain arrays can be indexed")
+                self.error("dsl-bad-index",
+                           "only plain arrays can be indexed", expr.span)
             self.advance()
             index = self.parse_expr()
-            self.expect("]")
-            expr = ast.IndexExpr(expr.ident, index)
+            close = self.expect("]")
+            expr = ast.IndexExpr(expr.ident, index,
+                                 span=_merge(expr.span, close.span))
         return expr
 
     def parse_primary(self) -> ast.Expr:
         t = self.cur
         if t.kind == "int":
             self.advance()
-            return ast.Num(int(t.text))
+            return ast.Num(int(t.text), span=t.span)
         if t.kind == "float":
             self.advance()
-            return ast.Num(float(t.text))
+            return ast.Num(float(t.text), span=t.span)
         if t.text == "pi":
             self.advance()
-            import math
-
-            return ast.Num(math.pi)
+            return ast.Num(math.pi, span=t.span)
         if t.text == "true":
             self.advance()
-            return ast.Num(1)
+            return ast.Num(1, span=t.span)
         if t.text == "false":
             self.advance()
-            return ast.Num(0)
+            return ast.Num(0, span=t.span)
         if t.text == "(":
             self.advance()
             expr = self.parse_expr()
@@ -370,27 +575,41 @@ class Parser:
             self.advance()
             self.expect("(")
             index = self.parse_expr()
-            self.expect(")")
-            return ast.PeekExpr(index)
+            close = self.expect(")")
+            return ast.PeekExpr(index, span=t.span.merge(close.span))
         if t.text == "pop":
             self.advance()
             self.expect("(")
-            self.expect(")")
-            return ast.PopExpr()
+            close = self.expect(")")
+            return ast.PopExpr(span=t.span.merge(close.span))
         if t.kind == "ident":
-            name = self.advance().text
+            name = self.advance()
             if self.cur.text == "(":
                 args = self.parse_arg_list()
-                return ast.CallExpr(name, args)
-            return ast.Name(name)
-        self.error("expected an expression")
+                return ast.CallExpr(
+                    name.text, args,
+                    span=name.span.merge(self.stream.prev.span))
+            return ast.Name(name.text, span=name.span)
+        self.error("dsl-expected-expr", "expected an expression")
 
     # -- composites ---------------------------------------------------------
-    def parse_composite_body(self, kind, name, params) -> ast.CompositeDecl:
+    def parse_composite_body(self, kind, name_tok: Token,
+                             params) -> ast.CompositeDecl:
         body = self.parse_block()
-        return ast.CompositeDecl(kind, name, params, body)
+        return ast.CompositeDecl(kind, name_tok.text, params, body,
+                                 span=name_tok.span)
+
+
+def _merge(a: SourceSpan | None, b: SourceSpan | None) -> SourceSpan | None:
+    if a is None:
+        return b
+    return a.merge(b)
 
 
 def parse(source: str) -> ast.Program:
-    """Parse DSL source text into a Program AST."""
+    """Parse DSL source text into a Program AST.
+
+    Raises :class:`DSLError` carrying *all* diagnostics (lexical and
+    syntactic) found during a single recovering pass.
+    """
     return Parser(source).parse_program()

@@ -1,4 +1,100 @@
-"""Shared exception types for the repro package."""
+"""Shared exception types for the repro package.
+
+Besides the exception hierarchy this module defines the structured
+diagnostic objects of the DSL frontend: a :class:`SourceSpan` locating a
+region of source text and a :class:`Diagnostic` pairing a stable machine
+code (mirroring :attr:`ProtocolError.code`) with a human message and an
+optional caret-rendered snippet.  :class:`DSLError` carries a list of
+them, so one failed parse can report *every* syntax error it recovered
+past, each pointing at the offending text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of DSL source text (1-based lines/columns).
+
+    ``end_col`` is exclusive: the span of ``abc`` starting at column 5
+    is ``col=5, end_col=8``.  Single-point spans (``end_col == col``)
+    mark an insertion position, e.g. where a missing ``;`` belongs.
+    """
+
+    line: int
+    col: int
+    end_line: int = 0
+    end_col: int = 0
+
+    def __post_init__(self):
+        if self.end_line <= 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_col <= 0:
+            object.__setattr__(self, "end_col", self.col + 1)
+
+    def merge(self, other: "SourceSpan | None") -> "SourceSpan":
+        """The smallest span covering both spans."""
+        if other is None:
+            return self
+        start = min((self.line, self.col), (other.line, other.col))
+        end = max((self.end_line, self.end_col),
+                  (other.end_line, other.end_col))
+        return SourceSpan(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.col}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured DSL error: stable code, message, source span.
+
+    ``code`` is machine-readable and stable across releases (the DSL
+    counterpart of :attr:`ProtocolError.code`): tooling may dispatch on
+    it.  ``render`` produces the human form — message, location, and
+    the offending source line with a caret underline when the source
+    text is available.
+    """
+
+    code: str
+    message: str
+    span: SourceSpan | None = None
+    hint: str | None = None
+
+    def describe(self) -> str:
+        """One-line form: ``message at line L, col C [code]``."""
+        loc = f" at {self.span}" if self.span is not None else ""
+        return f"{self.message}{loc} [{self.code}]"
+
+    def render(self, source: str | None = None) -> str:
+        """Multi-line form with a caret snippet when ``source`` is given::
+
+            error[dsl-expected]: expected ';' at line 3, col 12
+              3 | push(sum)
+                |          ^
+        """
+        head = f"error[{self.code}]: {self.message}"
+        if self.span is not None:
+            head += f" at {self.span}"
+        lines = [head]
+        if source is not None and self.span is not None:
+            text_lines = source.splitlines()
+            if 1 <= self.span.line <= len(text_lines):
+                text = text_lines[self.span.line - 1]
+                gutter = f"  {self.span.line} | "
+                lines.append(f"{gutter}{text}")
+                width = self.span.end_col - self.span.col \
+                    if self.span.end_line == self.span.line else \
+                    max(len(text) - self.span.col + 1, 1)
+                width = max(width, 1)
+                pad = " " * (len(str(self.span.line)) + 2)
+                lines.append(f"  {pad}| "
+                             + " " * (self.span.col - 1) + "^" * width)
+        if self.hint is not None:
+            lines.append(f"  hint: {self.hint}")
+        return "\n".join(lines)
 
 
 class ReproError(Exception):
@@ -114,11 +210,53 @@ class ProtocolError(ReproError):
 
 
 class DSLError(ReproError):
-    """Lexing/parsing/elaboration failure in the textual mini-StreamIt DSL."""
+    """Lexing/parsing/elaboration failure in the textual mini-StreamIt DSL.
 
-    def __init__(self, message: str, line: int | None = None, col: int | None = None):
-        loc = f" at line {line}" if line is not None else ""
-        loc += f", col {col}" if col is not None else ""
+    Carries one or more :class:`Diagnostic` objects under
+    ``.diagnostics`` — a recovering parse reports *all* the errors it
+    found, not just the first.  ``.line``/``.col`` point at the first
+    diagnostic (backward compatibility), ``.code`` is its stable error
+    code, and :meth:`render` prints every diagnostic with a caret
+    snippet (``.source`` is attached by the frontend when known).
+    """
+
+    def __init__(self, message: str | None = None,
+                 line: int | None = None, col: int | None = None, *,
+                 diagnostics: "tuple[Diagnostic, ...] | list" = (),
+                 source: str | None = None):
+        if not diagnostics:
+            span = SourceSpan(line, col if col is not None else 1) \
+                if line is not None else None
+            diagnostics = (Diagnostic("dsl-error", message or "DSL error",
+                                      span),)
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+        self.source = source
+        first = self.diagnostics[0]
+        if message is None:
+            if len(self.diagnostics) == 1:
+                message = first.message
+            else:
+                message = (f"{len(self.diagnostics)} errors: "
+                           + "; ".join(d.describe()
+                                       for d in self.diagnostics))
+        explicit_loc = line is not None
+        if line is None and first.span is not None:
+            line, col = first.span.line, first.span.col
+        loc = ""
+        if line is not None and (explicit_loc or len(self.diagnostics) == 1):
+            loc = f" at line {line}"
+            if col is not None:
+                loc += f", col {col}"
         super().__init__(message + loc)
         self.line = line
         self.col = col
+
+    @property
+    def code(self) -> str:
+        """Stable machine code of the first diagnostic."""
+        return self.diagnostics[0].code
+
+    def render(self, source: str | None = None) -> str:
+        """Every diagnostic rendered with caret snippets."""
+        src = source if source is not None else self.source
+        return "\n".join(d.render(src) for d in self.diagnostics)

@@ -346,7 +346,17 @@ class _Fingerprinter:
 
 
 def fingerprint_stream(stream: Stream) -> tuple[bytes, bool]:
-    """(content digest, single_use) of a stream graph."""
+    """(content digest, single_use) of a stream graph.
+
+    Graphs elaborated from DSL source via the fingerprinting loader
+    carry a precomputed ``_source_fingerprint`` — the digest of the
+    (source text, top, args) triple — which short-circuits the walk:
+    the source fingerprint *is* the cache key, so recompiling the same
+    program hits the plan cache without re-hashing the graph.
+    """
+    cached = getattr(stream, "_source_fingerprint", None)
+    if cached is not None:
+        return cached
     fp = _Fingerprinter()
     fp.stream(stream)
     return fp.h.digest(), fp.single_use

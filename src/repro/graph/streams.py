@@ -293,3 +293,34 @@ def construct_counts(stream: Stream) -> dict[str, int]:
 def pipeline(*children: Stream, name: str = "pipeline") -> Pipeline:
     """Convenience constructor mirroring StreamIt's ``add`` syntax."""
     return Pipeline(children, name=name)
+
+
+def clone_stream(stream: Stream) -> Stream:
+    """A structurally identical copy sharing no mutable state.
+
+    Work-function IR is immutable and shared; filter field stores (the
+    mutable part — state scalars and numpy arrays) are copied.  This is
+    what lets the DSL loader cache one elaborated graph and hand every
+    caller a fresh instance: running one clone never perturbs another.
+    """
+    import copy
+
+    if isinstance(stream, Filter):
+        fields = {k: (v.copy() if hasattr(v, "copy") else v)
+                  for k, v in stream.fields.items()}
+        return Filter(stream.name, stream.work, stream.prework, fields,
+                      stream.mutable_fields)
+    if isinstance(stream, Pipeline):
+        return Pipeline([clone_stream(c) for c in stream.children],
+                        name=stream.name)
+    if isinstance(stream, SplitJoin):
+        return SplitJoin(stream.splitter,
+                         [clone_stream(c) for c in stream.children],
+                         stream.joiner, name=stream.name)
+    if isinstance(stream, FeedbackLoop):
+        return FeedbackLoop(clone_stream(stream.body),
+                            clone_stream(stream.loop),
+                            stream.joiner, stream.splitter,
+                            stream.enqueued, name=stream.name)
+    # PrimitiveFilter subclasses carry arbitrary Python state
+    return copy.deepcopy(stream)

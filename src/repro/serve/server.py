@@ -412,8 +412,10 @@ class StreamServer:
             else:
                 graph = program
         elif "dsl" in spec:
-            from ..dsl import compile_source
-            graph = compile_source(spec["dsl"], spec.get("top"))
+            from ..dsl import load_source
+            args = spec.get("args") or ()
+            graph = load_source(spec["dsl"], spec.get("top"), *args,
+                                fingerprint=True)
             label = getattr(graph, "name", "dsl")
         else:
             raise ProtocolError(

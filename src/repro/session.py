@@ -497,10 +497,18 @@ class StreamSession:
             self._journal_cost = snap.cost
 
 
-def compile(stream: Stream, *, backend: str = "plan",
+def compile(stream: Stream | str, *, top: str | None = None, args=(),
+            backend: str = "plan",
             optimize: str = "none", profiler: Profiler | None = None,
             chunk_outputs: int | None = None) -> StreamSession:
     """Compile ``stream`` once into a resumable :class:`StreamSession`.
+
+    ``stream`` is either a stream graph or DSL source text: a string
+    parses and elaborates through the cached DSL frontend (``top``
+    selects the stream to instantiate, default the last declared;
+    ``args`` are its instantiation arguments), and the source
+    fingerprint becomes the plan-cache key — recompiling the same
+    program text hits the cache without re-hashing the graph.
 
     ``backend`` is one of ``"interp"`` / ``"compiled"`` / ``"plan"``
     (default — the vectorized engine; graphs it cannot batch fall back
@@ -513,6 +521,12 @@ def compile(stream: Stream, *, backend: str = "plan",
     (default: a fresh :class:`Profiler`, exposed as
     ``session.profile``).
     """
+    if isinstance(stream, str):
+        from .dsl import load_source
+        stream = load_source(stream, top, *args, fingerprint=True)
+    elif top is not None or args:
+        raise TypeError("top/args only apply when compiling DSL source "
+                        "text")
     if profiler is None:
         profiler = Profiler()
     return StreamSession(stream, backend=backend, optimize=optimize,

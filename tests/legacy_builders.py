@@ -1,0 +1,881 @@
+"""The original Python graph builders for all twelve benchmarks.
+
+These are the hand-written ``FilterBuilder`` constructions that used to
+live under ``repro.apps``.  The apps are now elaborated from canonical
+``.str`` DSL sources; this module preserves the builder versions
+verbatim as the baseline for the DSL-vs-builder differential tests
+(``test_app_dsl_differential.py``): each DSL-elaborated app must match
+its builder graph bitwise on the scalar backends and to 1e-9 (with an
+identical FLOP count) on the plan backend.
+
+Only names were adjusted for the flat module (per-app prefixes where
+apps used the same identifier); every expression tree is unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                                 RoundRobin, SplitJoin)
+from repro.ir import FilterBuilder, call
+from repro.runtime.builtins import Collector
+
+# ---------------------------------------------------------------------------
+# common
+# ---------------------------------------------------------------------------
+
+
+def lowpass_coeffs(gain: float, cutoff: float, taps: int) -> list[float]:
+    offset = taps // 2
+    coeffs = []
+    for i in range(taps):
+        idx = i + 1
+        if idx == offset:
+            coeffs.append(gain * cutoff / math.pi)
+        else:
+            coeffs.append(gain * math.sin(cutoff * (idx - offset))
+                          / (math.pi * (idx - offset)))
+    return coeffs
+
+
+def highpass_coeffs(gain: float, ws: float, taps: int) -> list[float]:
+    low = lowpass_coeffs(1.0, ws, taps)
+    coeffs = [-gain * c for c in low]
+    center = taps // 2 - 1
+    coeffs[center] += gain
+    return coeffs
+
+
+def fir_filter(name: str, coeffs, decimation: int = 0) -> Filter:
+    n = len(coeffs)
+    pop = 1 + decimation
+    f = FilterBuilder(name, peek=max(n, pop), pop=pop, push=1)
+    h = f.const_array("h", coeffs)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + h[i] * f.peek(i))
+        f.push(s)
+        with f.loop("i", 0, pop):
+            f.pop()
+    return f.build()
+
+
+def low_pass_filter(gain: float, cutoff: float, taps: int,
+                    decimation: int = 0,
+                    name: str = "LowPassFilter") -> Filter:
+    return fir_filter(name, lowpass_coeffs(gain, cutoff, taps), decimation)
+
+
+def high_pass_filter(gain: float, ws: float, taps: int,
+                     name: str = "HighPassFilter") -> Filter:
+    return fir_filter(name, highpass_coeffs(gain, ws, taps))
+
+
+def band_pass_filter(gain: float, ws: float, wp: float,
+                     taps: int, name: str = "BandPassFilter") -> Pipeline:
+    return Pipeline([
+        low_pass_filter(1.0, wp, taps),
+        high_pass_filter(gain, ws, taps),
+    ], name=name)
+
+
+def band_stop_filter(gain: float, wp: float, ws: float,
+                     taps: int, name: str = "BandStopFilter") -> Pipeline:
+    return Pipeline([
+        SplitJoin(Duplicate(),
+                  [low_pass_filter(gain, wp, taps),
+                   high_pass_filter(gain, ws, taps)],
+                  RoundRobin((1, 1)), name=f"{name}.split"),
+        adder(2),
+    ], name=name)
+
+
+def compressor(m: int, name: str | None = None) -> Filter:
+    f = FilterBuilder(name or f"Compressor({m})", peek=m, pop=m, push=1)
+    with f.work():
+        f.push(f.pop_expr())
+        with f.loop("i", 0, m - 1):
+            f.pop()
+    return f.build()
+
+
+def expander(l: int, name: str | None = None) -> Filter:
+    f = FilterBuilder(name or f"Expander({l})", peek=1, pop=1, push=l)
+    with f.work():
+        f.push(f.pop_expr())
+        with f.loop("i", 0, l - 1):
+            f.push(0.0)
+    return f.build()
+
+
+def adder(n: int, name: str | None = None) -> Filter:
+    f = FilterBuilder(name or f"Adder({n})", peek=n, pop=n, push=1)
+    with f.work():
+        s = f.local("sum", 0.0)
+        with f.loop("i", 0, n) as i:
+            f.assign(s, s + f.peek(i))
+        f.push(s)
+        with f.loop("i", 0, n):
+            f.pop()
+    return f.build()
+
+
+def float_diff(name: str = "FloatDiff") -> Filter:
+    f = FilterBuilder(name, peek=2, pop=2, push=1)
+    with f.work():
+        f.push(f.peek(0) - f.peek(1))
+        f.pop()
+        f.pop()
+    return f.build()
+
+
+def float_dup(name: str = "FloatDup") -> Filter:
+    f = FilterBuilder(name, peek=1, pop=1, push=2)
+    with f.work():
+        v = f.local("val", f.pop_expr())
+        f.push(v)
+        f.push(v)
+    return f.build()
+
+
+def delay(name: str = "Delay") -> Filter:
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    with f.prework(peek=0, pop=0, push=1):
+        f.push(0.0)
+    with f.work():
+        f.push(f.pop_expr())
+    return f.build()
+
+
+def ramp_source(period: int = 16, name: str = "FloatSource") -> Filter:
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    idx = f.state("idx", 0)
+    data = f.const_array("inputs", [float(i) for i in range(period)])
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % period)
+    return f.build()
+
+
+def cosine_source(w: float, name: str = "SampledSource") -> Filter:
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    n = f.state("n", 0)
+    wc = f.const("w", w)
+    with f.work():
+        f.push(call("cos", wc * n))
+        f.assign(n, n + 1)
+    return f.build()
+
+
+def multi_sine_source(name: str = "DataSource", size: int = 100) -> Filter:
+    values = []
+    for i in range(size):
+        t = float(i)
+        values.append(math.sin(2 * math.pi * t / size)
+                      + math.sin(2 * math.pi * 1.7 * t / size + math.pi / 3)
+                      + math.sin(2 * math.pi * 2.1 * t / size + math.pi / 5))
+    f = FilterBuilder(name, peek=0, pop=0, push=1)
+    data = f.const_array("data", values)
+    idx = f.state("index", 0)
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % size)
+    return f.build()
+
+
+def printer(name: str = "FloatPrinter") -> Collector:
+    return Collector(name)
+
+
+# ---------------------------------------------------------------------------
+# FIR
+# ---------------------------------------------------------------------------
+
+
+def fir_build(taps: int = 256) -> Pipeline:
+    return Pipeline([
+        ramp_source(),
+        low_pass_filter(1.0, math.pi / 3, taps),
+        printer(),
+    ], name="FIRProgram")
+
+
+# ---------------------------------------------------------------------------
+# RateConvert
+# ---------------------------------------------------------------------------
+
+
+def ratec_build(taps: int = 300) -> Pipeline:
+    return Pipeline([
+        cosine_source(math.pi / 10),
+        Pipeline([
+            expander(2),
+            low_pass_filter(3.0, math.pi / 3, taps),
+            compressor(3),
+        ], name="converter"),
+        printer(),
+    ], name="SamplingRateConverter")
+
+
+# ---------------------------------------------------------------------------
+# TargetDetect
+# ---------------------------------------------------------------------------
+
+
+def _matched_coeffs(kind: int, n: int) -> list[float]:
+    coeffs = []
+    for i in range(n):
+        pos = float(i)
+        if kind == 1:  # triangle minus mean
+            v = (pos * 2 / n) if pos < n / 2 else (2 - pos * 2 / n)
+            coeffs.append(v - 0.5)
+        elif kind == 2:  # half sine, shifted
+            coeffs.append(math.sin(math.pi * pos / n) / (2 * math.pi) - 1.0)
+        elif kind == 3:  # full sine (zero mean)
+            coeffs.append(math.sin(2 * math.pi * pos / n) / (2 * math.pi))
+        else:  # time-reversed ramp
+            coeffs.append(0.0)
+    if kind == 4:
+        for i in range(n):
+            coeffs[n - 1 - i] = 0.5 * (float(i) / n - 0.5)
+    return coeffs
+
+
+def target_source(n: int) -> Filter:
+    f = FilterBuilder("TargetSource", peek=0, pop=0, push=1)
+    pos = f.state("currentPosition", 0)
+    nn = f.const("N", n)
+    with f.work():
+        v = f.local("v", 0.0)
+        in_target = f.if_((pos >= nn).logical_and(pos < 2 * nn))
+        with in_target:
+            tri = f.local("tri", 0.0)
+            f.assign(tri, pos - nn)
+            first_half = f.if_(tri < nn / 2)
+            with first_half:
+                f.assign(v, tri * 2.0 / nn)
+            with first_half.otherwise():
+                f.assign(v, 2.0 - tri * 2.0 / nn)
+        f.push(v)
+        f.assign(pos, (pos + 1) % (4 * nn))
+    return f.build()
+
+
+def threshold_detector(number: int, threshold: float) -> Filter:
+    f = FilterBuilder(f"ThresholdDetector{number}", peek=1, pop=1, push=1)
+    with f.work():
+        t = f.local("t", f.pop_expr())
+        cond = f.if_(t > threshold)
+        with cond:
+            f.push(float(number))
+        with cond.otherwise():
+            f.push(0.0)
+    return f.build()
+
+
+def td_build(n: int = 300, threshold: float = 8.0) -> Pipeline:
+    branches = [
+        Pipeline([
+            fir_filter(f"MatchedFilter{k}", _matched_coeffs(k, n)),
+            threshold_detector(k, threshold),
+        ], name=f"branch{k}")
+        for k in (1, 2, 3, 4)
+    ]
+    return Pipeline([
+        target_source(n),
+        SplitJoin(Duplicate(), branches, RoundRobin((1, 1, 1, 1)),
+                  name="TargetDetectSplitJoin"),
+        printer(),
+    ], name="TargetDetect")
+
+
+# ---------------------------------------------------------------------------
+# FMRadio
+# ---------------------------------------------------------------------------
+
+SAMPLING_RATE = 200_000.0
+CUTOFF_FREQUENCY = 108_000_000.0
+MAX_AMPLITUDE = 27_000.0
+BANDWIDTH = 10_000.0
+
+
+def _fm_lowpass_coeffs(rate: float, cutoff: float, taps: int) -> list[float]:
+    pi = math.pi
+    m = taps - 1
+    if cutoff == 0.0:
+        raw = [0.54 - 0.46 * math.cos(2 * pi * i / m) for i in range(taps)]
+        total = sum(raw)
+        return [c / total for c in raw]
+    w = 2 * pi * cutoff / rate
+    coeffs = []
+    for i in range(taps):
+        if i - m / 2 == 0:
+            coeffs.append(w / pi)
+        else:
+            coeffs.append(
+                math.sin(w * (i - m / 2)) / pi / (i - m / 2)
+                * (0.54 - 0.46 * math.cos(2 * pi * i / m)))
+    return coeffs
+
+
+def fm_lowpass(rate: float, cutoff: float, taps: int, decimation: int,
+               name: str) -> Filter:
+    return fir_filter(name, _fm_lowpass_coeffs(rate, cutoff, taps),
+                      decimation=decimation)
+
+
+def fm_demodulator(rate: float, max_amp: float, bandwidth: float) -> Filter:
+    gain = max_amp * rate / (bandwidth * math.pi)
+    f = FilterBuilder("FMDemodulator", peek=2, pop=1, push=1)
+    g = f.const("mGain", gain)
+    with f.work():
+        f.push(g * call("atan", f.peek(0) * f.peek(1)))
+        f.pop()
+    return f.build()
+
+
+def counter_source() -> Filter:
+    f = FilterBuilder("FloatOneSource", peek=0, pop=0, push=1)
+    x = f.state("x", 0.0)
+    with f.work():
+        f.push(x)
+        f.assign(x, x + 1.0)
+    return f.build()
+
+
+def fm_equalizer(rate: float, bands: int = 10, low: float = 55.0,
+                 high: float = 1760.0, taps: int = 64) -> Pipeline:
+    cutoffs = [
+        math.exp(i * (math.log(high) - math.log(low)) / bands
+                 + math.log(low))
+        for i in range(1, bands)
+    ]
+    inner = SplitJoin(
+        Duplicate(),
+        [Pipeline([
+            fm_lowpass(rate, c, taps, 0, f"LowPass@{c:.0f}Hz"),
+            float_dup(),
+         ], name=f"EqualizerInnerPipeline{i}")
+         for i, c in enumerate(cutoffs)],
+        RoundRobin(tuple([2] * len(cutoffs))),
+        name="EqualizerInnerSplitJoin")
+    outer = SplitJoin(
+        Duplicate(),
+        [fm_lowpass(rate, high, taps, 0, "LowPassHigh"),
+         inner,
+         fm_lowpass(rate, low, taps, 0, "LowPassLow")],
+        RoundRobin((1, (bands - 1) * 2, 1)),
+        name="EqualizerSplitJoin")
+    return Pipeline([
+        outer,
+        float_diff(),
+        adder(bands, name=f"FloatNAdder({bands})"),
+    ], name="Equalizer")
+
+
+def fmradio_build(bands: int = 10, taps: int = 64) -> Pipeline:
+    return Pipeline([
+        counter_source(),
+        Pipeline([
+            fm_lowpass(SAMPLING_RATE, CUTOFF_FREQUENCY, taps, 4,
+                       "FrontLowPass"),
+            fm_demodulator(SAMPLING_RATE, MAX_AMPLITUDE, BANDWIDTH),
+            fm_equalizer(SAMPLING_RATE, bands=bands, taps=taps),
+        ], name="FMRadio"),
+        printer(),
+    ], name="LinkedFMTest")
+
+
+# ---------------------------------------------------------------------------
+# Radar
+# ---------------------------------------------------------------------------
+
+
+def _radar_coeffs(seed: int, n: int) -> list[float]:
+    return [math.sin(0.7 * seed + 1.3 * k + 0.5) for k in range(n)]
+
+
+def input_generate(channel: int) -> Filter:
+    f = FilterBuilder(f"InputGenerate{channel}", peek=0, pop=0, push=2)
+    n = f.state("n", 0)
+    phase = f.const("phase", 0.25 * channel)
+    with f.work():
+        f.push(call("sin", 0.1 * n + phase))
+        f.push(call("cos", 0.05 * n + phase))
+        f.assign(n, n + 1)
+    return f.build()
+
+
+def complex_fir(name: str, taps: int, decimation: int = 1,
+                seed: int = 1) -> Filter:
+    hr = _radar_coeffs(seed, taps)
+    hi = _radar_coeffs(seed + 17, taps)
+    f = FilterBuilder(name, peek=max(2 * taps, 2 * decimation),
+                      pop=2 * decimation, push=2)
+    chr_ = f.const_array("hr", hr)
+    chi = f.const_array("hi", hi)
+    with f.work():
+        re = f.local("re", 0.0)
+        im = f.local("im", 0.0)
+        with f.loop("k", 0, taps) as k:
+            f.assign(re, re + chr_[k] * f.peek(2 * k)
+                     - chi[k] * f.peek(2 * k + 1))
+            f.assign(im, im + chr_[k] * f.peek(2 * k + 1)
+                     + chi[k] * f.peek(2 * k))
+        f.push(re)
+        f.push(im)
+        with f.loop("k", 0, 2 * decimation):
+            f.pop()
+    return f.build()
+
+
+def beamform(beam: int, channels: int) -> Filter:
+    wr = _radar_coeffs(100 + beam, channels)
+    wi = _radar_coeffs(200 + beam, channels)
+    f = FilterBuilder(f"Beamform{beam}", peek=2 * channels,
+                      pop=2 * channels, push=2)
+    cwr = f.const_array("wr", wr)
+    cwi = f.const_array("wi", wi)
+    with f.work():
+        re = f.local("re", 0.0)
+        im = f.local("im", 0.0)
+        with f.loop("c", 0, channels) as c:
+            f.assign(re, re + cwr[c] * f.peek(2 * c)
+                     - cwi[c] * f.peek(2 * c + 1))
+            f.assign(im, im + cwr[c] * f.peek(2 * c + 1)
+                     + cwi[c] * f.peek(2 * c))
+        f.push(re)
+        f.push(im)
+        with f.loop("c", 0, 2 * channels):
+            f.pop()
+    return f.build()
+
+
+def magnitude() -> Filter:
+    f = FilterBuilder("Magnitude", peek=2, pop=2, push=1)
+    with f.work():
+        re = f.local("re", f.pop_expr())
+        im = f.local("im", f.pop_expr())
+        f.push(call("sqrt", re * re + im * im))
+    return f.build()
+
+
+def detector(threshold: float = 0.5) -> Filter:
+    f = FilterBuilder("Detector", peek=1, pop=1, push=1)
+    with f.work():
+        v = f.local("v", f.pop_expr())
+        hit = f.if_(v > threshold)
+        with hit:
+            f.push(v)
+        with hit.otherwise():
+            f.push(0.0)
+    return f.build()
+
+
+def radar_build(channels: int = 12, beams: int = 4, fir1_taps: int = 8,
+                fir2_taps: int = 4, mf_taps: int = 8,
+                decimation: int = 1) -> Pipeline:
+    channel_pipes = [
+        Pipeline([
+            input_generate(c),
+            complex_fir(f"BeamFir1_{c}", fir1_taps, decimation, seed=c),
+            complex_fir(f"BeamFir2_{c}", fir2_taps, 1, seed=c + 31),
+        ], name=f"channel{c}")
+        for c in range(channels)
+    ]
+    channel_sj = SplitJoin(
+        Duplicate(), channel_pipes, RoundRobin(tuple([2] * channels)),
+        name="ChannelSplitJoin")
+    beam_pipes = [
+        Pipeline([
+            beamform(b, channels),
+            complex_fir(f"BeamFirMF_{b}", mf_taps, 1, seed=300 + b),
+            magnitude(),
+            detector(),
+        ], name=f"beam{b}")
+        for b in range(beams)
+    ]
+    beam_sj = SplitJoin(Duplicate(), beam_pipes,
+                        RoundRobin(tuple([1] * beams)),
+                        name="BeamSplitJoin")
+    return Pipeline([
+        channel_sj,
+        beam_sj,
+        printer(),
+    ], name="Radar")
+
+
+# ---------------------------------------------------------------------------
+# FilterBank
+# ---------------------------------------------------------------------------
+
+
+def fb_data_source() -> Filter:
+    f = FilterBuilder("DataSource", peek=0, pop=0, push=1)
+    n = f.state("n", 0)
+    with f.work():
+        f.push(call("cos", (math.pi / 10) * n)
+               + call("cos", (math.pi / 20) * n)
+               + call("cos", (math.pi / 30) * n))
+        f.assign(n, n + 1)
+    return f.build()
+
+
+def process_filter(order: int) -> Filter:
+    f = FilterBuilder(f"ProcessFilter{order}", peek=1, pop=1, push=1)
+    with f.work():
+        f.push(f.pop_expr())
+    return f.build()
+
+
+def processing_pipeline(m: int, i: int, taps: int) -> Pipeline:
+    low = i * math.pi / m
+    high = (i + 1) * math.pi / m
+    return Pipeline([
+        Pipeline([
+            band_pass_filter(1.0, low, high, taps),
+            compressor(m),
+        ], name=f"analysis{i}"),
+        process_filter(i),
+        Pipeline([
+            expander(m),
+            band_stop_filter(float(m), low, high, taps),
+        ], name=f"synthesis{i}"),
+    ], name=f"ProcessingPipeline{i}")
+
+
+def fb_build(m: int = 3, taps: int = 100) -> Pipeline:
+    bank = SplitJoin(
+        Duplicate(),
+        [processing_pipeline(m, i, taps) for i in range(m)],
+        RoundRobin(tuple([1] * m)),
+        name="FilterBankSplitJoin")
+    return Pipeline([
+        fb_data_source(),
+        Pipeline([bank, adder(m)], name="FilterBankPipeline"),
+        printer(),
+    ], name="FilterBank")
+
+
+# ---------------------------------------------------------------------------
+# Vocoder
+# ---------------------------------------------------------------------------
+
+_SOURCE_VALUES = [
+    -0.70867825, 0.9750938, -0.009129746, 0.28532153, -0.42127264,
+    -0.95795095, 0.68976873, 0.99901736, -0.8581795, 0.9863592, 0.909825,
+]
+
+
+def voc_data_source() -> Filter:
+    f = FilterBuilder("DataSource", peek=0, pop=0, push=1)
+    data = f.const_array("x", _SOURCE_VALUES)
+    idx = f.state("index", 0)
+    with f.work():
+        f.push(data[idx])
+        f.assign(idx, (idx + 1) % len(_SOURCE_VALUES))
+    return f.build()
+
+
+def center_clip(lo: float = -0.75, hi: float = 0.75) -> Filter:
+    f = FilterBuilder("CenterClip", peek=1, pop=1, push=1)
+    with f.work():
+        t = f.local("t", f.pop_expr())
+        below = f.if_(t < lo)
+        with below:
+            f.push(lo)
+        with below.otherwise():
+            above = f.if_(t > hi)
+            with above:
+                f.push(hi)
+            with above.otherwise():
+                f.push(t)
+    return f.build()
+
+
+def corr_peak(winsize: int, decimation: int,
+              threshold: float = 0.07) -> Filter:
+    f = FilterBuilder("CorrPeak", peek=winsize, pop=decimation, push=1)
+    thresh = f.const("THRESHOLD", threshold)
+    w = f.const("winsize", winsize)
+    with f.work():
+        maxpeak = f.local("maxpeak", 0.0)
+        with f.loop("i", 0, winsize) as i:
+            s = f.local("sum", 0.0)
+            with f.loop("j", i, winsize) as j:
+                f.assign(s, s + f.peek(i) * f.peek(j))
+            acorr = f.local("ac", s / w)
+            bigger = f.if_(acorr > maxpeak)
+            with bigger:
+                f.assign(maxpeak, acorr)
+        over = f.if_(maxpeak > thresh)
+        with over:
+            f.push(maxpeak)
+        with over.otherwise():
+            f.push(0.0)
+        with f.loop("i", 0, decimation):
+            f.pop()
+    return f.build()
+
+
+def pitch_detector(window: int, decimation: int) -> Pipeline:
+    return Pipeline([center_clip(), corr_peak(window, decimation)],
+                    name="PitchDetector")
+
+
+def filter_decimate(i: int, decimation: int, taps: int,
+                    rate: float = 8000.0) -> Pipeline:
+    ws = 2 * math.pi * 400.0 * i / rate
+    wp = 2 * math.pi * 400.0 * (i + 1) / rate
+    return Pipeline([
+        band_pass_filter(2.0, max(ws, 1e-3), wp, taps),
+        compressor(decimation),
+    ], name=f"FilterDecimate{i}")
+
+
+def vocoder_filter_bank(n: int, decimation: int, taps: int) -> SplitJoin:
+    return SplitJoin(
+        Duplicate(),
+        [filter_decimate(i, decimation, taps) for i in range(n)],
+        RoundRobin(tuple([1] * n)),
+        name="VocoderFilterBank")
+
+
+def vocoder_build(window: int = 100, decimation: int = 50,
+                  n_filters: int = 4, taps: int = 64) -> Pipeline:
+    main = SplitJoin(
+        Duplicate(),
+        [pitch_detector(window, decimation),
+         vocoder_filter_bank(n_filters, decimation, taps)],
+        RoundRobin((1, n_filters)),
+        name="MainSplitjoin")
+    return Pipeline([
+        voc_data_source(),
+        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
+        main,
+        printer(),
+    ], name="ChannelVocoder")
+
+
+def vocoder_echo_build(window: int = 100, decimation: int = 50,
+                       n_filters: int = 4, taps: int = 64,
+                       echo_delay: int = 256,
+                       echo_gain: float = 0.35) -> Pipeline:
+    main = SplitJoin(
+        Duplicate(),
+        [pitch_detector(window, decimation),
+         vocoder_filter_bank(n_filters, decimation, taps)],
+        RoundRobin((1, n_filters)),
+        name="MainSplitjoin")
+    return Pipeline([
+        voc_data_source(),
+        low_pass_filter(1.0, 2 * math.pi * 5000 / 8000, taps),
+        echo_loop(echo_delay, echo_gain, name="VocoderEchoLoop"),
+        main,
+        printer(),
+    ], name="ChannelVocoderEcho")
+
+
+# ---------------------------------------------------------------------------
+# Oversampler
+# ---------------------------------------------------------------------------
+
+
+def oversampler_stages(stages: int = 4, taps: int = 64) -> Pipeline:
+    parts = []
+    for i in range(stages):
+        parts.append(expander(2, name=f"Expander2_{i}"))
+        parts.append(low_pass_filter(2.0, math.pi / 2, taps,
+                                     name=f"LowPass_{i}"))
+    return Pipeline(parts, name="OverSampler")
+
+
+def ov_build(stages: int = 4, taps: int = 64) -> Pipeline:
+    return Pipeline([
+        multi_sine_source(),
+        oversampler_stages(stages, taps),
+        printer(name="DataSink"),
+    ], name="Oversampler")
+
+
+# ---------------------------------------------------------------------------
+# DToA
+# ---------------------------------------------------------------------------
+
+
+def adder_filter() -> Filter:
+    f = FilterBuilder("AdderFilter", peek=2, pop=2, push=1)
+    with f.work():
+        f.push(f.pop_expr() + f.pop_expr())
+    return f.build()
+
+
+def quantizer_and_error() -> Filter:
+    f = FilterBuilder("QuantizerAndError", peek=1, pop=1, push=2)
+    with f.work():
+        v = f.local("inputValue", f.pop_expr())
+        out = f.local("outputValue", 0.0)
+        neg = f.if_(v < 0.0)
+        with neg:
+            f.assign(out, -1.0)
+        with neg.otherwise():
+            f.assign(out, 1.0)
+        f.push(out)
+        f.push(out - v)
+    return f.build()
+
+
+def noise_shaper() -> FeedbackLoop:
+    body = Pipeline([adder_filter(), quantizer_and_error()],
+                    name="shaper_body")
+    return FeedbackLoop(
+        body=body,
+        loop=delay(),
+        joiner=RoundRobin((1, 1)),
+        splitter=RoundRobin((1, 1)),
+        enqueued=[0.0],
+        name="NoiseShaper")
+
+
+def dtoa_build(stages: int = 4, taps: int = 64,
+               out_taps: int = 256) -> Pipeline:
+    return Pipeline([
+        multi_sine_source(),
+        oversampler_stages(stages, taps),
+        noise_shaper(),
+        low_pass_filter(1.0, math.pi / 100, out_taps),
+        printer(name="DataSink"),
+    ], name="OneBitDToA")
+
+
+# ---------------------------------------------------------------------------
+# Echo
+# ---------------------------------------------------------------------------
+
+ECHO_DELAY = 1024
+ECHO_GAIN = 0.6
+
+
+def echo_add(name: str = "EchoAdd") -> Filter:
+    f = FilterBuilder(name, peek=2, pop=2, push=2)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        fb = f.local("fb", f.pop_expr())
+        y = f.local("y", x + fb)
+        f.push(y)
+        f.push(y)
+    return f.build()
+
+
+def echo_damp(gain: float, name: str = "EchoDamp") -> Filter:
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    g = f.const("g", gain)
+    with f.work():
+        f.push(g * f.pop_expr())
+    return f.build()
+
+
+def echo_loop(delay_: int = ECHO_DELAY, gain: float = ECHO_GAIN,
+              name: str = "EchoLoop") -> FeedbackLoop:
+    return FeedbackLoop(
+        body=echo_add(),
+        loop=echo_damp(gain),
+        joiner=RoundRobin((1, 1)),
+        splitter=RoundRobin((1, 1)),
+        enqueued=[0.0] * delay_,
+        name=name)
+
+
+def echo_build(delay_: int = ECHO_DELAY, gain: float = ECHO_GAIN,
+               taps: int = 64) -> Pipeline:
+    return Pipeline([
+        ramp_source(),
+        low_pass_filter(1.0, math.pi / 3, taps),
+        echo_loop(delay_, gain),
+        printer(),
+    ], name="EchoProgram")
+
+
+def echo_build_kw(delay: int = ECHO_DELAY, gain: float = ECHO_GAIN,
+                  taps: int = 64) -> Pipeline:
+    return echo_build(delay, gain, taps)
+
+
+# ---------------------------------------------------------------------------
+# IIR
+# ---------------------------------------------------------------------------
+
+DEFAULT_SECTIONS = (
+    (0.2929, 0.5858, 0.2929, 0.0000, -0.1716),
+    (0.1867, 0.3734, 0.1867, 0.4629, -0.2097),
+    (0.3913, -0.7826, 0.3913, 0.3695, -0.1958),
+)
+
+DC_BLOCK_R = 0.995
+
+
+def biquad(b0: float, b1: float, b2: float, a1: float, a2: float,
+           name: str = "Biquad") -> Filter:
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    cb0 = f.const("b0", b0)
+    cb1 = f.const("b1", b1)
+    cb2 = f.const("b2", b2)
+    ca1 = f.const("a1", a1)
+    ca2 = f.const("a2", a2)
+    s1 = f.state("s1", 0.0)
+    s2 = f.state("s2", 0.0)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        y = f.local("y", cb0 * x + s1)
+        f.assign(s1, cb1 * x + ca1 * y + s2)
+        f.assign(s2, cb2 * x + ca2 * y)
+        f.push(y)
+    return f.build()
+
+
+def dc_blocker(r: float = DC_BLOCK_R, name: str = "DCBlocker") -> Filter:
+    f = FilterBuilder(name, peek=1, pop=1, push=1)
+    cr = f.const("r", r)
+    s = f.state("s", 0.0)
+    with f.work():
+        x = f.local("x", f.pop_expr())
+        y = f.local("y", x + s)
+        f.assign(s, cr * y - x)
+        f.push(y)
+    return f.build()
+
+
+def iir_cascade(sections=DEFAULT_SECTIONS,
+                name: str = "BiquadCascade") -> Pipeline:
+    stages: list[Filter] = [dc_blocker()]
+    stages += [biquad(*coeffs, name=f"Biquad{i}")
+               for i, coeffs in enumerate(sections)]
+    return Pipeline(stages, name=name)
+
+
+def iir_build(sections=DEFAULT_SECTIONS) -> Pipeline:
+    return Pipeline([
+        ramp_source(),
+        iir_cascade(sections),
+        printer(),
+    ], name="IIRProgram")
+
+
+#: name -> legacy build() for the differential tests; signatures match
+#: the DSL-backed ``repro.apps`` registry.
+LEGACY_BENCHMARKS = {
+    "FIR": fir_build,
+    "RateConvert": ratec_build,
+    "TargetDetect": td_build,
+    "FMRadio": fmradio_build,
+    "Radar": radar_build,
+    "FilterBank": fb_build,
+    "Vocoder": vocoder_build,
+    "Oversampler": ov_build,
+    "DToA": dtoa_build,
+    "Echo": echo_build_kw,
+    "VocoderEcho": vocoder_echo_build,
+    "IIR": iir_build,
+}

@@ -1,0 +1,116 @@
+"""DSL-elaborated apps vs the original Python builders, differentially.
+
+The benchmark suite's single source of truth is now the ``.str`` DSL
+under ``src/repro/apps/dsl/``; the hand-written ``FilterBuilder``
+versions live on in ``tests/legacy_builders.py`` as the baseline.  The
+contract for every app, at the suite's small test parameters:
+
+* **interp** and **compiled** outputs are *bitwise* identical — the
+  elaborator lowers the DSL to the same IR expression trees (including
+  constant-folded parameter arithmetic), so scalar evaluation is
+  float-for-float the same program;
+* **plan** outputs agree to 1e-9 (batched kernels may reassociate) and
+  the total FLOP count is *exactly* equal — the linear extractor sees
+  matrices of the same shape and sparsity either way.
+
+A final test checks the fingerprint path: compiling the same DSL source
+text twice hits the plan cache without re-planning.
+"""
+
+import numpy as np
+import pytest
+
+import legacy_builders
+from repro.apps import BENCHMARKS
+from repro.exec import clear_plan_cache, plan_cache_stats
+from repro.profiling import Profiler
+from repro.runtime import run_graph
+from repro.session import compile as compile_session
+
+#: Small-but-structured parameters (mirrors test_apps.SMALL_PARAMS).
+SMALL_PARAMS = {
+    "FIR": dict(taps=32),
+    "RateConvert": dict(taps=48),
+    "TargetDetect": dict(n=24),
+    "FMRadio": dict(bands=4, taps=16),
+    "Radar": dict(channels=4, beams=2, fir1_taps=4, fir2_taps=2,
+                  mf_taps=4, decimation=1),
+    "FilterBank": dict(m=3, taps=12),
+    "Vocoder": dict(window=16, decimation=8, n_filters=3, taps=12),
+    "Oversampler": dict(stages=3, taps=16),
+    "DToA": dict(stages=2, taps=12, out_taps=24),
+    "Echo": dict(delay=24, gain=0.5, taps=16),
+    "VocoderEcho": dict(window=16, decimation=8, n_filters=3, taps=12,
+                        echo_delay=16),
+    "IIR": {},
+}
+
+APPS = sorted(SMALL_PARAMS)
+
+
+def _n_out(name: str) -> int:
+    return 16 if name == "Radar" else 32
+
+
+def _plan_outputs_and_flops(program, n):
+    profiler = Profiler()
+    session = compile_session(program, backend="plan", profiler=profiler)
+    return session.run(n), profiler.counts.flops
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_scalar_backends_bitwise(name):
+    params = SMALL_PARAMS[name]
+    n = _n_out(name)
+    legacy = legacy_builders.LEGACY_BENCHMARKS[name](**params)
+    for backend in ("interp", "compiled"):
+        dsl = BENCHMARKS[name](**params)
+        assert run_graph(dsl, n, backend=backend) == \
+            run_graph(legacy, n, backend=backend), \
+            f"{name}: {backend} outputs diverge from the legacy builder"
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_plan_backend_close_and_flops_exact(name):
+    params = SMALL_PARAMS[name]
+    n = _n_out(name)
+    dsl_out, dsl_flops = _plan_outputs_and_flops(
+        BENCHMARKS[name](**params), n)
+    legacy_out, legacy_flops = _plan_outputs_and_flops(
+        legacy_builders.LEGACY_BENCHMARKS[name](**params), n)
+    np.testing.assert_allclose(dsl_out, legacy_out, rtol=0, atol=1e-9)
+    assert dsl_flops == legacy_flops, \
+        f"{name}: plan FLOPs {dsl_flops} != legacy {legacy_flops}"
+
+
+def test_structure_matches_legacy():
+    """Same construct census either way — the elaborated graphs carry
+    the same shape the builders produced, not just the same outputs."""
+    from repro.graph import construct_counts
+
+    for name, params in SMALL_PARAMS.items():
+        dsl = construct_counts(BENCHMARKS[name](**params))
+        legacy = construct_counts(
+            legacy_builders.LEGACY_BENCHMARKS[name](**params))
+        assert dsl == legacy, f"{name}: construct counts diverge"
+
+
+def test_dsl_source_recompile_hits_plan_cache():
+    """The same source text is the same plan: ``repro.compile(src)``
+    twice plans once (the source fingerprint is the cache key)."""
+    import repro
+    from repro.apps._loader import dsl_source
+
+    src = dsl_source("common", "fir")
+    clear_plan_cache()
+    try:
+        first = repro.compile(src, top="FIRProgram", args=(16,)).run(32)
+        assert plan_cache_stats()["hits"] == 0
+        again = repro.compile(src, top="FIRProgram", args=(16,)).run(32)
+        assert np.array_equal(again, first)
+        assert plan_cache_stats()["hits"] >= 1
+        # different args -> different fingerprint -> a fresh plan
+        repro.compile(src, top="FIRProgram", args=(24,)).run(32)
+        assert plan_cache_stats()["entries"] >= 2
+    finally:
+        clear_plan_cache()

@@ -167,3 +167,71 @@ def test_rate_changer_configs_equivalent():
     for config in ("linear", "freq", "autosel"):
         got = run_graph(build_config(fresh(), config), 40)
         np.testing.assert_allclose(got, base, atol=1e-8, err_msg=config)
+
+
+class TestBenchDSL:
+    """``--dsl``: benchmark arbitrary DSL sources through the same
+    measurement machinery as the named apps."""
+
+    @staticmethod
+    def _app_dsl(name):
+        import os
+
+        from repro.apps._loader import DSL_DIR
+        return os.path.join(DSL_DIR, name + ".str")
+
+    def test_dsl_mode_measures_the_elaborated_program(self, capsys):
+        import json
+
+        from repro.bench import main as bench_main
+
+        assert bench_main(["--dsl", self._app_dsl("common"),
+                           "--dsl", self._app_dsl("fir"),
+                           "--top", "FIRProgram", "--dsl-args", "32",
+                           "--outputs", "256"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["app"] == "FIRProgram"
+        assert rec["outputs"] == 256
+        # a 32-tap FIR is one multiply and one add per tap per output
+        assert rec["flops_per_output"] == 64.0
+
+    def test_dsl_mode_applies_configs(self, capsys):
+        import json
+
+        from repro.bench import main as bench_main
+
+        argv = ["--dsl", self._app_dsl("common"),
+                "--dsl", self._app_dsl("fir"),
+                "--top", "FIRProgram", "--dsl-args", "32",
+                "--outputs", "256", "--backend", "compiled"]
+        assert bench_main(argv) == 0
+        original = json.loads(capsys.readouterr().out)
+        assert bench_main(argv + ["--config", "linear"]) == 0
+        linear = json.loads(capsys.readouterr().out)
+        assert linear["mults"] <= original["mults"]
+
+    def test_dsl_parse_error_renders_diagnostics(self, tmp_path, capsys):
+        from repro.bench import main as bench_main
+
+        bad = tmp_path / "bad.str"
+        bad.write_text("float->float filter F {\n"
+                       "    work pop 1 push 1 {\n"
+                       "        float x = pop()\n"
+                       "    }\n"
+                       "}\n")
+        assert bench_main(["--dsl", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error[dsl-expected]" in err
+        assert "^" in err  # caret snippet, not just a message
+
+    def test_dsl_flag_validation(self):
+        from repro.bench import main as bench_main
+
+        for argv in ([],                              # neither mode
+                     ["--app", "fir", "--dsl", "x"],  # both modes
+                     ["--app", "fir", "--top", "X"],
+                     ["--app", "fir", "--dsl-args", "1"],
+                     ["--dsl", "x.str", "--serve"]):
+            with pytest.raises(SystemExit) as exc:
+                bench_main(argv)
+            assert exc.value.code == 2
