@@ -46,11 +46,13 @@ Benchmark CLI::
     python -m repro.bench --app fir --chunked          # push-session mode
 """
 
-from . import (errors, exec, faults, graph, ir, linear, runtime, serve,
-               session)
+from . import (errors, exec, faults, graph, ir, linear, numeric, runtime,
+               serve, session)
+from .numeric import DEFAULT_POLICY, POLICIES, NumericPolicy, resolve_policy
 from .session import StreamSession, compile
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
-__all__ = ["errors", "exec", "graph", "ir", "linear", "runtime", "serve",
-           "session", "StreamSession", "compile", "__version__"]
+__all__ = ["errors", "exec", "graph", "ir", "linear", "numeric", "runtime",
+           "serve", "session", "StreamSession", "compile", "NumericPolicy",
+           "POLICIES", "DEFAULT_POLICY", "resolve_policy", "__version__"]

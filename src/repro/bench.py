@@ -29,6 +29,7 @@ from .frequency import maximal_frequency_replacement
 from .graph.streams import Filter, PrimitiveFilter, Stream, walk
 from .linear import LinearNode, analyze, maximal_linear_replacement
 from .linear.combine import LinearityMap, replace_with
+from .numeric import DTYPE_CHOICES, resolve_policy
 from .profiling import NullProfiler, Profiler
 from .redundancy import RedundancyEliminationFilter
 from .runtime import run_graph
@@ -120,7 +121,7 @@ class Measurement:
 
 def measure(program: Stream, config: str, n_outputs: int,
             backend: str = "compiled",
-            optimize: str = "none") -> Measurement:
+            optimize: str = "none", dtype=None) -> Measurement:
     """Build one configuration and measure FLOPs and wall time.
 
     ``optimize`` is the rewrite axis (independent of ``config``, which
@@ -131,17 +132,22 @@ def measure(program: Stream, config: str, n_outputs: int,
     schedule simulation are paid at ``compile`` time, outside the timer
     (for repeated plan measurements the plan cache makes even that
     one-time cost a hit).
+
+    ``dtype`` selects the session's numeric policy (``"f32"``, ...):
+    the plan backend computes natively in that dtype, scalar backends
+    cast at the session boundary.
     """
     from .session import compile as compile_session
 
     stream = build_config(program, config)
     if optimize != "none" and backend != "plan":
         from .exec import optimize_stream
-        stream = optimize_stream(stream, optimize)
+        stream = optimize_stream(stream, optimize,
+                                 policy=resolve_policy(dtype))
         optimize = "none"
     profiler = Profiler()
     counting = compile_session(stream, backend=backend, optimize=optimize,
-                               profiler=profiler)
+                               profiler=profiler, dtype=dtype)
     counting.run(n_outputs)
     # separate timing session (profiling overhead excluded; plan setup
     # and scalar flattening excluded — compile happens before the timer).
@@ -149,7 +155,7 @@ def measure(program: Stream, config: str, n_outputs: int,
     # configs time in microseconds, where a single cold sample is
     # noise-dominated (lazily compiled work functions, allocator state).
     timed = compile_session(stream, backend=backend, optimize=optimize,
-                            profiler=NullProfiler())
+                            profiler=NullProfiler(), dtype=dtype)
     timed.run(min(n_outputs, 256))  # warmup advance
     t0 = time.perf_counter()
     timed.run(n_outputs)
@@ -183,7 +189,8 @@ DEFAULT_SERVE_OUTPUTS = 4096
 
 def measure_chunked(program: Stream, config: str, n_outputs: int,
                     backend: str = "plan", optimize: str = "none",
-                    chunk_size: int = DEFAULT_CHUNK_SIZE) -> Measurement:
+                    chunk_size: int = DEFAULT_CHUNK_SIZE,
+                    dtype=None) -> Measurement:
     """Measure a push session fed fixed-size input chunks.
 
     The program's source/Collector harness is stripped
@@ -199,13 +206,14 @@ def measure_chunked(program: Stream, config: str, n_outputs: int,
     source, body = split_app(stream)
     if optimize != "none" and backend != "plan":
         from .exec import optimize_stream
-        body = optimize_stream(body, optimize)
+        body = optimize_stream(body, optimize,
+                               policy=resolve_policy(dtype))
         optimize = "none"
 
     # pregenerate input: enough source values to cover n_outputs at the
     # session's input/output rate, measured on a short probe push
     probe = compile_session(body, backend=backend, optimize=optimize,
-                            profiler=NullProfiler())
+                            profiler=NullProfiler(), dtype=dtype)
     fed = 0
     got = 0
     while got < max(64, n_outputs // 100):
@@ -227,10 +235,10 @@ def measure_chunked(program: Stream, config: str, n_outputs: int,
 
     profiler = Profiler()
     counting = compile_session(body, backend=backend, optimize=optimize,
-                               profiler=profiler)
+                               profiler=profiler, dtype=dtype)
     produced = push_all(counting)
     timed = compile_session(body, backend=backend, optimize=optimize,
-                            profiler=NullProfiler())
+                            profiler=NullProfiler(), dtype=dtype)
     t0 = time.perf_counter()
     push_all(timed)
     seconds = time.perf_counter() - t0
@@ -254,12 +262,14 @@ def speedup_percent(t_before: float, t_after: float) -> float:
 
 
 def _measurement_record(app: str, config: str, backend: str,
-                        m: Measurement, optimize: str = "none") -> dict:
+                        m: Measurement, optimize: str = "none",
+                        dtype=None) -> dict:
     return {
         "app": app,
         "config": config,
         "backend": backend,
         "optimize": optimize,
+        "dtype": resolve_policy(dtype).name,
         "outputs": m.outputs,
         "flops": m.flops,
         "mults": m.mults,
@@ -318,6 +328,7 @@ def main(argv=None) -> int:
         python -m repro.bench --app filterbank --compare
         python -m repro.bench --app radar --config linear --backend plan
         python -m repro.bench --app fir --backend plan --optimize auto
+        python -m repro.bench --app fir --compare --dtype f32
         python -m repro.bench --app radar --plan-report --optimize auto
         python -m repro.bench --dsl examples/fir_bench.str --outputs 4096
         python -m repro.bench --dsl src/repro/apps/dsl/common.str \\
@@ -369,6 +380,9 @@ def main(argv=None) -> int:
     parser.add_argument("--optimize", default=None, choices=OPTIMIZE_MODES,
                         help="pre-plan rewrite mode passed to run_graph "
                              "(default: none)")
+    parser.add_argument("--dtype", default=None, choices=DTYPE_CHOICES,
+                        help="numeric policy for every measured session "
+                             "(default: f64)")
     parser.add_argument("--compare", action="store_true",
                         help="measure the full backend x optimize matrix "
                              "and report speedups")
@@ -429,6 +443,9 @@ def main(argv=None) -> int:
                      "with --compare/--chunked/--plan-report")
     if args.clients is not None and not args.serve:
         parser.error("--clients requires --serve")
+    if args.dtype is not None and args.serve:
+        parser.error("--serve load-tests the float64 wire default; it "
+                     "conflicts with --dtype")
     if args.chaos and not args.serve:
         parser.error("--chaos requires --serve")
     if args.clients is not None and args.clients < 1:
@@ -520,10 +537,12 @@ def main(argv=None) -> int:
         chunk_size = (args.chunk_size if args.chunk_size is not None
                       else DEFAULT_CHUNK_SIZE)
         batch = measure(make_program(), args.config, n_outputs,
-                        backend=backend, optimize=optimize)
+                        backend=backend, optimize=optimize,
+                        dtype=args.dtype)
         chunked = measure_chunked(make_program(), args.config,
                                   n_outputs, backend=backend,
-                                  optimize=optimize, chunk_size=chunk_size)
+                                  optimize=optimize, chunk_size=chunk_size,
+                                  dtype=args.dtype)
         # throughput ratio: >= 1.0 means chunked streaming is at least
         # as fast per output as the batch session
         ratio = (batch.seconds_per_output
@@ -533,11 +552,14 @@ def main(argv=None) -> int:
             "config": args.config,
             "backend": backend,
             "optimize": optimize,
+            "dtype": resolve_policy(args.dtype).name,
             "chunk_size": chunk_size,
             "batch": _measurement_record(app_name, args.config, backend,
-                                         batch, optimize=optimize),
+                                         batch, optimize=optimize,
+                                         dtype=args.dtype),
             "chunked": _measurement_record(app_name, args.config, backend,
-                                           chunked, optimize=optimize),
+                                           chunked, optimize=optimize,
+                                           dtype=args.dtype),
             "chunked_vs_batch": round(ratio, 3),
         }
         print(json.dumps(result))
@@ -549,9 +571,10 @@ def main(argv=None) -> int:
         for backend in ("compiled", "plan"):
             for mode in OPTIMIZE_MODES:
                 m = measure(make_program(), args.config, n_outputs,
-                            backend=backend, optimize=mode)
+                            backend=backend, optimize=mode,
+                            dtype=args.dtype)
                 rec = _measurement_record(app_name, args.config, backend, m,
-                                          optimize=mode)
+                                          optimize=mode, dtype=args.dtype)
                 cells.append(rec)
                 by[(backend, mode)] = rec
 
@@ -565,6 +588,7 @@ def main(argv=None) -> int:
             "app": app_name,
             "config": args.config,
             "outputs": n_outputs,
+            "dtype": resolve_policy(args.dtype).name,
             "cells": cells,
             "flops_equal": base["flops"] == plan["flops"],
             "speedup": ratio(base, plan),
@@ -573,9 +597,9 @@ def main(argv=None) -> int:
         }
     else:
         m = measure(make_program(), args.config, n_outputs,
-                    backend=backend, optimize=optimize)
+                    backend=backend, optimize=optimize, dtype=args.dtype)
         result = _measurement_record(app_name, args.config, backend, m,
-                                     optimize=optimize)
+                                     optimize=optimize, dtype=args.dtype)
     print(json.dumps(result))
     return 0
 

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.streams import Pipeline, Stream
+from ..numeric import DTYPE_CHOICES, resolve_policy
 from ..runtime import run_graph
 from ..runtime.builtins import Collector
 from .elaborator import compile_source
@@ -455,22 +456,46 @@ def generate(seed: int, max_depth: int = 3) -> FuzzProgram:
                        pop=pop, push=push, census=dict(gen.census))
 
 
+def _wrap(program: FuzzProgram) -> Pipeline:
+    graph = compile_source(program.source, program.top)
+    return Pipeline(list(graph.children) + [Collector("FuzzSink")],
+                    name=graph.name)
+
+
 def _run(program: FuzzProgram, n_outputs: int, backend: str,
          optimize: str = "none") -> list[float]:
-    graph = compile_source(program.source, program.top)
-    wrapped = Pipeline(list(graph.children) + [Collector("FuzzSink")],
-                       name=graph.name)
-    return run_graph(wrapped, n_outputs, backend=backend,
+    return run_graph(_wrap(program), n_outputs, backend=backend,
                      optimize=optimize)
 
 
+def _run_typed(program: FuzzProgram, n_outputs: int, optimize: str,
+               policy) -> np.ndarray:
+    """Plan-backend run under a non-default numeric policy."""
+    from ..session import StreamSession
+
+    session = StreamSession(_wrap(program), backend="plan",
+                            optimize=optimize, dtype=policy,
+                            _program_mode=True)
+    try:
+        return np.asarray(session._advance_raw(n_outputs),
+                          dtype=policy.dtype)
+    finally:
+        session.close()
+
+
 def check_program(program: FuzzProgram, n_outputs: int = 64,
-                  optimize: str = "none") -> Mismatch | None:
+                  optimize: str = "none", dtype=None) -> Mismatch | None:
     """Run one program through all three backends; ``None`` means OK.
 
     ``optimize`` additionally reruns the plan backend with that rewrite
     pipeline (at the same 1e-9 tolerance) when not ``"none"``.
+
+    ``dtype`` additionally runs the plan backend under that numeric
+    policy and compares against the float64 interp reference at the
+    policy's documented tolerances (``policy.rtol``/``policy.atol``) —
+    the differential contract of reduced-precision execution.
     """
+    policy = resolve_policy(dtype)
     try:
         reference = _run(program, n_outputs, "interp")
     except Exception:
@@ -498,19 +523,36 @@ def check_program(program: FuzzProgram, n_outputs: int = 64,
                                         - np.asarray(reference))))
             return Mismatch(program, f"diverge:plan/{mode}",
                             f"interp vs plan max|delta| = {delta!r}")
+        if not policy.is_default:
+            try:
+                typed = _run_typed(program, n_outputs, mode, policy)
+            except Exception:
+                return Mismatch(program, f"run:plan/{mode}/{policy.name}",
+                                traceback.format_exc())
+            ref = np.asarray(reference, dtype=np.float64)
+            if not np.allclose(typed.astype(np.complex128
+                                            if policy.is_complex
+                                            else np.float64), ref,
+                               rtol=policy.rtol, atol=policy.atol):
+                delta = float(np.max(np.abs(typed - ref)))
+                return Mismatch(
+                    program, f"diverge:plan/{mode}/{policy.name}",
+                    f"interp(f64) vs plan({policy.name}) "
+                    f"max|delta| = {delta!r} "
+                    f"(rtol={policy.rtol}, atol={policy.atol})")
     return None
 
 
 def run_fuzz(count: int, seed: int = 0, max_depth: int = 3,
              n_outputs: int = 64, optimize: str = "none",
-             stop_on_first: bool = True,
+             dtype=None, stop_on_first: bool = True,
              progress=None) -> list[Mismatch]:
     """Fuzz ``count`` programs; return every mismatch found."""
     mismatches: list[Mismatch] = []
     for i in range(count):
         program = generate(seed * 1_000_003 + i, max_depth=max_depth)
         bad = check_program(program, n_outputs=n_outputs,
-                            optimize=optimize)
+                            optimize=optimize, dtype=dtype)
         if bad is not None:
             mismatches.append(bad)
             if stop_on_first:
@@ -537,12 +579,24 @@ def main(argv=None) -> int:
                         choices=("none", "linear", "freq", "auto"),
                         help="also differentially test this rewrite "
                              "pipeline under the plan backend")
+    parser.add_argument("--dtype", default=None, choices=DTYPE_CHOICES,
+                        help="also run the plan backend under this "
+                             "numeric policy, compared to the float64 "
+                             "interp reference at the policy's "
+                             "tolerances (real policies only: the "
+                             "fuzzer's nonlinear constructs — atan, "
+                             "clips — are undefined on complex samples; "
+                             "complex policies are covered by the "
+                             "linear-app differential suite)")
     parser.add_argument("--keep-going", action="store_true",
                         help="report every mismatch instead of stopping "
                              "at the first")
     parser.add_argument("--print-source", action="store_true",
                         help="dump each generated program to stdout")
     args = parser.parse_args(argv)
+    if args.dtype is not None and resolve_policy(args.dtype).is_complex:
+        parser.error("--dtype must be a real policy (f32/f64): the "
+                     "fuzzer generates nonlinear real-valued programs")
 
     census: dict[str, int] = {}
 
@@ -559,6 +613,7 @@ def main(argv=None) -> int:
                           max_depth=args.max_depth,
                           n_outputs=args.outputs,
                           optimize=args.optimize,
+                          dtype=args.dtype,
                           stop_on_first=not args.keep_going,
                           progress=progress)
     if mismatches:

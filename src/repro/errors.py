@@ -152,18 +152,22 @@ class CompileOptionError(ReproError, ValueError):
 
 
 class ChunkDtypeError(ReproError, TypeError):
-    """A pushed chunk has a dtype that cannot feed a float stream.
+    """A pushed chunk has a dtype that cannot feed the stream.
 
-    ``push``/``feed`` accept real numeric chunks (float/int/bool arrays
-    or sequences); complex, string, object, and other non-castable
-    dtypes raise this instead of whatever ``np.asarray`` would.
+    ``push``/``feed`` accept numeric chunks castable to the session's
+    numeric policy: float/int/bool arrays or sequences (plus complex
+    under a complex policy); string, object, and other non-castable
+    dtypes — and complex data into a real-dtype session — raise this
+    instead of whatever ``np.asarray`` would.
     """
 
-    def __init__(self, dtype):
+    def __init__(self, dtype, complex_ok: bool = False):
         self.dtype = dtype
+        allowed = ("float/int/bool/complex" if complex_ok
+                   else "float/int/bool")
         super().__init__(
-            f"chunk dtype {dtype!s} is not a real numeric type; "
-            "push/feed require float-convertible data (float/int/bool)")
+            f"chunk dtype {dtype!s} cannot feed this stream; "
+            f"push/feed require {allowed}-convertible data")
 
 
 class SessionClosedError(ReproError, RuntimeError):

@@ -57,6 +57,7 @@ from .. import faults as _faults
 from ..graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                              PrimitiveFilter, RoundRobin, SplitJoin, Stream)
 from ..ir.printer import work_to_str
+from ..numeric import DEFAULT_POLICY, NumericPolicy
 
 _UNSET = object()  # bailout not yet computed
 
@@ -412,6 +413,9 @@ class PlanEntry:
     #: cache's LRU trim so a long-lived session's plan is never dropped
     #: out from under it while recompiles churn the cache
     pins: int = 0
+    #: numeric policy the plan was built for; part of the cache key (a
+    #: float32 plan's rings and spectra must never serve a float64 run)
+    policy: NumericPolicy = DEFAULT_POLICY
 
     def acquire(self) -> "PlanEntry":
         """Register a live holder (a session); pairs with :meth:`release`."""
@@ -425,7 +429,8 @@ class PlanEntry:
 
 
 class PlanCache:
-    """LRU cache of :class:`PlanEntry` keyed by (fingerprint, optimize).
+    """LRU cache of :class:`PlanEntry` keyed by
+    (fingerprint, optimize, dtype).
 
     Structure mutations hold a lock — the serving layer compiles on
     worker threads against this one shared cache.  Entry *contents*
@@ -441,7 +446,8 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
 
-    def entry_for(self, stream: Stream, optimize: str) -> PlanEntry:
+    def entry_for(self, stream: Stream, optimize: str,
+                  policy: NumericPolicy = DEFAULT_POLICY) -> PlanEntry:
         if _faults.ACTIVE is not None:
             _faults.ACTIVE.fire("cache.lookup")
         digest, single_use = fingerprint_stream(stream)
@@ -451,16 +457,16 @@ class PlanCache:
                 # later in-place mutation would replay a stale plan), and
                 # drop any entry a pre-fix fingerprint may have left behind
                 self.misses += 1
-                self._entries.pop((digest, optimize), None)
-                return PlanEntry(pin=stream)
-            key = (digest, optimize)
+                self._entries.pop((digest, optimize, policy.name), None)
+                return PlanEntry(pin=stream, policy=policy)
+            key = (digest, optimize, policy.name)
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return entry
             self.misses += 1
-            entry = PlanEntry(pin=stream)
+            entry = PlanEntry(pin=stream, policy=policy)
             self._entries[key] = entry
             self._trim()
             return entry

@@ -29,6 +29,7 @@ import numpy as np
 
 from .. import faults as _faults
 from ..errors import InterpError
+from ..numeric import DEFAULT_POLICY, NumericPolicy
 from ..profiling import Counts, Profiler
 
 
@@ -55,25 +56,34 @@ class MatmulStep(Step):
 
     def __init__(self, ring_in, ring_out, A: np.ndarray, b: np.ndarray,
                  peek: int, pop: int, push: int, counts: Counts,
-                 profiler: Profiler, filter_name: str | None = None):
+                 profiler: Profiler, filter_name: str | None = None,
+                 policy: NumericPolicy = DEFAULT_POLICY):
         self.ring_in = ring_in
         self.ring_out = ring_out
-        self.A = np.ascontiguousarray(A[::-1])  # row i <=> peek(i)
-        self.b = np.asarray(b, dtype=float)
+        # row i <=> peek(i); stored in the policy dtype so the product
+        # computes natively in it (f32 GEMM, complex GEMM, ...)
+        self.A = np.ascontiguousarray(A[::-1], dtype=policy.dtype)
+        self.b = np.asarray(b, dtype=policy.dtype)
         self.has_b = bool(np.any(self.b != 0.0))
         self.peek = peek
         self.pop = pop
         self.push = push
-        self.counts = counts
+        self.counts = policy.adjust_counts(counts)
         self.profiler = profiler
         self.filter_name = filter_name
         # pop == push == 1 (an n-tap sliding filter, the FIR shape):
         # consecutive windows overlap in all but one element, and BLAS
         # forces a dense (n, peek) copy of the strided view first — a
         # 1-D correlation computes the same column without materializing
-        # the window matrix (~5x on a 256-tap FIR)
-        self._taps = (np.ascontiguousarray(self.A[:, 0])
-                      if pop == 1 and push == 1 and peek >= 1 else None)
+        # the window matrix (~5x on a 256-tap FIR).  np.correlate
+        # conjugates its second argument, so complex taps are
+        # pre-conjugated to keep the plain product semantics.
+        taps = None
+        if pop == 1 and push == 1 and peek >= 1:
+            taps = np.ascontiguousarray(self.A[:, 0])
+            if policy.is_complex:
+                taps = np.conj(taps)
+        self._taps = taps
 
     def execute(self, n: int) -> None:
         if _faults.ACTIVE is not None:
@@ -112,13 +122,26 @@ _STATEFUL_LIFT_ELEMS = 1 << 14
 _STATEFUL_MAX_BLOCK = 128
 
 
-def stateful_block_length(pop: int, push: int) -> int:
+def stateful_block_length(pop: int, push: int,
+                          policy: NumericPolicy | None = None) -> int:
     """Lifted block length of :class:`StatefulLinearStep` for a node
     with the given rates — the single source of truth, also used by the
-    selection cost model to price the per-block state carry."""
+    selection cost model to price the per-block state carry.
+
+    With a calibration cache present (:mod:`repro.exec.calibrate`), the
+    analytic ~128 cap is replaced by the block length the scan
+    microbenchmark actually measured fastest for the policy dtype; the
+    ``1/sqrt(pop*push)`` scaling is kept either way.  FLOP accounting is
+    block-size independent, so calibration never perturbs profiles.
+    """
+    cap = _STATEFUL_MAX_BLOCK
+    from .calibrate import active_calibration
+    cal = active_calibration()
+    if cal is not None:
+        name = (policy or DEFAULT_POLICY).name
+        cap = cal.stateful_block.get(name, cap)
     ou = max(1, pop * push)
-    return max(1, min(_STATEFUL_MAX_BLOCK,
-                      int((_STATEFUL_LIFT_ELEMS / ou) ** 0.5)))
+    return max(1, min(cap, int((cap * cap / ou) ** 0.5)))
 
 
 class StatefulLinearStep(Step):
@@ -149,15 +172,17 @@ class StatefulLinearStep(Step):
     kind = "stateful"
 
     def __init__(self, ring_in, ring_out, node, counts: Counts,
-                 profiler: Profiler, filter_name: str | None = None):
+                 profiler: Profiler, filter_name: str | None = None,
+                 policy: NumericPolicy = DEFAULT_POLICY):
         self.ring_in = ring_in
         self.ring_out = ring_out
         self.node = node
-        self.s = node.s0.copy()
-        self.counts = counts
+        self.policy = policy
+        self.s = np.asarray(node.s0, dtype=policy.dtype).copy()
+        self.counts = policy.adjust_counts(counts)
         self.profiler = profiler
         self.filter_name = filter_name
-        self.block = stateful_block_length(node.pop, node.push)
+        self.block = stateful_block_length(node.pop, node.push, policy)
         self._lifted: dict[int, tuple] = {}
 
     def _lift(self, b: int) -> tuple:
@@ -166,15 +191,16 @@ class StatefulLinearStep(Step):
             from ..linear.state import expand_stateful
 
             ex = expand_stateful(self.node, b)
+            dt = self.policy.dtype
             # pre-reverse rows like MatmulStep: window rows are
             # [peek(0)..peek(E-1)], the lifted matrices use x-convention
             pack = (ex.peek, ex.pop, ex.push,
-                    np.ascontiguousarray(ex.Ax[::-1]),
-                    np.ascontiguousarray(ex.As),
-                    ex.bx,
-                    np.ascontiguousarray(ex.Cx[::-1]),
-                    np.ascontiguousarray(ex.Cs),
-                    ex.bs)
+                    np.ascontiguousarray(ex.Ax[::-1], dtype=dt),
+                    np.ascontiguousarray(ex.As, dtype=dt),
+                    np.asarray(ex.bx, dtype=dt),
+                    np.ascontiguousarray(ex.Cx[::-1], dtype=dt),
+                    np.ascontiguousarray(ex.Cs, dtype=dt),
+                    np.asarray(ex.bs, dtype=dt))
             self._lifted[b] = pack
         return pack
 
@@ -189,7 +215,7 @@ class StatefulLinearStep(Step):
         if k:
             drive = X @ Cxr
             drive += bs
-            S = np.empty((blocks, k))
+            S = np.empty((blocks, k), dtype=self.policy.dtype)
             s = self.s
             for i in range(blocks):
                 S[i] = s
@@ -231,15 +257,16 @@ class NaiveFreqStep(Step):
 
     kind = "freq-naive"
 
-    def __init__(self, ring_in, ring_out, filt, profiler: Profiler):
+    def __init__(self, ring_in, ring_out, filt, profiler: Profiler,
+                 policy: NumericPolicy = DEFAULT_POLICY):
         self.ring_in = ring_in
         self.ring_out = ring_out
-        self.kernel = filt.kernel
+        self.kernel = filt.kernel.for_policy(policy)
         self.e, self.m, self.u = filt.e, filt.m, filt.u
-        self.b_push = filt.b_push
+        self.b_push = np.asarray(filt.b_push, dtype=policy.dtype)
         counts = filt.kernel.counts_per_block.copy()
         counts.fadd += int(np.count_nonzero(filt.b_push)) * filt.m
-        self.counts = counts
+        self.counts = policy.adjust_counts(counts)
         self.profiler = profiler
         self.name = filt.name
         self.rows = max(1, _MAX_FFT_BLOCK_ELEMS
@@ -274,20 +301,22 @@ class OptimizedFreqStep(Step):
 
     kind = "freq-opt"
 
-    def __init__(self, ring_in, ring_out, filt, profiler: Profiler):
+    def __init__(self, ring_in, ring_out, filt, profiler: Profiler,
+                 policy: NumericPolicy = DEFAULT_POLICY):
         self.ring_in = ring_in
         self.ring_out = ring_out
-        self.kernel = filt.kernel
+        self.kernel = filt.kernel.for_policy(policy)
+        self.policy = policy
         self.e, self.m, self.u, self.r = filt.e, filt.m, filt.u, filt.r
-        self.b_push = filt.b_push
+        self.b_push = np.asarray(filt.b_push, dtype=policy.dtype)
         b_adds = int(np.count_nonzero(filt.b_push))
         init_counts = filt.kernel.counts_per_block.copy()
         init_counts.fadd += b_adds * filt.m
         steady_counts = filt.kernel.counts_per_block.copy()
         steady_counts.fadd += b_adds * filt.r
         steady_counts.fadd += filt.u * (filt.e - 1)
-        self.init_counts = init_counts
-        self.steady_counts = steady_counts
+        self.init_counts = policy.adjust_counts(init_counts)
+        self.steady_counts = policy.adjust_counts(steady_counts)
         self.profiler = profiler
         self.name = filt.name
         self.partials: np.ndarray | None = None
@@ -310,7 +339,7 @@ class OptimizedFreqStep(Step):
                 self.profiler.add_counts(self.init_counts,
                                          filter_name=self.name)
                 if k > 1:
-                    out = np.empty((k - 1, r, u))
+                    out = np.empty((k - 1, r, u), dtype=self.policy.dtype)
                     out[:, :e - 1] = y[1:, :e - 1] + tails[:-1] + self.b_push
                     out[:, e - 1:] = mids[1:]
                     self.ring_out.push_array(out.reshape(-1))
@@ -318,7 +347,7 @@ class OptimizedFreqStep(Step):
                                              filter_name=self.name)
             else:
                 prev = np.concatenate([self.partials[None], tails[:-1]])
-                out = np.empty((k, r, u))
+                out = np.empty((k, r, u), dtype=self.policy.dtype)
                 out[:, :e - 1] = y[:, :e - 1] + prev + self.b_push
                 out[:, e - 1:] = mids
                 self.ring_out.push_array(out.reshape(-1))

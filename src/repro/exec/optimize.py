@@ -36,8 +36,13 @@ from ..graph.streams import Stream
 OPTIMIZE_MODES = ("none", "linear", "freq", "auto")
 
 
-def optimize_stream(stream: Stream, mode: str) -> Stream:
-    """Apply one named optimization mode to ``stream`` (non-destructive)."""
+def optimize_stream(stream: Stream, mode: str, policy=None) -> Stream:
+    """Apply one named optimization mode to ``stream`` (non-destructive).
+
+    ``policy`` (a :class:`~repro.numeric.NumericPolicy` or None) only
+    affects ``auto``: the selection DP consults the calibration cache
+    for that dtype's measured throughputs when one is present.
+    """
     if mode == "none":
         return stream
     # deferred: the passes pull in linear/frequency/selection machinery
@@ -50,6 +55,6 @@ def optimize_stream(stream: Stream, mode: str) -> Stream:
     if mode == "auto":
         from ..selection.dp import select_optimizations
         return select_optimizations(stream, cost_model="batched",
-                                    stateful=True).stream
+                                    stateful=True, policy=policy).stream
     raise ValueError(
         f"unknown optimize mode {mode!r} (expected one of {OPTIMIZE_MODES})")

@@ -80,6 +80,7 @@ from ..linear.filters import ConstantSourceFilter, LinearFilter
 from ..linear.matmul import blas_cost_counts, direct_cost_counts
 from ..linear.state import (StatefulLinearFilter, StatefulLinearNode,
                             stateful_cost_counts)
+from ..numeric import DEFAULT_POLICY, NumericPolicy, resolve_policy
 from ..profiling import Counts, NullProfiler, Profiler
 from ..runtime.builtins import (ChunkSource, Collector, FunctionSource,
                                 Identity, ListSource)
@@ -431,10 +432,14 @@ class PlanExecutor:
     def __init__(self, flat: FlatGraph,
                  chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
                  decisions: dict | None = None,
-                 island_rates: dict | None = None):
+                 island_rates: dict | None = None,
+                 policy: NumericPolicy = DEFAULT_POLICY):
         self.flat = flat
         self.profiler = flat.profiler
         self.chunk_outputs = chunk_outputs
+        #: numeric policy: rings are allocated and kernels compute in this
+        #: dtype (float64 default — the seed behavior, bit for bit)
+        self.policy = policy
 
         # per-filter vectorization decisions: node index -> (params, reason).
         # Passed in from the plan cache on a hit (skips extraction/probing);
@@ -467,7 +472,8 @@ class PlanExecutor:
                 idx = len(self.rings)
                 self._chan_ids[key] = idx
                 self.rings.append(RingBuffer(ch.name,
-                                             prefill=ch.snapshot()))
+                                             prefill=ch.snapshot(),
+                                             dtype=policy.dtype))
             return idx
 
         self._out_chan = ring_of(flat.output_channel)
@@ -491,7 +497,8 @@ class PlanExecutor:
                 # the loop joiner reads externals through a private gate
                 # ring so the island cannot outrun its simulated schedule
                 gate = len(self.rings)
-                self.rings.append(RingBuffer(f"{node.name}.gate"))
+                self.rings.append(RingBuffer(f"{node.name}.gate",
+                                             dtype=policy.dtype))
                 island_gates[i] = gate
                 in_ids = [gate] + in_ids[1:]
             raw_in_ids.append(in_ids)
@@ -629,9 +636,11 @@ class PlanExecutor:
                 ln, counts = params
                 if isinstance(ln, StatefulLinearNode):
                     return K.StatefulLinearStep(rin(), rout(), ln, counts,
-                                                self.profiler)
+                                                self.profiler,
+                                                policy=self.policy)
                 return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek,
-                                    ln.pop, ln.push, counts, self.profiler)
+                                    ln.pop, ln.push, counts, self.profiler,
+                                    policy=self.policy)
             self.fallback_reasons[index] = reason
             return K.FallbackStep(node, rin(), rout())
         # primitives
@@ -639,18 +648,21 @@ class PlanExecutor:
             snode = s.stateful_node
             return K.StatefulLinearStep(rin(), rout(), snode,
                                         stateful_cost_counts(snode),
-                                        self.profiler, filter_name=s.name)
+                                        self.profiler, filter_name=s.name,
+                                        policy=self.policy)
         if isinstance(s, LinearFilter):
             ln = s.linear_node
             counts = (blas_cost_counts(ln) if s.backend == "blas"
                       else direct_cost_counts(ln))
             return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek, ln.pop,
                                 ln.push, counts, self.profiler,
-                                filter_name=s.name)
+                                filter_name=s.name, policy=self.policy)
         if isinstance(s, NaiveFreqFilter):
-            return K.NaiveFreqStep(rin(), rout(), s, self.profiler)
+            return K.NaiveFreqStep(rin(), rout(), s, self.profiler,
+                                   policy=self.policy)
         if isinstance(s, OptimizedFreqFilter):
-            return K.OptimizedFreqStep(rin(), rout(), s, self.profiler)
+            return K.OptimizedFreqStep(rin(), rout(), s, self.profiler,
+                                       policy=self.policy)
         if isinstance(s, Collector):
             return K.CollectorStep(rin(), node.runner.collected)
         if isinstance(s, ChunkSource):
@@ -1052,7 +1064,7 @@ class PlanExecutor:
 def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
                       optimize: str = "none", cache=None, traces=True,
-                      seed=None):
+                      seed=None, dtype=None):
     """Compile ``stream``; return ``(executor, entry)``.
 
     The full pipeline: rewrite the graph per ``optimize``
@@ -1082,18 +1094,19 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
     ``traces=False`` skips installing schedule-trace record/replay hooks
     (push sessions, whose input arrives incrementally, use this).
     """
+    policy = resolve_policy(dtype)
     if cache is None:
         cache = PLAN_CACHE
     if cache is False:
-        opt = optimize_stream(stream, optimize)
+        opt = optimize_stream(stream, optimize, policy=policy)
         flat = FlatGraph(opt, profiler, backend="compiled")
         rates: dict = {}
         if plan_bailout_reason(opt, flat, island_rates=rates) is not None:
             return flat, None
         return PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            island_rates=rates), None
+                            island_rates=rates, policy=policy), None
 
-    entry = cache.entry_for(stream, optimize)
+    entry = cache.entry_for(stream, optimize, policy=policy)
     if seed is not None and seed is not entry:
         # decision/island maps key on flattened node indices — identical
         # content means identical structure means identical indices
@@ -1104,7 +1117,7 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
         if entry.decisions is None and seed.decisions is not None:
             entry.decisions = seed.decisions
     if entry.optimized is None:
-        entry.optimized = optimize_stream(stream, optimize)
+        entry.optimized = optimize_stream(stream, optimize, policy=policy)
     flat = FlatGraph(entry.optimized, profiler, backend="compiled")
     if entry.bailout is _UNSET:
         rates = {}
@@ -1116,7 +1129,7 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
         return flat, entry
     executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
                             decisions=entry.decisions,
-                            island_rates=entry.islands)
+                            island_rates=entry.islands, policy=policy)
     if entry.decisions is None:
         entry.decisions = executor.decisions
     if entry.islands is None:
@@ -1131,11 +1144,11 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
 
 def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
-                      optimize: str = "none", cache=None):
+                      optimize: str = "none", cache=None, dtype=None):
     """Compile ``stream`` into a :class:`PlanExecutor` — see
     :func:`compiled_plan_for` (this drops the cache entry)."""
     return compiled_plan_for(stream, profiler, chunk_outputs=chunk_outputs,
-                             optimize=optimize, cache=cache)[0]
+                             optimize=optimize, cache=cache, dtype=dtype)[0]
 
 
 def executor_from_entry(entry, profiler: Profiler | None = None,
@@ -1154,7 +1167,8 @@ def executor_from_entry(entry, profiler: Profiler | None = None,
         return flat
     executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
                             decisions=entry.decisions,
-                            island_rates=entry.islands)
+                            island_rates=entry.islands,
+                            policy=getattr(entry, "policy", DEFAULT_POLICY))
     if traces:
         store = entry.traces
         executor._trace_lookup = lambda n: store.get((chunk_outputs, n))

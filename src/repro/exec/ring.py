@@ -25,20 +25,23 @@ _MIN_CAPACITY = 64
 
 
 class RingBuffer:
-    """A FIFO of floats over a contiguous, growable ndarray."""
+    """A FIFO of samples over a contiguous, growable ndarray."""
 
-    __slots__ = ("_buf", "_head", "_tail", "name")
+    __slots__ = ("_buf", "_head", "_tail", "name", "dtype")
 
     def __init__(self, name: str = "", capacity: int = _MIN_CAPACITY,
-                 prefill=None):
+                 prefill=None, dtype=np.float64):
         """``prefill`` seeds the ring with initial items — the cyclic
         back edge of a feedback loop starts life holding the loop's
         ``enqueued`` values, exactly like the scalar executor's channel.
+        ``dtype`` is the storage dtype (the session's numeric policy);
+        everything pushed is cast into it on write.
         """
+        self.dtype = np.dtype(dtype)
         if prefill is not None:
-            prefill = np.asarray(prefill, dtype=np.float64)
+            prefill = np.asarray(prefill, dtype=self.dtype)
             capacity = max(capacity, len(prefill))
-        self._buf = np.empty(max(capacity, _MIN_CAPACITY), dtype=np.float64)
+        self._buf = np.empty(max(capacity, _MIN_CAPACITY), dtype=self.dtype)
         self._head = 0
         self._tail = 0
         self.name = name
@@ -60,7 +63,7 @@ class RingBuffer:
         if need > cap:
             while cap < need:
                 cap *= 2
-            new = np.empty(cap, dtype=np.float64)
+            new = np.empty(cap, dtype=self.dtype)
             new[:live] = self._buf[self._head:self._tail]
             self._buf = new
         else:
@@ -81,7 +84,7 @@ class RingBuffer:
             raise InterpError(f"pop from empty channel {self.name!r}")
         v = self._buf[self._head]
         self._head += 1
-        return float(v)
+        return v.item()
 
     def peek(self, index: int) -> float:
         i = self._head + index
@@ -89,7 +92,7 @@ class RingBuffer:
             raise InterpError(
                 f"peek({index}) beyond channel {self.name!r} "
                 f"(holds {len(self)})")
-        return float(self._buf[i])
+        return self._buf[i].item()
 
     # -- block operations -------------------------------------------------
     def peek_block(self, n: int) -> np.ndarray:
@@ -132,7 +135,7 @@ class RingBuffer:
         return out
 
     def push_block(self, values) -> None:
-        arr = np.asarray(values, dtype=np.float64)
+        arr = np.asarray(values, dtype=self.dtype)
         self.push_array(arr)
 
     def push_array(self, values: np.ndarray) -> None:

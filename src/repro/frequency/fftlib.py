@@ -167,6 +167,9 @@ class FrequencyKernel:
         self.n = n
         self.backend = backend
         self.u = kernels.shape[1]
+        #: time-domain impulse responses, kept so :meth:`for_policy` can
+        #: retransform them into another dtype's FFT path
+        self.kernels = np.asarray(kernels)
         self.H = np.fft.rfft(kernels, n=n, axis=0)  # (n//2+1, u)
         if backend == "fftw":
             per_transform = fftw_counts(n)
@@ -177,6 +180,26 @@ class FrequencyKernel:
         self.counts_per_block = per_transform.scaled(1 + self.u)
         self.counts_per_block.add(
             elementwise_complex_mult_counts(product_points).scaled(self.u))
+        self._typed: dict[str, "_TypedFrequencyKernel"] = {}
+
+    def for_policy(self, policy):
+        """A convolution kernel computing in ``policy``'s dtype.
+
+        The default float64 policy returns ``self`` (the seed behavior,
+        bit for bit).  float32 keeps the real rfft/irfft path but holds
+        ``H`` in complex64, so NumPy's precision-preserving FFT stays in
+        single precision end-to-end; complex policies switch to the full
+        complex fft/ifft pair (a real ``H`` spectrum cannot multiply a
+        complex input's two-sided spectrum).  Typed variants are cached
+        per policy name — the spectra are recomputed once, not per batch.
+        """
+        if policy is None or policy.is_default:
+            return self
+        cached = self._typed.get(policy.name)
+        if cached is None:
+            cached = _TypedFrequencyKernel(self, policy)
+            self._typed[policy.name] = cached
+        return cached
 
     def convolve_block(self, x: np.ndarray) -> np.ndarray:
         """Circular convolution of ``x`` (zero-padded to n) with each kernel.
@@ -198,3 +221,41 @@ class FrequencyKernel:
         X = np.fft.rfft(blocks, n=self.n, axis=1)  # (k, n//2+1)
         Y = X[:, :, None] * self.H[None, :, :]  # (k, n//2+1, u)
         return np.fft.irfft(Y, n=self.n, axis=1)  # (k, n, u)
+
+
+class _TypedFrequencyKernel:
+    """A :class:`FrequencyKernel` view computing in a policy dtype.
+
+    Shares the parent's sizes and analytic counts; only the spectra and
+    the transform pair differ.  NumPy's pocketfft preserves single
+    precision (``rfft(float32) -> complex64``), so the float32 variant
+    is a true single-precision pipeline, not a downcast of f64 results.
+    """
+
+    def __init__(self, parent: FrequencyKernel, policy):
+        self.n = parent.n
+        self.u = parent.u
+        self.backend = parent.backend
+        self.counts_per_block = parent.counts_per_block
+        self._complex = bool(policy.is_complex)
+        kernels = np.asarray(parent.kernels, dtype=policy.dtype)
+        if self._complex:
+            self.H = np.fft.fft(kernels, n=self.n, axis=0)  # (n, u)
+        else:
+            self.H = np.fft.rfft(kernels, n=self.n, axis=0)
+
+    def convolve_block(self, x: np.ndarray) -> np.ndarray:
+        if self._complex:
+            X = np.fft.fft(x, n=self.n)
+            return np.fft.ifft(X[:, None] * self.H, n=self.n, axis=0)
+        X = np.fft.rfft(x, n=self.n)
+        return np.fft.irfft(X[:, None] * self.H, n=self.n, axis=0)
+
+    def convolve_batch(self, blocks: np.ndarray) -> np.ndarray:
+        if self._complex:
+            X = np.fft.fft(blocks, n=self.n, axis=1)
+            Y = X[:, :, None] * self.H[None, :, :]
+            return np.fft.ifft(Y, n=self.n, axis=1)
+        X = np.fft.rfft(blocks, n=self.n, axis=1)
+        Y = X[:, :, None] * self.H[None, :, :]
+        return np.fft.irfft(Y, n=self.n, axis=1)

@@ -41,7 +41,10 @@ _COUNTED_INTRINSICS = frozenset(
 
 
 def _is_float(v) -> bool:
-    return isinstance(v, float)
+    # complex counts as floating for op accounting and promotion: under
+    # a complex numeric policy, scalar evaluation carries complex
+    # samples through the same float-typed DSL expressions
+    return isinstance(v, (float, complex))
 
 
 def _c_int_div(a: int, b: int) -> int:
@@ -105,7 +108,9 @@ class Interpreter:
             self._store(s.target, v, env)
         elif isinstance(s, N.PushS):
             v = self._eval(s.value, env)
-            self._ch_out.push(float(v))
+            # ``* 1.0`` instead of ``float()``: bit-exact for floats,
+            # coerces ints, passes complex through (complex policies)
+            self._ch_out.push(v * 1.0)
             self._pushed += 1
         elif isinstance(s, N.PopS):
             self._ch_in.pop()
@@ -137,7 +142,7 @@ class Interpreter:
                     else np.zeros(s.size, dtype=int)
             elif s.init is not None:
                 v = self._eval(s.init, env)
-                env[s.name] = float(v) if s.ty == "float" else int(v)
+                env[s.name] = v * 1.0 if s.ty == "float" else int(v)
             else:
                 env[s.name] = 0.0 if s.ty == "float" else 0
         else:  # pragma: no cover
@@ -159,8 +164,8 @@ class Interpreter:
 
     @staticmethod
     def _coerce_like(old, new):
-        if isinstance(old, float):
-            return float(new)
+        if isinstance(old, (float, complex)):
+            return new * 1.0
         if isinstance(old, int) and not isinstance(old, bool):
             return int(new)
         return new

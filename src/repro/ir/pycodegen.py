@@ -180,8 +180,15 @@ class _Emitter:
             else:
                 init = self.expr(s.init) if s.init is not None else (
                     "0.0" if s.ty == "float" else "0")
-                cast = "float" if s.ty == "float" else "int"
-                self.emit(f"{self._name(s.name)} = {cast}({init})", indent)
+                if s.ty == "float":
+                    # ``x * 1.0`` instead of ``float(x)``: bit-exact for
+                    # floats, coerces ints, and passes complex through
+                    # (the plan backend's scalar fallback may carry
+                    # complex samples under a complex numeric policy)
+                    self.emit(f"{self._name(s.name)} = {init} * 1.0",
+                              indent)
+                else:
+                    self.emit(f"{self._name(s.name)} = int({init})", indent)
         elif isinstance(s, N.Assign):
             rhs = self.expr(s.value)
             if isinstance(s.target, N.Var):
@@ -191,7 +198,8 @@ class _Emitter:
                     f"{self._name(s.target.base)}"
                     f"[{self.expr(s.target.index)}] = {rhs}", indent)
         elif isinstance(s, N.PushS):
-            self.emit(f"push(float({self.expr(s.value)}))", indent)
+            # same ``* 1.0`` normalization as float declarations
+            self.emit(f"push({self.expr(s.value)} * 1.0)", indent)
         elif isinstance(s, N.PopS):
             self.emit("pop()", indent)
         elif isinstance(s, N.If):

@@ -69,26 +69,30 @@ class ChunkSource(PrimitiveFilter):
     peek = 0
     push = 1
 
-    def __init__(self, name: str = "ChunkSource"):
+    def __init__(self, name: str = "ChunkSource", dtype=np.float64):
         from ..exec.ring import RingBuffer  # deferred: exec imports us
-        self.buffer = RingBuffer(f"{name}.buffer")
+        self.dtype = np.dtype(dtype)
+        self.buffer = RingBuffer(f"{name}.buffer", dtype=self.dtype)
         self.fed = 0  #: total items ever fed
         self.name = name
 
     def feed(self, values) -> int:
         """Append a chunk; returns the number of items added.
 
-        Accepts real numeric data only: float/int/bool arrays or
-        sequences convert to float64; complex, string, object, and
-        other dtypes raise :class:`~repro.errors.ChunkDtypeError`
-        instead of whatever ``np.asarray`` would.
+        Accepts numeric data castable to the session dtype: float/int/
+        bool arrays or sequences (plus complex for complex policies);
+        string, object, and other dtypes — and complex data pushed into
+        a real-dtype session — raise
+        :class:`~repro.errors.ChunkDtypeError` instead of whatever
+        ``np.asarray`` would.
         """
         from ..errors import ChunkDtypeError
 
         arr = np.asarray(values)
-        if arr.dtype.kind not in "fiub":
-            raise ChunkDtypeError(arr.dtype)
-        arr = arr.astype(np.float64, copy=False).ravel()
+        kinds = "fiubc" if self.dtype.kind == "c" else "fiub"
+        if arr.dtype.kind not in kinds:
+            raise ChunkDtypeError(arr.dtype, complex_ok=self.dtype.kind == "c")
+        arr = arr.astype(self.dtype, copy=False).ravel()
         self.buffer.push_array(arr)
         self.fed += len(arr)
         return len(arr)
@@ -177,15 +181,17 @@ class ArrayCollector(Collector):
     readers slice outputs out as ``np.ndarray``.
     """
 
-    def __init__(self, name: str = "ArrayCollector"):
+    def __init__(self, name: str = "ArrayCollector", dtype=np.float64):
         self.name = name
+        self.dtype = np.dtype(dtype)
 
     def make_runner(self, profiler):
         from .channels import FloatVec
+        dtype = self.dtype
 
         class _Runner:
             def __init__(self):
-                self.collected = FloatVec()
+                self.collected = FloatVec(dtype=dtype)
 
             def fire(self, ch_in, ch_out):
                 self.collected.append(ch_in.pop())

@@ -105,7 +105,8 @@ class Channel:
 
 
 class FloatVec:
-    """A growable float64 vector with list-like collection methods.
+    """A growable numeric vector (float64 by default) with list-like
+    collection methods.
 
     The ndarray-native sink used by
     :class:`~repro.runtime.builtins.ArrayCollector` and the session
@@ -117,10 +118,11 @@ class FloatVec:
     drops into either sink unchanged.
     """
 
-    __slots__ = ("_buf", "_len")
+    __slots__ = ("_buf", "_len", "dtype")
 
-    def __init__(self, capacity: int = 64):
-        self._buf = np.empty(max(capacity, 1), dtype=np.float64)
+    def __init__(self, capacity: int = 64, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        self._buf = np.empty(max(capacity, 1), dtype=self.dtype)
         self._len = 0
 
     def __len__(self) -> int:
@@ -132,7 +134,7 @@ class FloatVec:
         if need > cap:
             while cap < need:
                 cap *= 2
-            new = np.empty(cap, dtype=np.float64)
+            new = np.empty(cap, dtype=self.dtype)
             new[:self._len] = self._buf[:self._len]
             self._buf = new
 
@@ -145,8 +147,9 @@ class FloatVec:
         if isinstance(values, np.ndarray):
             self.extend_array(values)
             return
+        cast = complex if self.dtype.kind == "c" else float
         for v in values:
-            self.append(float(v))
+            self.append(cast(v))
 
     def extend_array(self, values: np.ndarray) -> None:
         """Block append — the fast path batched kernels use."""
@@ -163,7 +166,7 @@ class FloatVec:
             index += self._len
         if not 0 <= index < self._len:
             raise IndexError(index)
-        return float(self._buf[index])
+        return self._buf[index].item()
 
     def array(self) -> np.ndarray:
         """The collected values as one ndarray (copy)."""

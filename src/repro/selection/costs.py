@@ -94,17 +94,42 @@ def batched_direct_cost(node: LinearNode,
 #: Relative per-FLOP cost of the batched FFT path vs the dense BLAS
 #: matmul: rfft -> pointwise complex product -> irfft streams several
 #: large complex temporaries, so its effective throughput per counted
-#: FLOP is a small factor worse than one fused GEMM.
+#: FLOP is a small factor worse than one fused GEMM.  This is the
+#: *analytic fallback*; with a calibration cache present
+#: (:mod:`repro.exec.calibrate`) the measured fft/matmul ns-per-flop
+#: ratio of the actual machine replaces it.
 FFT_THROUGHPUT_PENALTY = 2.0
+
+
+def _fft_penalty(peek: int, fft_size: int, policy=None) -> float:
+    """The FFT-vs-matmul throughput penalty: measured when a calibration
+    for the policy's dtype exists, the modeled constant otherwise."""
+    from ..exec.calibrate import active_calibration  # deferred: no cycle
+
+    cal = active_calibration()
+    if cal is not None:
+        name = policy.name if policy is not None else "f64"
+        ratio = cal.fft_matmul_ratio(name, peek=peek, fft_size=fft_size)
+        if ratio is not None:
+            return ratio
+    return FFT_THROUGHPUT_PENALTY
 
 
 def batched_frequency_cost(node: LinearNode,
                            batch: int = DEFAULT_COST_BATCH,
-                           fft_size: int | None = None) -> float:
-    """Per-firing cost of the plan backend's batched FFT convolution."""
-    per_input = frequency_block_flops(node.peek, node.push, fft_size)
+                           fft_size: int | None = None,
+                           policy=None) -> float:
+    """Per-firing cost of the plan backend's batched FFT convolution.
+
+    The per-flop penalty of the FFT path relative to the dense matmul
+    comes from the calibration cache when one is present for this
+    machine (the empirically-tuned DP the paper argues for), else from
+    the modeled :data:`FFT_THROUGHPUT_PENALTY`.
+    """
+    n = fft_size if fft_size is not None else fft_size_for(node.peek)
+    per_input = frequency_block_flops(node.peek, node.push, n)
     return (FIRING_OVERHEAD / batch
-            + node.pop * per_input * FFT_THROUGHPUT_PENALTY
+            + node.pop * per_input * _fft_penalty(node.peek, n, policy)
             # batched decimator: one strided copy over the discarded items
             + (node.pop - 1) * node.push)
 
@@ -130,14 +155,16 @@ def stateful_direct_cost(node) -> float:
     return FIRING_OVERHEAD + 2.0 * node.push + nnz_b + 3.0 * nnz
 
 
-def batched_stateful_cost(node, batch: int = DEFAULT_COST_BATCH) -> float:
+def batched_stateful_cost(node, batch: int = DEFAULT_COST_BATCH,
+                          policy=None) -> float:
     """Per-firing cost of the lifted stateful kernel: the dense case
     plus the state advance, with the block scan's carry overhead
-    (charged at the block length the kernel will actually use)."""
+    (charged at the block length the kernel will actually use — the
+    calibrated one when a calibration cache is present)."""
     from ..exec.kernels import stateful_block_length  # deferred: no cycle
 
     k = node.state_dim
-    scan_block = stateful_block_length(node.pop, node.push)
+    scan_block = stateful_block_length(node.pop, node.push, policy)
     return (FIRING_OVERHEAD / batch
             + FIRING_OVERHEAD / scan_block  # per-block state carry
             + 2.0 * (node.peek + k) * node.push  # dense output map

@@ -65,7 +65,8 @@ class OptimizationSelector:
     def __init__(self, program: Stream, lmap: LinearityMap | None = None,
                  max_matrix_elems: int = 4_000_000,
                  min_freq_peek: int = 2, cost_model: str = "thesis",
-                 batch: int = DEFAULT_COST_BATCH, stateful: bool = False):
+                 batch: int = DEFAULT_COST_BATCH, stateful: bool = False,
+                 policy=None):
         self.program = program
         self.lmap = lmap if lmap is not None else analyze(program)
         self.max_matrix_elems = max_matrix_elems
@@ -74,14 +75,19 @@ class OptimizationSelector:
         #: optimize="auto"); off by default so the paper's autosel
         #: configuration measures exactly the thesis transformations
         self.stateful = stateful
+        #: numeric policy whose calibrated throughputs the batched model
+        #: consults (None: the default float64 constants)
+        self.policy = policy
         if cost_model == "thesis":
             self._direct_cost = direct_cost
             self._freq_cost = frequency_cost
             self._stateful_cost = stateful_direct_cost
         elif cost_model == "batched":
             self._direct_cost = lambda n: batched_direct_cost(n, batch)
-            self._freq_cost = lambda n: batched_frequency_cost(n, batch)
-            self._stateful_cost = lambda n: batched_stateful_cost(n, batch)
+            self._freq_cost = lambda n: batched_frequency_cost(
+                n, batch, policy=policy)
+            self._stateful_cost = lambda n: batched_stateful_cost(
+                n, batch, policy=policy)
         else:
             raise ValueError(f"unknown cost model {cost_model!r} "
                              "(expected 'thesis' or 'batched')")
@@ -385,7 +391,8 @@ def select_optimizations(program: Stream,
                          max_matrix_elems: int = 4_000_000,
                          cost_model: str = "thesis",
                          batch: int = DEFAULT_COST_BATCH,
-                         stateful: bool = False) \
+                         stateful: bool = False,
+                         policy=None) \
         -> SelectionResult:
     """Run automatic optimization selection on a whole program.
 
@@ -400,7 +407,7 @@ def select_optimizations(program: Stream,
     """
     selector = OptimizationSelector(program, lmap, max_matrix_elems,
                                     cost_model=cost_model, batch=batch,
-                                    stateful=stateful)
+                                    stateful=stateful, policy=policy)
     best = selector.best(program)
     return SelectionResult(stream=best.stream, cost=best.cost,
                            decisions=dict(selector._memo))

@@ -47,6 +47,7 @@ import time
 import numpy as np
 
 from ..errors import ChunkDtypeError, ProtocolError
+from ..numeric import resolve_policy
 from . import protocol as P
 
 __all__ = ["ServeClient", "RETRYABLE"]
@@ -81,6 +82,7 @@ class ServeClient:
         self._jitter = jitter
         self._rng = random.Random(retry_seed)
         self._token: int | None = None  # resume token, when resumable
+        self._policy = None  # session numeric policy (None: float64)
         self._ids = itertools.count(1)  # request ids for RPUSH/RRUN
         self._broken = False  # the transport needs a reconnect
         #: requests re-sent after a retryable failure
@@ -184,19 +186,35 @@ class ServeClient:
             await asyncio.sleep(
                 delay * (1.0 + self._jitter * self._rng.random()))
 
-    @staticmethod
-    def _chunk_bytes(chunk) -> bytes:
+    @property
+    def _tagged(self) -> bool:
+        """Whether this session exchanges dtype-tagged chunk frames."""
+        return self._policy is not None and not self._policy.is_default
+
+    def _chunk_bytes(self, chunk) -> bytes:
         arr = np.asarray(chunk)
+        if self._tagged:
+            kinds = "fiubc" if self._policy.is_complex else "fiub"
+            if arr.dtype.kind not in kinds:
+                raise ChunkDtypeError(arr.dtype,
+                                      complex_ok=self._policy.is_complex)
+            return P.encode_array_tagged(arr, self._policy)
         if arr.dtype.kind not in "fiub":
             raise ChunkDtypeError(arr.dtype)
         return P.encode_array(arr)
+
+    def _decode_reply(self, frame: P.Frame) -> np.ndarray:
+        if frame.kind == P.ARRT:
+            return P.decode_array_tagged(frame.payload,
+                                         expected=self._policy)
+        return frame.array()
 
     # -- session surface ---------------------------------------------------
     async def open(self, *, app: str | None = None,
                    dsl: str | None = None, top: str | None = None,
                    backend: str = "plan", optimize: str = "none",
                    mode: str = "push", params: dict | None = None,
-                   resumable: bool = False) -> None:
+                   resumable: bool = False, dtype=None) -> None:
         """Open a session: a registry app (``app="fir"``) or a DSL
         program (``dsl=source``); ``mode="push"`` strips a registry
         app's source/Collector harness so input arrives via ``push``,
@@ -205,9 +223,21 @@ class ServeClient:
         ``resumable=True`` requests a resume token: the session
         survives disconnects (parked server-side for RESUME) and
         ``push``/``run`` become idempotent — see the module docstring.
+
+        ``dtype`` selects the session's numeric policy (``"f32"``,
+        ``"c64"``, ...).  Non-float64 sessions exchange dtype-tagged
+        chunk frames (PUSHT/FEEDT/ARRT) and are not resumable — the
+        idempotent retry frames are float64-only.
         """
+        policy = resolve_policy(dtype)
+        if resumable and not policy.is_default:
+            raise ProtocolError(
+                "resumable sessions are float64-only (RPUSH/RRUN carry "
+                "untagged f64 payloads)", code="dtype-mismatch")
         spec: dict = {"backend": backend, "optimize": optimize,
                       "mode": mode}
+        if not policy.is_default:
+            spec["dtype"] = policy.name
         if app is not None:
             spec["app"] = app
             if params:
@@ -221,6 +251,7 @@ class ServeClient:
         frame = await self._request(
             P.OPEN, json.dumps(spec).encode("utf-8"),
             retryable=resumable)
+        self._policy = None if policy.is_default else policy
         if resumable:
             self._token = frame.u64()
 
@@ -237,8 +268,9 @@ class ServeClient:
                 P.RPUSH, rid.to_bytes(8, "big") + payload,
                 retryable=True)
         else:
-            frame = await self._request(P.PUSH, payload)
-        return frame.array()
+            frame = await self._request(
+                P.PUSHT if self._tagged else P.PUSH, payload)
+        return self._decode_reply(frame)
 
     async def push_stream(self, chunks, window: int = 8,
                           latencies: list | None = None):
@@ -259,6 +291,7 @@ class ServeClient:
         re-push the unacknowledged tail with ``push``).
         """
         chunks = list(chunks)
+        push_kind = P.PUSHT if self._tagged else P.PUSH
         sent: list[float] = []
         done = 0
         try:
@@ -267,7 +300,7 @@ class ServeClient:
                     break
                 payload = self._chunk_bytes(chunk)
                 sent.append(time.perf_counter())
-                await P.write_frame(self._writer, P.PUSH, payload)
+                await P.write_frame(self._writer, push_kind, payload)
             while done < len(chunks):
                 frame = await P.read_frame(self._reader)
                 if frame is None:
@@ -284,8 +317,8 @@ class ServeClient:
                 if len(sent) < len(chunks):
                     payload = self._chunk_bytes(chunks[len(sent)])
                     sent.append(time.perf_counter())
-                    await P.write_frame(self._writer, P.PUSH, payload)
-                yield frame.array()
+                    await P.write_frame(self._writer, push_kind, payload)
+                yield self._decode_reply(frame)
         except (ConnectionError, OSError) as exc:
             self._broken = True
             raise ProtocolError(
@@ -294,7 +327,8 @@ class ServeClient:
 
     async def feed(self, chunk) -> int:
         """Feed without draining; returns the item count added."""
-        frame = await self._request(P.FEED, self._chunk_bytes(chunk))
+        frame = await self._request(
+            P.FEEDT if self._tagged else P.FEED, self._chunk_bytes(chunk))
         return frame.u64()
 
     async def run(self, n: int) -> np.ndarray:
@@ -310,7 +344,7 @@ class ServeClient:
                 retryable=True)
         else:
             frame = await self._request(P.RUN, int(n).to_bytes(4, "big"))
-        return frame.array()
+        return self._decode_reply(frame)
 
     async def reset(self) -> None:
         await self._request(P.RESET)
@@ -327,6 +361,7 @@ class ServeClient:
             if exc.code != "resume-lost":
                 raise
         self._token = None
+        self._policy = None
 
     async def stats(self) -> str:
         """The server's ``STATS`` text dump."""

@@ -27,13 +27,27 @@ Request kinds (client -> server)::
     RESUME u64be token -> OK(token); re-attaches this connection to the
            parked session of a dropped one (or restores it from its
            last checkpoint)
+    PUSHT  dtype tag byte + samples — PUSH for non-float64 sessions
+    FEEDT  dtype tag byte + samples — FEED for non-float64 sessions
 
 Response kinds (server -> client)::
 
     OK     empty or u64be count/token
     ARR    f64le output samples
+    ARRT   dtype tag byte + output samples (non-float64 sessions)
     TXT    utf-8 text
     ERR    JSON {"code": <machine code>, "error": <message>}
+
+**Numeric policy on the wire.**  The original chunk frames are untagged
+float64 (``f64le``) and stay the default — an old client talking to a
+float64 session sees byte-identical traffic.  Sessions opened with a
+``"dtype"`` spec field exchange *tagged* frames instead: one dtype tag
+byte (1=f64le, 2=f32le, 3=c64le, 4=c128le — the
+:class:`~repro.numeric.NumericPolicy` wire tags) followed by the raw
+little-endian samples.  An untagged PUSH/FEED sent to a non-float64
+session — or a tag that disagrees with the session's policy — is a
+typed ``dtype-mismatch`` error frame, never a silent reinterpretation
+of the byte stream.  ``RPUSH``/``RRUN`` remain float64-only.
 
 Errors are *frames*, not connection drops: a request that fails
 (unknown app, backpressure cap, timeout) gets an ERR reply and the
@@ -58,21 +72,24 @@ from ..errors import ProtocolError
 
 __all__ = ["Frame", "ProtocolError", "read_frame", "write_frame",
            "encode_array", "decode_array", "error_payload",
+           "encode_array_tagged", "decode_array_tagged",
            "OPEN", "PUSH", "FEED", "RUN", "RESET", "CLOSE", "STATS",
-           "PING", "RPUSH", "RRUN", "RESUME",
-           "OK", "ARR", "TXT", "ERR", "REQUEST_NAMES",
+           "PING", "RPUSH", "RRUN", "RESUME", "PUSHT", "FEEDT",
+           "OK", "ARR", "TXT", "ERR", "ARRT", "REQUEST_NAMES",
            "DEFAULT_MAX_FRAME_BYTES"]
 
 # request kinds
 OPEN, PUSH, FEED, RUN, RESET, CLOSE, STATS, PING = range(1, 9)
 RPUSH, RRUN, RESUME = range(9, 12)
+PUSHT, FEEDT = 12, 13
 # response kinds
 OK, ARR, TXT, ERR = range(16, 20)
+ARRT = 20
 
 REQUEST_NAMES = {OPEN: "open", PUSH: "push", FEED: "feed", RUN: "run",
                  RESET: "reset", CLOSE: "close", STATS: "stats",
                  PING: "ping", RPUSH: "rpush", RRUN: "rrun",
-                 RESUME: "resume"}
+                 RESUME: "resume", PUSHT: "pusht", FEEDT: "feedt"}
 
 _HEADER_LEN = 9
 
@@ -140,6 +157,44 @@ def decode_array(payload: bytes) -> np.ndarray:
             "number of float64 items", code="bad-request")
     return np.frombuffer(payload, dtype="<f8").astype(np.float64,
                                                       copy=False)
+
+
+def encode_array_tagged(arr: np.ndarray, policy) -> bytes:
+    """One dtype tag byte + samples in the policy's little-endian
+    format — the payload of PUSHT/FEEDT/ARRT frames."""
+    return (bytes([policy.wire_tag])
+            + np.ascontiguousarray(arr, dtype=policy.wire_fmt).tobytes())
+
+
+def decode_array_tagged(payload: bytes, expected=None) -> np.ndarray:
+    """Inverse of :func:`encode_array_tagged`.
+
+    Returns the samples in the tagged policy's dtype.  With
+    ``expected`` (a :class:`~repro.numeric.NumericPolicy`), a tag that
+    disagrees raises a ``dtype-mismatch`` error instead of decoding:
+    the bytes are valid *some* dtype's samples, just not this
+    session's, and reinterpreting them would be silent corruption.
+    """
+    from ..numeric import policy_for_wire_tag
+
+    if not payload:
+        raise ProtocolError("tagged sample payload is empty",
+                            code="bad-request")
+    policy = policy_for_wire_tag(payload[0])
+    if policy is None:
+        raise ProtocolError(f"unknown dtype tag {payload[0]}",
+                            code="bad-request")
+    if expected is not None and policy.name != expected.name:
+        raise ProtocolError(
+            f"chunk tagged {policy.name} sent to a {expected.name} "
+            "session", code="dtype-mismatch")
+    body = payload[1:]
+    if len(body) % policy.itemsize:
+        raise ProtocolError(
+            f"tagged sample payload of {len(body)} bytes is not a whole "
+            f"number of {policy.name} items", code="bad-request")
+    return np.frombuffer(body, dtype=policy.wire_fmt).astype(
+        policy.dtype, copy=False)
 
 
 def error_payload(code: str, message: str) -> bytes:

@@ -382,19 +382,21 @@ class StreamServer:
         """(key, label, factory) for an OPEN spec — runs on a worker.
 
         The key is the graph's content fingerprint plus
-        (backend, optimize, mode), so every route to the same program —
-        app registry or DSL text — shares one pool bucket.  Graphs whose
-        fingerprint is single-use (opaque callables) get a nonce key:
-        correct, just never shared.  ``factory(seed, backend_override)``
-        builds the session; the override is the degradation/quarantine
-        hook.
+        (backend, optimize, mode, dtype), so every route to the same
+        program — app registry or DSL text — shares one pool bucket.
+        Graphs whose fingerprint is single-use (opaque callables) get a
+        nonce key: correct, just never shared.
+        ``factory(seed, backend_override)`` builds the session; the
+        override is the degradation/quarantine hook.
         """
         from ..exec.cache import fingerprint_stream
+        from ..numeric import resolve_policy
         from ..session import StreamSession
 
         backend = spec.get("backend", "plan")
         optimize = spec.get("optimize", "none")
         mode = spec.get("mode", "push")
+        policy = resolve_policy(spec.get("dtype"))
         if backend not in self.config.backends:
             raise CompileOptionError("backend", backend,
                                      self.config.backends)
@@ -424,15 +426,19 @@ class StreamServer:
 
         digest, single_use = fingerprint_stream(graph)
         nonce = next(self._nonce) if single_use else 0
-        key = (digest, nonce, backend, optimize, mode)
+        # dtype goes at the END: the quarantine rewrite slices
+        # key[:2] + ("compiled",) + key[3:] by position
+        key = (digest, nonce, backend, optimize, mode, policy.name)
         label = f"{label}/{backend}/{optimize}/{mode}"
+        if not policy.is_default:
+            label += f"/{policy.name}"
         journal_limit = self.config.journal_limit
 
         def factory(seed=None, backend_override=None):
             return StreamSession(
                 graph, backend=backend_override or backend,
                 optimize=optimize, journal_limit=journal_limit,
-                _plan_seed=seed)
+                dtype=policy, _plan_seed=seed)
 
         return key, label, factory
 
@@ -594,16 +600,26 @@ class StreamServer:
                 await self._idempotent(conn, writer, frame)
                 return
             session = ps.session
-            if kind in (P.PUSH, P.FEED):
-                arr = frame.array()
+            if kind in (P.PUSH, P.FEED, P.PUSHT, P.FEEDT):
+                if kind in (P.PUSH, P.FEED):
+                    if not session.policy.is_default:
+                        raise ProtocolError(
+                            f"untagged float64 chunk sent to a "
+                            f"{session.policy.name} session; use "
+                            "PUSHT/FEEDT with a dtype tag",
+                            code="dtype-mismatch")
+                    arr = frame.array()
+                else:
+                    arr = P.decode_array_tagged(frame.payload,
+                                                expected=session.policy)
                 self._check_backpressure(session, len(arr))
                 self.metrics.counter("serve.chunks.in").inc()
                 self.metrics.counter("serve.samples.in").inc(len(arr))
-                if kind == P.PUSH:
+                if kind in (P.PUSH, P.PUSHT):
                     out = await self._execute(ps, "push", arr)
                     self.metrics.gauge("serve.pending_samples").set(
                         session.pending_input)
-                    await self._reply_array(writer, out)
+                    await self._reply_array(writer, out, session.policy)
                 else:
                     count = await self._execute(ps, "feed", arr)
                     self.metrics.gauge("serve.pending_samples").set(
@@ -614,7 +630,7 @@ class StreamServer:
             if kind == P.RUN:
                 n = frame.u32()
                 out = await self._execute(ps, "run", n)
-                await self._reply_array(writer, out)
+                await self._reply_array(writer, out, session.policy)
                 return
             if kind == P.RESET:
                 await self._execute(ps, "reset")
@@ -668,6 +684,11 @@ class StreamServer:
             raise ProtocolError(
                 "RPUSH/RRUN need a resumable session (OPEN with "
                 '"resumable": true)', code="bad-request")
+        if not ps.session.policy.is_default:
+            raise ProtocolError(
+                "RPUSH/RRUN are float64-only; "
+                f"this session is {ps.session.policy.name}",
+                code="dtype-mismatch")
         if len(frame.payload) < 8:
             raise ProtocolError("missing request id", code="bad-request")
         rid = int.from_bytes(frame.payload[:8], "big")
@@ -826,11 +847,16 @@ class StreamServer:
             else:  # timeout/error: bill the full span, skip the EWMA
                 self.pool.record_serve(ps, time.perf_counter() - t0)
 
-    async def _reply_array(self, writer, out) -> None:
-        payload = P.encode_array(out)
+    async def _reply_array(self, writer, out, policy=None) -> None:
+        """Reply with samples: untagged ARR for float64 sessions (the
+        back-compatible default), tagged ARRT otherwise."""
+        if policy is None or policy.is_default:
+            kind, payload = P.ARR, P.encode_array(out)
+        else:
+            kind, payload = P.ARRT, P.encode_array_tagged(out, policy)
         self.metrics.counter("serve.chunks.out").inc()
-        self.metrics.counter("serve.samples.out").inc(len(payload) // 8)
-        await P.write_frame(writer, P.ARR, payload)
+        self.metrics.counter("serve.samples.out").inc(len(out))
+        await P.write_frame(writer, kind, payload)
 
     # -- observability -----------------------------------------------------
     def render_stats(self) -> str:

@@ -55,6 +55,7 @@ from .errors import (ChunkDtypeError, CompileOptionError, InterpError,
                      SessionClosedError, StreamGraphError)
 from .graph.streams import (Duplicate, FeedbackLoop, Filter, Pipeline,
                             PrimitiveFilter, SplitJoin, Stream)
+from .numeric import NumericPolicy, resolve_policy
 from .profiling import Profiler
 from .runtime.builtins import ArrayCollector, ChunkSource
 from .runtime.executor import FlatGraph
@@ -155,6 +156,7 @@ class StreamSession:
                  optimize: str = "none", profiler: Profiler | None = None,
                  chunk_outputs: int | None = None,
                  journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+                 dtype=None,
                  _program_mode: bool | None = None, _plan_seed=None):
         from .exec.optimize import OPTIMIZE_MODES
         if backend not in ("interp", "compiled", "plan"):
@@ -162,6 +164,9 @@ class StreamSession:
                                      ("interp", "compiled", "plan"))
         if optimize not in OPTIMIZE_MODES:
             raise CompileOptionError("optimize", optimize, OPTIMIZE_MODES)
+        #: the session's :class:`~repro.numeric.NumericPolicy` — dtype of
+        #: inputs/outputs/kernels plus the differential tolerance contract
+        self.policy: NumericPolicy = resolve_policy(dtype)
         self.stream = stream
         self._closed = False
         self.backend = backend
@@ -183,10 +188,10 @@ class StreamSession:
         if program_mode:
             self._program = stream
         else:
-            parts = [ChunkSource(), stream]
+            parts = [ChunkSource(dtype=self.policy.dtype), stream]
             self._source = parts[0]
             if _produces_output(stream):
-                parts.append(ArrayCollector())
+                parts.append(ArrayCollector(dtype=self.policy.dtype))
             self._program = Pipeline(
                 parts, name=f"{getattr(stream, 'name', 'stream')}.session")
 
@@ -213,14 +218,16 @@ class StreamSession:
             executor, entry = compiled_plan_for(
                 self._program, self._profiler,
                 chunk_outputs=self._chunk_outputs, optimize=self.optimize,
-                traces=self._source is None, seed=self._plan_seed)
+                traces=self._source is None, seed=self._plan_seed,
+                dtype=self.policy)
             self._entry = entry
             return executor
         if self._optimized is None:
             program = self._program
             if self.optimize != "none":
                 from .exec.optimize import optimize_stream
-                program = optimize_stream(program, self.optimize)
+                program = optimize_stream(program, self.optimize,
+                                          policy=self.policy)
             self._optimized = program
         return FlatGraph(self._optimized, self._profiler, self.backend)
 
@@ -374,14 +381,20 @@ class StreamSession:
         counts — to one ``run(k1 + k2)``.  On a push session this
         consumes previously fed input and raises the executor's deadlock
         error when not enough has been fed.
+
+        Outputs are returned in the session's policy dtype (float64
+        unless ``compile(..., dtype=...)`` said otherwise).  Scalar
+        backends evaluate in Python floats and cast at this boundary;
+        the plan backend computed natively in the policy dtype.
         """
-        return np.asarray(self._advance_raw(n), dtype=np.float64)
+        return np.asarray(self._advance_raw(n), dtype=self.policy.dtype)
 
     def feed(self, chunk) -> int:
         """Feed input without draining; returns the item count added.
 
-        Chunks must be real numeric data (float/int/bool); complex,
-        string, and object dtypes raise
+        Chunks must be numeric data castable to the session dtype
+        (float/int/bool, plus complex under a complex policy); string,
+        object, and real-policy-rejected complex dtypes raise
         :class:`~repro.errors.ChunkDtypeError`.
         """
         self._check_open()
@@ -393,7 +406,7 @@ class StreamSession:
         if self._ops is not None:
             # journal an owned copy: the caller may mutate its buffer
             self._journal_op(
-                "feed", np.array(chunk, dtype=np.float64, copy=True)
+                "feed", np.array(chunk, dtype=self.policy.dtype, copy=True)
                 .reshape(-1), count)
         return count
 
@@ -408,7 +421,7 @@ class StreamSession:
         out = self._executor.drain_available()
         self._produced_total += len(out)
         self._journal_op("drain", None, len(out))
-        return np.asarray(out, dtype=np.float64)
+        return np.asarray(out, dtype=self.policy.dtype)
 
     def _rebuild_executor(self) -> None:
         """Swap in a fresh initial-state executor (reset/restore core)."""
@@ -500,7 +513,8 @@ class StreamSession:
 def compile(stream: Stream | str, *, top: str | None = None, args=(),
             backend: str = "plan",
             optimize: str = "none", profiler: Profiler | None = None,
-            chunk_outputs: int | None = None) -> StreamSession:
+            chunk_outputs: int | None = None,
+            dtype=None) -> StreamSession:
     """Compile ``stream`` once into a resumable :class:`StreamSession`.
 
     ``stream`` is either a stream graph or DSL source text: a string
@@ -520,6 +534,13 @@ def compile(stream: Stream | str, *, top: str | None = None, args=(),
     ``session.push(chunk)``.  The session profiles into ``profiler``
     (default: a fresh :class:`Profiler`, exposed as
     ``session.profile``).
+
+    ``dtype`` selects the session's numeric policy: ``"f64"`` (default),
+    ``"f32"``, ``"c64"``, or ``"c128"`` (numpy dtypes and common aliases
+    like ``"float32"`` also resolve).  Inputs are cast to it, outputs
+    are returned in it, the plan backend allocates rings and computes
+    kernels natively in it, and ``session.policy`` carries the matching
+    comparison tolerances.
     """
     if isinstance(stream, str):
         from .dsl import load_source
@@ -530,4 +551,5 @@ def compile(stream: Stream | str, *, top: str | None = None, args=(),
     if profiler is None:
         profiler = Profiler()
     return StreamSession(stream, backend=backend, optimize=optimize,
-                         profiler=profiler, chunk_outputs=chunk_outputs)
+                         profiler=profiler, chunk_outputs=chunk_outputs,
+                         dtype=dtype)

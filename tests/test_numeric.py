@@ -1,0 +1,103 @@
+"""NumericPolicy resolution, wire tags, and complex FLOP scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileOptionError
+from repro.numeric import (DEFAULT_POLICY, DTYPE_CHOICES, POLICIES,
+                           NumericPolicy, policy_for_wire_tag,
+                           resolve_policy)
+from repro.profiling import Counts
+
+
+class TestResolve:
+    def test_none_is_the_float64_default(self):
+        assert resolve_policy(None) is DEFAULT_POLICY
+        assert DEFAULT_POLICY.is_default
+        assert not DEFAULT_POLICY.is_complex
+
+    @pytest.mark.parametrize("name", DTYPE_CHOICES)
+    def test_canonical_names(self, name):
+        policy = resolve_policy(name)
+        assert policy is POLICIES[name]
+        assert policy.name == name
+
+    @pytest.mark.parametrize("spec,name", [
+        ("float32", "f32"), ("single", "f32"), ("F32", "f32"),
+        ("float64", "f64"), ("double", "f64"), ("float", "f64"),
+        ("complex64", "c64"), ("complex128", "c128"),
+        ("complex", "c128"),
+        (np.float32, "f32"), (np.dtype("<f4"), "f32"),
+        (np.complex128, "c128"),
+    ])
+    def test_aliases_and_numpy_specs(self, spec, name):
+        assert resolve_policy(spec).name == name
+
+    def test_policy_passthrough(self):
+        assert resolve_policy(POLICIES["c64"]) is POLICIES["c64"]
+
+    @pytest.mark.parametrize("spec", ["f16", "int32", "banana", object()])
+    def test_unknown_specs_raise_option_error(self, spec):
+        with pytest.raises(CompileOptionError) as ei:
+            resolve_policy(spec)
+        assert ei.value.option == "dtype"
+        for choice in DTYPE_CHOICES:
+            assert choice in str(ei.value)
+
+
+class TestWire:
+    def test_tags_are_unique_and_roundtrip(self):
+        tags = {p.wire_tag for p in POLICIES.values()}
+        assert len(tags) == len(POLICIES)
+        for p in POLICIES.values():
+            assert policy_for_wire_tag(p.wire_tag) is p
+        assert policy_for_wire_tag(0) is None
+        assert policy_for_wire_tag(99) is None
+
+    def test_wire_fmt_matches_dtype_width(self):
+        for p in POLICIES.values():
+            assert p.itemsize == p.dtype.itemsize
+            assert np.dtype(p.wire_fmt).kind == p.dtype.kind
+
+
+class TestCastAndScalar:
+    def test_cast_preserves_dtype(self):
+        p = POLICIES["f32"]
+        out = p.cast([1.0, 2.0, 3.0])
+        assert out.dtype == np.float32
+        # no copy when already in the policy dtype
+        src = np.zeros(4, dtype=np.float32)
+        assert p.cast(src) is src or p.cast(src).base is src
+
+    def test_scalar_type(self):
+        assert isinstance(POLICIES["f64"].scalar(1), float)
+        assert isinstance(POLICIES["c64"].scalar(1), complex)
+
+
+class TestAdjustCounts:
+    def test_real_policies_are_identity(self):
+        c = Counts(fadd=3, fmul=5, fsub=2, fneg=1)
+        for name in ("f64", "f32"):
+            assert POLICIES[name].adjust_counts(c) is c
+
+    def test_complex_scaling(self):
+        c = Counts(fadd=3, fsub=2, fmul=5, fdiv=1, fcmp=4, fneg=6,
+                   fabs=7, fcall=8)
+        out = POLICIES["c128"].adjust_counts(c)
+        # complex multiply = 4 real mults + 2 real adds; add/sub/neg
+        # double; the rest pass through
+        assert out.fmul == 20
+        assert out.fadd == 2 * 3 + 2 * 5
+        assert out.fsub == 4
+        assert out.fneg == 12
+        assert (out.fdiv, out.fcmp, out.fabs, out.fcall) == (1, 4, 7, 8)
+
+    def test_frozen(self):
+        with pytest.raises((AttributeError, TypeError)):
+            DEFAULT_POLICY.name = "other"
+
+    def test_repro_reexports(self):
+        import repro
+
+        assert repro.resolve_policy("f32") is repro.POLICIES["f32"]
+        assert isinstance(repro.DEFAULT_POLICY, NumericPolicy)

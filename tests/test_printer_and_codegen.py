@@ -64,7 +64,8 @@ class TestCodegen:
         filt = f.build()
         fn = compile_work(filt.work, dict(filt.fields), filt.name)
         assert "def _G(" in fn.__repro_source__
-        assert "push(float(" in fn.__repro_source__
+        # pushes normalize with ``* 1.0`` (float-exact, complex-safe)
+        assert "* 1.0)" in fn.__repro_source__
 
     def test_block_level_flop_batching(self):
         """Counts are emitted per straight-line region, once per pass."""

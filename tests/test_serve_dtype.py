@@ -1,0 +1,211 @@
+"""Dtype-tagged serving: PUSHT/FEEDT/ARRT frames and policy gating.
+
+Float64 sessions keep the untagged PUSH/FEED/ARR wire format
+byte-for-byte (back compatibility is load-bearing: old clients never
+see a tag byte).  Any other numeric policy negotiates at OPEN and then
+exchanges tagged frames — one dtype byte ahead of the samples — and
+every mismatch (untagged chunk to a tagged session, wrong tag, RPUSH on
+a non-f64 session, resumable + dtype) surfaces as a typed
+``dtype-mismatch`` error frame, never a silent cast.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import BENCHMARKS, split_app
+from repro.errors import ProtocolError
+from repro.numeric import POLICIES
+from repro.serve import ServeClient
+from repro.serve import protocol as P
+from repro.session import StreamSession
+from test_serve import FIR_PARAMS, fir_inputs, serve_test
+
+
+def direct_outputs(chunks, dtype):
+    _source, body = split_app(BENCHMARKS["FIR"](**FIR_PARAMS))
+    session = StreamSession(body, backend="plan", dtype=dtype)
+    try:
+        out = [session.push(c) for c in chunks]
+    finally:
+        session.close()
+    return np.concatenate([o for o in out if len(o)])
+
+
+# ---------------------------------------------------------------------------
+# Tagged array codec
+# ---------------------------------------------------------------------------
+
+
+class TestTaggedCodec:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_roundtrip_preserves_dtype(self, name):
+        policy = POLICIES[name]
+        arr = policy.cast(np.linspace(-3.0, 7.0, 41))
+        payload = P.encode_array_tagged(arr, policy)
+        assert payload[0] == policy.wire_tag
+        back = P.decode_array_tagged(payload, expected=policy)
+        assert back.dtype == policy.dtype
+        np.testing.assert_array_equal(back, arr)
+        # without an expectation the tag alone selects the dtype
+        assert P.decode_array_tagged(payload).dtype == policy.dtype
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError) as ei:
+            P.decode_array_tagged(b"")
+        assert ei.value.code == "bad-request"
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError) as ei:
+            P.decode_array_tagged(bytes([250]) + b"\x00" * 8)
+        assert ei.value.code == "bad-request"
+
+    def test_ragged_body_rejected(self):
+        payload = bytes([POLICIES["f32"].wire_tag]) + b"\x00" * 7
+        with pytest.raises(ProtocolError) as ei:
+            P.decode_array_tagged(payload)  # 7 is not a multiple of 4
+        assert ei.value.code == "bad-request"
+
+    def test_tag_disagreement_is_dtype_mismatch(self):
+        payload = P.encode_array_tagged(np.zeros(4, np.float32),
+                                        POLICIES["f32"])
+        with pytest.raises(ProtocolError) as ei:
+            P.decode_array_tagged(payload, expected=POLICIES["c64"])
+        assert ei.value.code == "dtype-mismatch"
+
+
+# ---------------------------------------------------------------------------
+# Served round trips
+# ---------------------------------------------------------------------------
+
+
+def test_served_f32_push_matches_direct_session():
+    inputs = fir_inputs(600)
+    chunks = [inputs[:250], inputs[250:251], inputs[251:600]]
+    expected = direct_outputs(chunks, "f32")
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS, dtype="f32")
+            got = [await client.push(c) for c in chunks]
+            await client.close_session()
+            return np.concatenate(got)
+
+    out = serve_test(scenario)
+    assert out.dtype == np.float32
+    # the wire carries f32 both ways and the session computes in f32:
+    # served output is bitwise the local session's
+    np.testing.assert_array_equal(out, expected)
+    # and it tracks the float64 run at the policy tolerances
+    ref = direct_outputs(chunks, None)
+    np.testing.assert_allclose(out.astype(np.float64), ref,
+                               rtol=POLICIES["f32"].rtol,
+                               atol=POLICIES["f32"].atol)
+
+
+def test_served_complex_push_roundtrip():
+    rng = np.random.default_rng(3)
+    chunk = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+    expected = direct_outputs([chunk], "c64")
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS, dtype="c64")
+            return await client.push(chunk)
+
+    out = serve_test(scenario)
+    assert out.dtype == np.complex64
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_tagged_feed_then_run():
+    inputs = fir_inputs(256)
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS,
+                              dtype="float32")  # aliases resolve too
+            count = await client.feed(inputs)
+            assert count == len(inputs)
+            return await client.run(64)
+
+    out = serve_test(scenario)
+    assert out.dtype == np.float32 and len(out) == 64
+
+
+# ---------------------------------------------------------------------------
+# Mismatch gating: typed error frames, sessions survive
+# ---------------------------------------------------------------------------
+
+
+def test_untagged_and_wrongly_tagged_chunks_are_dtype_mismatch():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS, dtype="f32")
+            # a raw untagged PUSH (what a pre-dtype client would send)
+            with pytest.raises(ProtocolError) as ei:
+                await client._request(P.PUSH, P.encode_array(np.zeros(8)))
+            assert ei.value.code == "dtype-mismatch"
+            # a tagged frame carrying the wrong policy
+            wrong = P.encode_array_tagged(np.zeros(8, np.complex64),
+                                          POLICIES["c64"])
+            with pytest.raises(ProtocolError) as ei:
+                await client._request(P.PUSHT, wrong)
+            assert ei.value.code == "dtype-mismatch"
+            # error frames, not disconnects: the session still serves
+            out = await client.push(np.zeros(64))
+            assert out.dtype == np.float32
+
+    serve_test(scenario)
+
+
+def test_tagged_chunk_to_default_session_is_dtype_mismatch():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            await client.open(app="fir", params=FIR_PARAMS)  # f64
+            wrong = P.encode_array_tagged(np.zeros(8, np.float32),
+                                          POLICIES["f32"])
+            with pytest.raises(ProtocolError) as ei:
+                await client._request(P.PUSHT, wrong)
+            assert ei.value.code == "dtype-mismatch"
+            out = await client.push(np.zeros(64))
+            assert out.dtype == np.float64
+
+    serve_test(scenario)
+
+
+def test_resumable_dtype_rejected_client_side():
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            with pytest.raises(ProtocolError) as ei:
+                await client.open(app="fir", params=FIR_PARAMS,
+                                  resumable=True, dtype="f32")
+            assert ei.value.code == "dtype-mismatch"
+            # the guard fired before any frame went out; the connection
+            # can still open a valid session
+            await client.open(app="fir", params=FIR_PARAMS, dtype="f32")
+            assert (await client.push(np.zeros(64))).dtype == np.float32
+
+    serve_test(scenario)
+
+
+def test_rpush_on_tagged_session_rejected_server_side():
+    """A client that skips the local guard (or speaks the raw protocol)
+    must still be stopped: RPUSH/RRUN payloads are untagged f64, so the
+    server refuses them on any other policy."""
+
+    async def scenario(server, path):
+        async with await ServeClient.connect(path=path) as client:
+            spec = {"app": "fir", "params": FIR_PARAMS,
+                    "backend": "plan", "optimize": "none", "mode": "push",
+                    "resumable": True, "dtype": "f32"}
+            await client._request(P.OPEN,
+                                  json.dumps(spec).encode("utf-8"))
+            rid = (1).to_bytes(8, "big")
+            with pytest.raises(ProtocolError) as ei:
+                await client._request(P.RPUSH,
+                                      rid + P.encode_array(np.zeros(8)))
+            assert ei.value.code == "dtype-mismatch"
+
+    serve_test(scenario)
