@@ -121,7 +121,8 @@ class Measurement:
 
 def measure(program: Stream, config: str, n_outputs: int,
             backend: str = "compiled",
-            optimize: str = "none", dtype=None) -> Measurement:
+            optimize: str = "none", dtype=None,
+            workers: int = 1) -> Measurement:
     """Build one configuration and measure FLOPs and wall time.
 
     ``optimize`` is the rewrite axis (independent of ``config``, which
@@ -136,6 +137,10 @@ def measure(program: Stream, config: str, n_outputs: int,
     ``dtype`` selects the session's numeric policy (``"f32"``, ...):
     the plan backend computes natively in that dtype, scalar backends
     cast at the session boundary.
+
+    ``workers`` > 1 (plan backend only) measures the parallel engine:
+    the counting session still reports exact serial-equivalent FLOPs,
+    the timed session exercises the worker pool.
     """
     from .session import compile as compile_session
 
@@ -147,15 +152,18 @@ def measure(program: Stream, config: str, n_outputs: int,
         optimize = "none"
     profiler = Profiler()
     counting = compile_session(stream, backend=backend, optimize=optimize,
-                               profiler=profiler, dtype=dtype)
+                               profiler=profiler, dtype=dtype,
+                               workers=workers)
     counting.run(n_outputs)
+    counting.close()
     # separate timing session (profiling overhead excluded; plan setup
     # and scalar flattening excluded — compile happens before the timer).
     # Warm up, then take the best of three steady-state advances: small
     # configs time in microseconds, where a single cold sample is
     # noise-dominated (lazily compiled work functions, allocator state).
     timed = compile_session(stream, backend=backend, optimize=optimize,
-                            profiler=NullProfiler(), dtype=dtype)
+                            profiler=NullProfiler(), dtype=dtype,
+                            workers=workers)
     timed.run(min(n_outputs, 256))  # warmup advance
     t0 = time.perf_counter()
     timed.run(n_outputs)
@@ -172,6 +180,7 @@ def measure(program: Stream, config: str, n_outputs: int,
             seconds = min(seconds, (time.perf_counter() - t0) / reps)
         except InterpError:
             break  # finite source exhausted: keep the samples we have
+    timed.close()
     return Measurement(config, n_outputs, profiler.counts.flops,
                        profiler.counts.mults, seconds)
 
@@ -263,8 +272,8 @@ def speedup_percent(t_before: float, t_after: float) -> float:
 
 def _measurement_record(app: str, config: str, backend: str,
                         m: Measurement, optimize: str = "none",
-                        dtype=None) -> dict:
-    return {
+                        dtype=None, workers: int | None = None) -> dict:
+    rec = {
         "app": app,
         "config": config,
         "backend": backend,
@@ -277,6 +286,55 @@ def _measurement_record(app: str, config: str, backend: str,
         "flops_per_output": round(m.flops_per_output, 3),
         "seconds_per_output": m.seconds_per_output,
     }
+    if workers is not None:
+        # the workers column only appears when --workers was given, so
+        # existing consumers of the record shape are unaffected
+        rec["workers"] = workers
+    return rec
+
+
+def _worker_levels(workers: int) -> list[int]:
+    """The scaling-table sweep: 1, powers of two up to, and, workers."""
+    levels = {1, workers}
+    w = 2
+    while w < workers:
+        levels.add(w)
+        w *= 2
+    return sorted(levels)
+
+
+def parallel_scaling_report(app_name: str, make_program, config: str,
+                            n_outputs: int, workers: int,
+                            optimize: str = "none", dtype=None) -> tuple:
+    """Measure the workers scaling sweep; return (report text, rows).
+
+    Rows are ``(workers, flops, seconds, sec/out, speedup-vs-1)``; the
+    speedup column is wall-clock workers=1 over workers=w, so >= 2.0 at
+    w=4 is the paper-style scaling target (meaningful only on a box
+    with that many cores — the report records ``os.cpu_count()``).
+    """
+    import os
+
+    rows = []
+    display = []
+    base_seconds = None
+    for w in _worker_levels(workers):
+        m = measure(make_program(), config, n_outputs,
+                    backend="plan", optimize=optimize, dtype=dtype,
+                    workers=w)
+        if base_seconds is None:
+            base_seconds = m.seconds
+        speedup = base_seconds / max(m.seconds, 1e-12)
+        rows.append((w, m.flops, m.seconds, m.seconds_per_output,
+                     speedup))
+        display.append([w, m.flops, f"{m.seconds * 1e3:.3f} ms",
+                        f"{m.seconds_per_output * 1e6:.3f} us",
+                        f"{speedup:.2f}x"])
+    title = (f"{app_name}: parallel scaling ({n_outputs} outputs, "
+             f"optimize={optimize}, cpu_count={os.cpu_count()})")
+    report = format_table(title, ["workers", "flops", "seconds",
+                                  "sec/out", "speedup"], display)
+    return report, rows
 
 
 def _parse_dsl_args(text: str | None) -> tuple:
@@ -383,6 +441,15 @@ def main(argv=None) -> int:
     parser.add_argument("--dtype", default=None, choices=DTYPE_CHOICES,
                         help="numeric policy for every measured session "
                              "(default: f64)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run the plan backend on the parallel "
+                             "engine with this many worker processes; "
+                             "alone it also emits a 1..N scaling table "
+                             "(see --parallel-out), with --compare it "
+                             "adds parallel plan cells")
+    parser.add_argument("--parallel-out", default="results/parallel.txt",
+                        help="scaling-table path for --workers (default: "
+                             "results/parallel.txt; 'none' to skip)")
     parser.add_argument("--compare", action="store_true",
                         help="measure the full backend x optimize matrix "
                              "and report speedups")
@@ -454,8 +521,21 @@ def main(argv=None) -> int:
         parser.error("--chunk-size requires --chunked or --serve")
     if args.chunk_size is not None and args.chunk_size < 1:
         parser.error("--chunk-size must be a positive integer")
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be a positive integer")
+        if args.backend in ("interp", "compiled"):
+            parser.error(
+                f"--workers runs the parallel plan engine; the scalar "
+                f"{args.backend!r} backend executes in-process and "
+                "cannot use worker processes (drop --backend or pass "
+                "--backend plan)")
+        if args.serve or args.chunked or args.plan_report:
+            parser.error("--workers measures batch plan sessions; it "
+                         "conflicts with --serve/--chunked/--plan-report")
     backend = args.backend if args.backend is not None else "plan"
     optimize = args.optimize if args.optimize is not None else "none"
+    workers = args.workers if args.workers is not None else 1
     if args.dsl:
         import sys
 
@@ -568,15 +648,27 @@ def main(argv=None) -> int:
     if args.compare:
         cells = []
         by = {}
+        col_workers = 1 if args.workers is not None else None
         for backend in ("compiled", "plan"):
             for mode in OPTIMIZE_MODES:
                 m = measure(make_program(), args.config, n_outputs,
                             backend=backend, optimize=mode,
                             dtype=args.dtype)
                 rec = _measurement_record(app_name, args.config, backend, m,
-                                          optimize=mode, dtype=args.dtype)
+                                          optimize=mode, dtype=args.dtype,
+                                          workers=col_workers)
                 cells.append(rec)
                 by[(backend, mode)] = rec
+        if workers > 1:
+            for mode in OPTIMIZE_MODES:
+                m = measure(make_program(), args.config, n_outputs,
+                            backend="plan", optimize=mode,
+                            dtype=args.dtype, workers=workers)
+                rec = _measurement_record(app_name, args.config, "plan", m,
+                                          optimize=mode, dtype=args.dtype,
+                                          workers=workers)
+                cells.append(rec)
+                by[("plan", mode, workers)] = rec
 
         def ratio(a, b):
             return round(a["seconds"] / max(b["seconds"], 1e-12), 2)
@@ -595,11 +687,37 @@ def main(argv=None) -> int:
             "speedup_auto": ratio(base, auto),
             "auto_vs_plan": ratio(plan, auto),
         }
+        if workers > 1:
+            plan_w = by[("plan", "none", workers)]
+            auto_w = by[("plan", "auto", workers)]
+            result["workers"] = workers
+            # the parallel engine must preserve exact FLOP accounting
+            result["flops_equal_workers"] = base["flops"] == plan_w["flops"]
+            result["speedup_workers"] = ratio(base, auto_w)
+            result["workers_vs_serial"] = ratio(auto, auto_w)
+            result["workers_vs_serial_none"] = ratio(plan, plan_w)
     else:
         m = measure(make_program(), args.config, n_outputs,
-                    backend=backend, optimize=optimize, dtype=args.dtype)
-        result = _measurement_record(app_name, args.config, backend, m,
-                                     optimize=optimize, dtype=args.dtype)
+                    backend=backend, optimize=optimize, dtype=args.dtype,
+                    workers=workers)
+        result = _measurement_record(
+            app_name, args.config, backend, m, optimize=optimize,
+            dtype=args.dtype,
+            workers=(workers if args.workers is not None else None))
+        if workers > 1 and args.parallel_out != "none":
+            import os as _os
+            report, rows = parallel_scaling_report(
+                app_name, make_program, args.config, n_outputs, workers,
+                optimize=optimize, dtype=args.dtype)
+            _os.makedirs(_os.path.dirname(args.parallel_out) or ".",
+                         exist_ok=True)
+            with open(args.parallel_out, "a") as fh:
+                fh.write(report + "\n\n")
+            result["scaling"] = [
+                {"workers": w, "flops": f, "seconds": round(s, 6),
+                 "speedup": round(sp, 2)}
+                for (w, f, s, _spo, sp) in rows]
+            result["parallel_out"] = args.parallel_out
     print(json.dumps(result))
     return 0
 

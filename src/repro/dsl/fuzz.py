@@ -483,8 +483,24 @@ def _run_typed(program: FuzzProgram, n_outputs: int, optimize: str,
         session.close()
 
 
+def _run_workers(program: FuzzProgram, n_outputs: int, optimize: str,
+                 workers: int) -> np.ndarray:
+    """Plan-backend run on the parallel engine (``workers`` processes)."""
+    from ..session import StreamSession
+
+    session = StreamSession(_wrap(program), backend="plan",
+                            optimize=optimize, workers=workers,
+                            _program_mode=True)
+    try:
+        return np.asarray(session._advance_raw(n_outputs),
+                          dtype=np.float64)
+    finally:
+        session.close()
+
+
 def check_program(program: FuzzProgram, n_outputs: int = 64,
-                  optimize: str = "none", dtype=None) -> Mismatch | None:
+                  optimize: str = "none", dtype=None,
+                  workers: int = 1) -> Mismatch | None:
     """Run one program through all three backends; ``None`` means OK.
 
     ``optimize`` additionally reruns the plan backend with that rewrite
@@ -494,6 +510,11 @@ def check_program(program: FuzzProgram, n_outputs: int = 64,
     policy and compares against the float64 interp reference at the
     policy's documented tolerances (``policy.rtol``/``policy.atol``) —
     the differential contract of reduced-precision execution.
+
+    ``workers`` > 1 additionally runs every plan mode on the parallel
+    engine and holds it to the same 1e-9 contract against the interp
+    reference (region scheduling and data-parallel fission must not
+    change observable outputs).
     """
     policy = resolve_policy(dtype)
     try:
@@ -523,6 +544,20 @@ def check_program(program: FuzzProgram, n_outputs: int = 64,
                                         - np.asarray(reference))))
             return Mismatch(program, f"diverge:plan/{mode}",
                             f"interp vs plan max|delta| = {delta!r}")
+        if workers > 1:
+            try:
+                par = _run_workers(program, n_outputs, mode, workers)
+            except Exception:
+                return Mismatch(program,
+                                f"run:plan/{mode}/workers{workers}",
+                                traceback.format_exc())
+            ref = np.asarray(reference, dtype=np.float64)
+            if not np.allclose(par, ref, rtol=PLAN_RTOL, atol=PLAN_ATOL):
+                delta = float(np.max(np.abs(par - ref)))
+                return Mismatch(
+                    program, f"diverge:plan/{mode}/workers{workers}",
+                    f"interp vs plan(workers={workers}) "
+                    f"max|delta| = {delta!r}")
         if not policy.is_default:
             try:
                 typed = _run_typed(program, n_outputs, mode, policy)
@@ -545,14 +580,15 @@ def check_program(program: FuzzProgram, n_outputs: int = 64,
 
 def run_fuzz(count: int, seed: int = 0, max_depth: int = 3,
              n_outputs: int = 64, optimize: str = "none",
-             dtype=None, stop_on_first: bool = True,
+             dtype=None, workers: int = 1, stop_on_first: bool = True,
              progress=None) -> list[Mismatch]:
     """Fuzz ``count`` programs; return every mismatch found."""
     mismatches: list[Mismatch] = []
     for i in range(count):
         program = generate(seed * 1_000_003 + i, max_depth=max_depth)
         bad = check_program(program, n_outputs=n_outputs,
-                            optimize=optimize, dtype=dtype)
+                            optimize=optimize, dtype=dtype,
+                            workers=workers)
         if bad is not None:
             mismatches.append(bad)
             if stop_on_first:
@@ -588,6 +624,11 @@ def main(argv=None) -> int:
                              "clips — are undefined on complex samples; "
                              "complex policies are covered by the "
                              "linear-app differential suite)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="also run every plan mode on the parallel "
+                             "engine with this many worker processes, "
+                             "held to the same 1e-9 differential "
+                             "contract (default 1: skip)")
     parser.add_argument("--keep-going", action="store_true",
                         help="report every mismatch instead of stopping "
                              "at the first")
@@ -597,6 +638,8 @@ def main(argv=None) -> int:
     if args.dtype is not None and resolve_policy(args.dtype).is_complex:
         parser.error("--dtype must be a real policy (f32/f64): the "
                      "fuzzer generates nonlinear real-valued programs")
+    if args.workers < 1:
+        parser.error("--workers must be a positive integer")
 
     census: dict[str, int] = {}
 
@@ -614,6 +657,7 @@ def main(argv=None) -> int:
                           n_outputs=args.outputs,
                           optimize=args.optimize,
                           dtype=args.dtype,
+                          workers=args.workers,
                           stop_on_first=not args.keep_going,
                           progress=progress)
     if mismatches:

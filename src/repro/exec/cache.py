@@ -416,6 +416,10 @@ class PlanEntry:
     #: numeric policy the plan was built for; part of the cache key (a
     #: float32 plan's rings and spectra must never serve a float64 run)
     policy: NumericPolicy = DEFAULT_POLICY
+    #: worker count the plan was built for; part of the cache key — a
+    #: ``workers=4`` entry's ``optimized`` graph embeds fission replicas
+    #: a serial run must never execute
+    workers: int = 1
 
     def acquire(self) -> "PlanEntry":
         """Register a live holder (a session); pairs with :meth:`release`."""
@@ -447,26 +451,28 @@ class PlanCache:
         self.misses = 0
 
     def entry_for(self, stream: Stream, optimize: str,
-                  policy: NumericPolicy = DEFAULT_POLICY) -> PlanEntry:
+                  policy: NumericPolicy = DEFAULT_POLICY,
+                  workers: int = 1) -> PlanEntry:
         if _faults.ACTIVE is not None:
             _faults.ACTIVE.fire("cache.lookup")
         digest, single_use = fingerprint_stream(stream)
         with self._lock:
+            key = (digest, optimize, policy.name, workers)
             if single_use:
                 # unsnapshotable mutable state reachable: never store (a
                 # later in-place mutation would replay a stale plan), and
                 # drop any entry a pre-fix fingerprint may have left behind
                 self.misses += 1
-                self._entries.pop((digest, optimize, policy.name), None)
-                return PlanEntry(pin=stream, policy=policy)
-            key = (digest, optimize, policy.name)
+                self._entries.pop(key, None)
+                return PlanEntry(pin=stream, policy=policy,
+                                 workers=workers)
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return entry
             self.misses += 1
-            entry = PlanEntry(pin=stream, policy=policy)
+            entry = PlanEntry(pin=stream, policy=policy, workers=workers)
             self._entries[key] = entry
             self._trim()
             return entry

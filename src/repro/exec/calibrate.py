@@ -286,13 +286,30 @@ def load_calibration() -> Calibration | None:
 
 
 def save_calibration(cal: Calibration) -> str:
-    """Atomically persist ``cal``; returns the path written."""
+    """Atomically persist ``cal``; returns the path written.
+
+    The temp file gets a unique per-writer name (``mkstemp`` in the
+    destination directory): concurrent cold calibrators — e.g. parallel
+    workers racing to warm the same cache — each stage a private file
+    and the ``os.replace`` publishes whole records only.  A fixed temp
+    name would let two writers interleave into one file before either
+    rename, leaving corrupt JSON on disk.
+    """
+    import tempfile
+
     path = calibration_path()
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as f:
-        json.dump(cal.to_json(), f, indent=2, sort_keys=True)
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(cal.to_json(), f, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     return path
 
 

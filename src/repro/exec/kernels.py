@@ -39,8 +39,22 @@ class Step:
     #: debugging/introspection label set by the planner
     kind = "step"
 
+    #: True when the step carries numeric state across firings that the
+    #: parallel executor must synchronize between the parent's step
+    #: object (the authority) and a worker's cached copy.  Stateful
+    #: steps override :meth:`carry_state`/:meth:`set_carry_state`.
+    carries_state = False
+
     def execute(self, n: int) -> None:
         raise NotImplementedError
+
+    def carry_state(self):
+        """The step's cross-firing state (picklable), or None."""
+        return None
+
+    def set_carry_state(self, state) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not carry state")
 
 
 class MatmulStep(Step):
@@ -185,6 +199,14 @@ class StatefulLinearStep(Step):
         self.block = stateful_block_length(node.pop, node.push, policy)
         self._lifted: dict[int, tuple] = {}
 
+    carries_state = True
+
+    def carry_state(self):
+        return self.s.copy()
+
+    def set_carry_state(self, state) -> None:
+        self.s = np.asarray(state, dtype=self.policy.dtype).copy()
+
     def _lift(self, b: int) -> tuple:
         pack = self._lifted.get(b)
         if pack is None:
@@ -322,6 +344,18 @@ class OptimizedFreqStep(Step):
         self.partials: np.ndarray | None = None
         self.rows = max(1, _MAX_FFT_BLOCK_ELEMS
                         // (filt.kernel.n * (filt.u + 1)))
+
+    # None is meaningful state here (first firing not yet taken), so the
+    # parallel executor wraps the carry in a 1-tuple on the wire
+    carries_state = True
+
+    def carry_state(self):
+        return None if self.partials is None else self.partials.copy()
+
+    def set_carry_state(self, state) -> None:
+        self.partials = (None if state is None
+                         else np.asarray(state,
+                                         dtype=self.policy.dtype).copy())
 
     def execute(self, n: int) -> None:
         if _faults.ACTIVE is not None:

@@ -58,3 +58,18 @@ def optimize_stream(stream: Stream, mode: str, policy=None) -> Stream:
                                     stateful=True, policy=policy).stream
     raise ValueError(
         f"unknown optimize mode {mode!r} (expected one of {OPTIMIZE_MODES})")
+
+
+def fission_stream(stream: Stream, workers: int, policy=None) -> Stream:
+    """Data-parallel fission: replicate profitable linear leaves
+    ``workers`` ways behind round-robin split/join (non-destructive).
+
+    Runs *after* ``optimize_stream`` in the ``workers > 1`` compile
+    path, so the replicated leaves are the already-selected fused
+    kernels.  The construction and pricing live in
+    :mod:`repro.parallel.fission`.
+    """
+    if workers <= 1:
+        return stream
+    from ..parallel.fission import fission_stream as _fission
+    return _fission(stream, workers, policy=policy)

@@ -471,9 +471,8 @@ class PlanExecutor:
             if idx is None:
                 idx = len(self.rings)
                 self._chan_ids[key] = idx
-                self.rings.append(RingBuffer(ch.name,
-                                             prefill=ch.snapshot(),
-                                             dtype=policy.dtype))
+                self.rings.append(self._new_ring(ch.name,
+                                                 prefill=ch.snapshot()))
             return idx
 
         self._out_chan = ring_of(flat.output_channel)
@@ -497,8 +496,7 @@ class PlanExecutor:
                 # the loop joiner reads externals through a private gate
                 # ring so the island cannot outrun its simulated schedule
                 gate = len(self.rings)
-                self.rings.append(RingBuffer(f"{node.name}.gate",
-                                             dtype=policy.dtype))
+                self.rings.append(self._new_ring(f"{node.name}.gate"))
                 island_gates[i] = gate
                 in_ids = [gate] + in_ids[1:]
             raw_in_ids.append(in_ids)
@@ -603,6 +601,16 @@ class PlanExecutor:
         self._returned = 0  # outputs handed out to the caller
         self._out_popped = 0  # items popped off the graph output ring
 
+    # -- ring construction ------------------------------------------------
+    def _new_ring(self, name: str, prefill=None) -> RingBuffer:
+        """Channel-storage hook: the parallel executor overrides this to
+        allocate shared-memory rings workers can attach to."""
+        return RingBuffer(name, prefill=prefill, dtype=self.policy.dtype)
+
+    def close(self) -> None:
+        """Release execution resources (no-op for the serial executor;
+        the parallel subclass detaches/unlinks shared memory here)."""
+
     # -- step construction ------------------------------------------------
     def _make_step(self, index, node, in_ids, out_ids) -> K.Step:
         from ..frequency.filters import (Decimator, NaiveFreqFilter,
@@ -646,14 +654,21 @@ class PlanExecutor:
         # primitives
         if isinstance(s, StatefulLinearFilter):
             snode = s.stateful_node
-            return K.StatefulLinearStep(rin(), rout(), snode,
-                                        stateful_cost_counts(snode),
+            # fission replicas pin ``account_counts`` — the original
+            # filter's per-firing counts — so k replicas firing F/k
+            # times report exactly the fused filter's F-firing profile
+            counts = getattr(s, "account_counts", None)
+            if counts is None:
+                counts = stateful_cost_counts(snode)
+            return K.StatefulLinearStep(rin(), rout(), snode, counts,
                                         self.profiler, filter_name=s.name,
                                         policy=self.policy)
         if isinstance(s, LinearFilter):
             ln = s.linear_node
-            counts = (blas_cost_counts(ln) if s.backend == "blas"
-                      else direct_cost_counts(ln))
+            counts = getattr(s, "account_counts", None)
+            if counts is None:
+                counts = (blas_cost_counts(ln) if s.backend == "blas"
+                          else direct_cost_counts(ln))
             return K.MatmulStep(rin(), rout(), ln.A, ln.b, ln.peek, ln.pop,
                                 ln.push, counts, self.profiler,
                                 filter_name=s.name, policy=self.policy)
@@ -1061,10 +1076,29 @@ class PlanExecutor:
 # ---------------------------------------------------------------------------
 
 
+def _make_executor(flat, chunk_outputs, decisions, island_rates, policy,
+                   workers):
+    """PlanExecutor, or the parallel subclass when ``workers > 1``."""
+    if workers > 1:
+        from ..parallel.executor import ParallelPlanExecutor
+        return ParallelPlanExecutor(flat, chunk_outputs=chunk_outputs,
+                                    decisions=decisions,
+                                    island_rates=island_rates,
+                                    policy=policy, workers=workers)
+    return PlanExecutor(flat, chunk_outputs=chunk_outputs,
+                        decisions=decisions, island_rates=island_rates,
+                        policy=policy)
+
+
+def _fission_rewrite(stream: Stream, workers: int, policy) -> Stream:
+    from .optimize import fission_stream
+    return fission_stream(stream, workers, policy=policy)
+
+
 def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
                       optimize: str = "none", cache=None, traces=True,
-                      seed=None, dtype=None):
+                      seed=None, dtype=None, workers: int = 1):
     """Compile ``stream``; return ``(executor, entry)``.
 
     The full pipeline: rewrite the graph per ``optimize``
@@ -1093,20 +1127,33 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
     see :func:`plan_bailout_reason`; the verdict is on ``entry.bailout``.
     ``traces=False`` skips installing schedule-trace record/replay hooks
     (push sessions, whose input arrives incrementally, use this).
+
+    ``workers > 1`` compiles for the parallel engine: the optimized
+    graph additionally passes the fission rewrite
+    (:func:`~repro.exec.optimize.fission_stream`), the executor is a
+    :class:`~repro.parallel.executor.ParallelPlanExecutor` scheduling
+    step chains onto a worker pool, trace record/replay is disabled
+    (schedules are driven live), and the plan cache keys on the worker
+    count.
     """
     policy = resolve_policy(dtype)
+    if workers > 1:
+        traces = False
     if cache is None:
         cache = PLAN_CACHE
     if cache is False:
         opt = optimize_stream(stream, optimize, policy=policy)
+        if workers > 1:
+            opt = _fission_rewrite(opt, workers, policy)
         flat = FlatGraph(opt, profiler, backend="compiled")
         rates: dict = {}
         if plan_bailout_reason(opt, flat, island_rates=rates) is not None:
             return flat, None
-        return PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            island_rates=rates, policy=policy), None
+        return _make_executor(flat, chunk_outputs, None, rates, policy,
+                              workers), None
 
-    entry = cache.entry_for(stream, optimize, policy=policy)
+    entry = cache.entry_for(stream, optimize, policy=policy,
+                            workers=workers)
     if seed is not None and seed is not entry:
         # decision/island maps key on flattened node indices — identical
         # content means identical structure means identical indices
@@ -1117,7 +1164,10 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
         if entry.decisions is None and seed.decisions is not None:
             entry.decisions = seed.decisions
     if entry.optimized is None:
-        entry.optimized = optimize_stream(stream, optimize, policy=policy)
+        opt = optimize_stream(stream, optimize, policy=policy)
+        if workers > 1:
+            opt = _fission_rewrite(opt, workers, policy)
+        entry.optimized = opt
     flat = FlatGraph(entry.optimized, profiler, backend="compiled")
     if entry.bailout is _UNSET:
         rates = {}
@@ -1127,9 +1177,8 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
             entry.islands = rates
     if entry.bailout is not None:
         return flat, entry
-    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            decisions=entry.decisions,
-                            island_rates=entry.islands, policy=policy)
+    executor = _make_executor(flat, chunk_outputs, entry.decisions,
+                              entry.islands, policy, workers)
     if entry.decisions is None:
         entry.decisions = executor.decisions
     if entry.islands is None:
@@ -1144,11 +1193,13 @@ def compiled_plan_for(stream: Stream, profiler: Profiler | None = None,
 
 def plan_executor_for(stream: Stream, profiler: Profiler | None = None,
                       chunk_outputs: int = DEFAULT_CHUNK_OUTPUTS,
-                      optimize: str = "none", cache=None, dtype=None):
+                      optimize: str = "none", cache=None, dtype=None,
+                      workers: int = 1):
     """Compile ``stream`` into a :class:`PlanExecutor` — see
     :func:`compiled_plan_for` (this drops the cache entry)."""
     return compiled_plan_for(stream, profiler, chunk_outputs=chunk_outputs,
-                             optimize=optimize, cache=cache, dtype=dtype)[0]
+                             optimize=optimize, cache=cache, dtype=dtype,
+                             workers=workers)[0]
 
 
 def executor_from_entry(entry, profiler: Profiler | None = None,
@@ -1165,10 +1216,13 @@ def executor_from_entry(entry, profiler: Profiler | None = None,
     flat = FlatGraph(entry.optimized, profiler, backend="compiled")
     if entry.bailout is not None:
         return flat
-    executor = PlanExecutor(flat, chunk_outputs=chunk_outputs,
-                            decisions=entry.decisions,
-                            island_rates=entry.islands,
-                            policy=getattr(entry, "policy", DEFAULT_POLICY))
+    workers = getattr(entry, "workers", 1)
+    if workers > 1:
+        traces = False
+    executor = _make_executor(flat, chunk_outputs, entry.decisions,
+                              entry.islands,
+                              getattr(entry, "policy", DEFAULT_POLICY),
+                              workers)
     if traces:
         store = entry.traces
         executor._trace_lookup = lambda n: store.get((chunk_outputs, n))

@@ -1,0 +1,232 @@
+"""Ring buffers over ``multiprocessing.shared_memory`` segments.
+
+A :class:`ShmRing` is a :class:`~repro.exec.ring.RingBuffer` whose
+backing ndarray lives in a named shared-memory segment, so a worker
+process can attach the *same* storage and execute kernel steps over it
+in place — the parent and the workers exchange only (head, tail)
+cursors, never sample data.
+
+Ownership model:
+
+* The **parent** (scheduler) process creates every segment and is the
+  only side allowed to grow one.  Growth allocates a fresh segment under
+  a new OS name but the same logical ``uid``; workers notice the segment
+  name changed on the next dispatch and re-attach in place.
+* **Workers** attach lazily through :func:`attach_ring` and keep a
+  process-local registry keyed by ``uid``, so cached kernel steps keep
+  valid ring references across tasks (re-attachment swaps the buffer
+  under the same Python object).  A worker may *slide* the live region
+  (cheap compaction) but never grow; the parent pre-grows rings to the
+  dispatched batch's worst case before sending a task.
+
+Cleanup: segments are unlinked by the parent when the executor closes.
+``resource_tracker`` registration is dropped on both sides — under the
+default fork start method parent and children share one tracker process,
+so a child exiting would otherwise unlink segments the parent still
+uses.  A parent-side ``atexit`` hook (guarded by creator pid) backstops
+leaks if an executor is never closed.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..errors import InterpError
+from ..exec.ring import _MIN_CAPACITY, RingBuffer
+
+#: uid -> attached ShmRing, per worker process (see attach_ring)
+_ATTACHED: dict[str, "ShmRing"] = {}
+
+#: parent-side leak backstop: every owned ring, weakly
+_OWNED: "weakref.WeakSet[ShmRing]" = weakref.WeakSet()
+
+_UID_COUNTER = 0
+
+
+def _new_uid() -> str:
+    global _UID_COUNTER
+    _UID_COUNTER += 1
+    return f"{os.getpid()}.{secrets.token_hex(4)}.{_UID_COUNTER}"
+
+
+def _untrack(shm) -> None:
+    """Drop ``shm`` from the resource tracker (shared with forked
+    children); lifetime is managed explicitly by the owner."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _release_segment(shm, unlink: bool) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # an ndarray view still aliases the mmap; it is released when
+        # the last view is collected — unlink below still detaches the
+        # name so the memory is reclaimed then
+        pass
+    except OSError:
+        pass
+    if unlink:
+        # shm.unlink() would also unregister with the resource tracker,
+        # but the segment was already untracked at creation — go through
+        # the low-level call so the tracker is not asked twice
+        unlink_fn = getattr(shared_memory, "_posixshmem", None)
+        try:
+            if unlink_fn is not None:
+                unlink_fn.shm_unlink(shm._name)
+            else:  # windows: no named unlink; close releases the handle
+                pass
+        except (FileNotFoundError, OSError):
+            pass
+
+
+@atexit.register
+def _cleanup_owned() -> None:
+    pid = os.getpid()
+    for ring in list(_OWNED):
+        if ring._create_pid == pid:
+            ring.close(unlink=True)
+
+
+class ShmRing(RingBuffer):
+    """A ring buffer whose storage is a shared-memory segment."""
+
+    __slots__ = ("uid", "shm", "owner", "_create_pid", "__weakref__")
+
+    def __init__(self, name: str = "", capacity: int = _MIN_CAPACITY,
+                 prefill=None, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        if prefill is not None:
+            prefill = np.asarray(prefill, dtype=self.dtype)
+            capacity = max(capacity, len(prefill))
+        capacity = max(capacity, _MIN_CAPACITY)
+        self.uid = _new_uid()
+        self.owner = True
+        self._create_pid = os.getpid()
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=capacity * self.dtype.itemsize)
+        _untrack(self.shm)
+        self._buf = np.ndarray(self.shm.size // self.dtype.itemsize,
+                               dtype=self.dtype, buffer=self.shm.buf)
+        self._head = 0
+        self._tail = 0
+        self.name = name
+        if prefill is not None and len(prefill):
+            self._buf[:len(prefill)] = prefill
+            self._tail = len(prefill)
+        _OWNED.add(self)
+
+    # -- wire format ------------------------------------------------------
+    def describe(self) -> tuple:
+        """The attach tuple shipped in task messages (and pickles)."""
+        return (self.uid, self.shm.name, self.name, self.dtype.str,
+                self._head, self._tail)
+
+    def __reduce__(self):
+        # pickling a ring (e.g. inside a cold kernel-step payload)
+        # resolves to the receiving process's attached registry entry
+        return (attach_ring, self.describe())
+
+    # -- storage management -----------------------------------------------
+    def _reserve(self, n: int) -> None:
+        if self._tail + n <= len(self._buf):
+            return
+        live = self._tail - self._head
+        need = live + n
+        if need > len(self._buf):
+            if not self.owner:
+                raise InterpError(
+                    f"shared ring {self.name!r} needs {need} slots but "
+                    f"holds {len(self._buf)} — the scheduler must "
+                    "pre-grow rings before dispatch")
+            self._grow(need)
+            return
+        self._buf[:live] = self._buf[self._head:self._tail]
+        self._head = 0
+        self._tail = live
+
+    def _grow(self, need: int) -> None:
+        """Owner-only: move the live region into a fresh, larger segment
+        (same uid, new OS name — workers re-attach on next dispatch)."""
+        cap = len(self._buf)
+        while cap < need:
+            cap *= 2
+        live = self._tail - self._head
+        new = shared_memory.SharedMemory(create=True,
+                                         size=cap * self.dtype.itemsize)
+        _untrack(new)
+        buf = np.ndarray(new.size // self.dtype.itemsize, dtype=self.dtype,
+                         buffer=new.buf)
+        buf[:live] = self._buf[self._head:self._tail]
+        old, self.shm = self.shm, new
+        self._buf = buf
+        self._head = 0
+        self._tail = live
+        _release_segment(old, unlink=True)
+
+    def ensure_capacity(self, total: int) -> None:
+        """Owner-only: guarantee room for ``total`` live items so a
+        worker's appends never need more than a slide."""
+        if total > len(self._buf):
+            self._grow(total)
+
+    # -- attach side ------------------------------------------------------
+    def _attach_segment(self, segname: str) -> None:
+        old = self.shm
+        shm = shared_memory.SharedMemory(name=segname)
+        _untrack(shm)
+        self._buf = np.ndarray(shm.size // self.dtype.itemsize,
+                               dtype=self.dtype, buffer=shm.buf)
+        self.shm = shm
+        if old is not None:
+            _release_segment(old, unlink=False)
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self, unlink: bool = False) -> None:
+        """Detach from the segment; the owner also unlinks it."""
+        self._buf = np.empty(0, dtype=self.dtype)
+        shm, self.shm = self.shm, None
+        if shm is not None:
+            _release_segment(shm, unlink=unlink and self.owner)
+
+
+def attach_ring(uid: str, segname: str, name: str, dtype_str: str,
+                head: int, tail: int) -> ShmRing:
+    """Worker-side get-or-create attach; refreshes cursors every call.
+
+    The registry returns the *same* Python object for a uid across
+    tasks, so kernel steps cached in the worker keep valid references —
+    if the parent grew the segment, the buffer is swapped in place.
+    """
+    ring = _ATTACHED.get(uid)
+    if ring is None:
+        ring = ShmRing.__new__(ShmRing)
+        ring.dtype = np.dtype(dtype_str)
+        ring.name = name
+        ring.uid = uid
+        ring.owner = False
+        ring._create_pid = os.getpid()
+        ring.shm = None
+        ring._attach_segment(segname)
+        _ATTACHED[uid] = ring
+    elif ring.shm is None or ring.shm.name != segname:
+        ring._attach_segment(segname)
+    ring._head = head
+    ring._tail = tail
+    return ring
+
+
+def forget_rings(uids) -> None:
+    """Worker-side: drop attached rings for a retired plan."""
+    for uid in uids:
+        ring = _ATTACHED.pop(uid, None)
+        if ring is not None:
+            ring.close()

@@ -169,3 +169,54 @@ def batched_stateful_cost(node, batch: int = DEFAULT_COST_BATCH,
             + FIRING_OVERHEAD / scan_block  # per-block state carry
             + 2.0 * (node.peek + k) * node.push  # dense output map
             + 2.0 * (node.peek + k) * k)  # dense state advance
+
+
+# ---------------------------------------------------------------------------
+# Data-parallel fission — fissioned vs fused (parallel engine)
+# ---------------------------------------------------------------------------
+
+#: Modeled cost of dispatching one parallel task (pickling a message,
+#: pipe round trip, cursor bookkeeping), in the same abstract units as
+#: FIRING_OVERHEAD, amortized over the batch like it.
+FISSION_DISPATCH_OVERHEAD = 50_000.0
+
+
+def fission_speedup(node, k: int, batch: int = DEFAULT_COST_BATCH,
+                    policy=None) -> float:
+    """Estimated wall-clock speedup of ``k``-way data-parallel fission
+    of a linear (or stateful-linear) leaf over the fused batched kernel.
+
+    ``peek == pop`` stateless leaves fission by round-robin cloning, so
+    the parallel compute is exactly ``fused / k``.  Lookahead and
+    stateful leaves go through the state-monoid lift: every replica
+    reads the full ``k``-firing window ``E = e + (k-1)·o`` and repeats
+    the (tiny) state advance, so per-replica work inflates by roughly
+    ``(E + k_s) / (e + k_s)`` before dividing by ``k`` — peek-dominated
+    filters amortize the inflation, shallow ones don't.  Split/join
+    copies and task dispatch are charged as serial overhead.  All terms
+    reuse the calibrated batched cost model, so a measured machine
+    prices fission with the same constants as the selection DP.
+    """
+    if k <= 1:
+        return 1.0
+    ks = getattr(node, "state_dim", 0)
+    e, o, u = node.peek, node.pop, node.push
+    if ks == 0 and e == o:
+        fused = batched_direct_cost(node, batch)
+        compute = fused / k
+        copies = o + u  # round-robin scatter + gather, serial
+    else:
+        if ks:
+            fused = batched_stateful_cost(node, batch, policy)
+        else:
+            fused = batched_direct_cost(node, batch)
+        E = e + (k - 1) * o
+        # replica firing: dense output slice + full state advance, once
+        # per k original firings, spread over k parallel replicas
+        replica = (FIRING_OVERHEAD / batch
+                   + 2.0 * (E + ks) * u
+                   + 2.0 * (E + ks) * ks)
+        compute = replica / k
+        copies = o * k + u  # duplicate broadcast + gather, serial
+    serial = copies + FISSION_DISPATCH_OVERHEAD / batch
+    return fused / (compute + serial)

@@ -340,6 +340,10 @@ class StreamServer:
         if self._workers is not None:
             self._workers.shutdown(wait=drained, cancel_futures=not drained)
             self._workers = None
+        # parallel-engine worker processes: sessions closed above already
+        # retired their plans' shared rings; now stop the pool itself
+        from ..parallel.pool import shutdown_pool
+        shutdown_pool()
 
     async def _evict_loop(self, interval: float) -> None:
         while True:
@@ -864,9 +868,15 @@ class StreamServer:
         counters + per-graph compile/serve accounting."""
         from ..exec.cache import plan_cache_stats
 
+        from ..parallel.pool import pool_stats
+
         lines = [self.metrics.render()]
         for name, value in sorted(plan_cache_stats().items()):
             lines.append(f"plan_cache.{name} {value}")
+        pool = pool_stats()
+        if pool is not None:
+            for name, value in sorted(pool.items()):
+                lines.append(f"parallel.pool.{name} {value}")
         for row in self.pool.graph_stats():
             g = row["graph"]
             lines.append(f"graph.{g}.compiles {row['compiles']}")

@@ -156,7 +156,7 @@ class StreamSession:
                  optimize: str = "none", profiler: Profiler | None = None,
                  chunk_outputs: int | None = None,
                  journal_limit: int = DEFAULT_JOURNAL_LIMIT,
-                 dtype=None,
+                 dtype=None, workers: int = 1,
                  _program_mode: bool | None = None, _plan_seed=None):
         from .exec.optimize import OPTIMIZE_MODES
         if backend not in ("interp", "compiled", "plan"):
@@ -164,6 +164,16 @@ class StreamSession:
                                      ("interp", "compiled", "plan"))
         if optimize not in OPTIMIZE_MODES:
             raise CompileOptionError("optimize", optimize, OPTIMIZE_MODES)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and backend != "plan":
+            raise ValueError(
+                f"workers={workers} requires backend='plan': the "
+                f"scalar {backend!r} backend has no parallel engine")
+        #: worker-process count for the parallel plan executor (1 =
+        #: serial in-process execution, the default)
+        self.workers = workers
         #: the session's :class:`~repro.numeric.NumericPolicy` — dtype of
         #: inputs/outputs/kernels plus the differential tolerance contract
         self.policy: NumericPolicy = resolve_policy(dtype)
@@ -219,7 +229,7 @@ class StreamSession:
                 self._program, self._profiler,
                 chunk_outputs=self._chunk_outputs, optimize=self.optimize,
                 traces=self._source is None, seed=self._plan_seed,
-                dtype=self.policy)
+                dtype=self.policy, workers=self.workers)
             self._entry = entry
             return executor
         if self._optimized is None:
@@ -281,6 +291,10 @@ class StreamSession:
             self._entry = None
         if self._source is not None:
             self._source.clear()
+        if self._executor is not None:
+            # the parallel executor retires worker caches and unlinks
+            # shared memory here; other executors have no-op/absent close
+            getattr(self._executor, "close", lambda: None)()
         self._executor = None
         self._optimized = None
         self._ops = None  # snapshots already taken keep their own ref
@@ -427,6 +441,8 @@ class StreamSession:
         """Swap in a fresh initial-state executor (reset/restore core)."""
         if self._source is not None:
             self._source.clear()
+        if self._executor is not None:
+            getattr(self._executor, "close", lambda: None)()
         if self._entry is not None:
             from .exec.planner import executor_from_entry
             self._executor = executor_from_entry(
@@ -514,7 +530,7 @@ def compile(stream: Stream | str, *, top: str | None = None, args=(),
             backend: str = "plan",
             optimize: str = "none", profiler: Profiler | None = None,
             chunk_outputs: int | None = None,
-            dtype=None) -> StreamSession:
+            dtype=None, workers: int = 1) -> StreamSession:
     """Compile ``stream`` once into a resumable :class:`StreamSession`.
 
     ``stream`` is either a stream graph or DSL source text: a string
@@ -541,6 +557,14 @@ def compile(stream: Stream | str, *, top: str | None = None, args=(),
     are returned in it, the plan backend allocates rings and computes
     kernels natively in it, and ``session.policy`` carries the matching
     comparison tolerances.
+
+    ``workers`` > 1 (plan backend only) executes the compiled plan on
+    the parallel engine: kernel regions are scheduled across a pool of
+    worker processes over shared-memory rings, and profitable linear
+    leaves are replicated data-parallel (:mod:`repro.parallel`).
+    Outputs match ``workers=1`` within the policy's tolerances (bitwise
+    on round-robin-fissioned and region-parallel paths) and FLOP
+    accounting is exact.
     """
     if isinstance(stream, str):
         from .dsl import load_source
@@ -552,4 +576,4 @@ def compile(stream: Stream | str, *, top: str | None = None, args=(),
         profiler = Profiler()
     return StreamSession(stream, backend=backend, optimize=optimize,
                          profiler=profiler, chunk_outputs=chunk_outputs,
-                         dtype=dtype)
+                         dtype=dtype, workers=workers)

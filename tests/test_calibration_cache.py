@@ -139,6 +139,43 @@ def test_warm_path_measures_nothing():
     assert C.active_calibration() is cal
 
 
+def test_concurrent_writers_never_corrupt_the_file(calib_dir):
+    """Many processes saving simultaneously must leave one valid record.
+
+    Regression test for the fixed-temp-name race: every writer staged
+    into ``calibration.json.tmp``, so two cold calibrators could
+    interleave writes into the same temp file before either rename,
+    publishing corrupt JSON.  With per-writer unique temp files each
+    ``os.replace`` is atomic and the survivor is one of the written
+    records, intact."""
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    procs = [ctx.Process(target=_save_worker, args=(i,)) for i in range(8)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    C.reset_calibration_cache()
+    loaded = C.load_calibration()
+    assert loaded is not None, "concurrent writers corrupted the file"
+    assert set(loaded.stateful_block.values()) <= {16, 32, 64, 128,
+                                                   256, 512}
+    # no orphaned temp files left behind
+    leftovers = [f for f in os.listdir(calib_dir) if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def _save_worker(i: int) -> None:
+    blocks = (16, 32, 64, 128, 256, 512)
+    cal = C.Calibration(C.machine_fingerprint(),
+                        _record(fft_ns=float(i + 1),
+                                block=blocks[i % len(blocks)])["dtypes"])
+    for _ in range(20):
+        C.save_calibration(cal)
+
+
 # ---------------------------------------------------------------------------
 # Consumption: the DP and the scan kernel must use the measured numbers
 # ---------------------------------------------------------------------------
